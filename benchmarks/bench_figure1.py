@@ -1,0 +1,56 @@
+"""Figure 1 — content popularity and inter-arrival time distributions.
+
+Emits the rank/frequency series (left panel) and the inter-arrival CCDF
+(right panel) for each trace, summarized at a handful of abscissae.
+"""
+
+import numpy as np
+
+from benchmarks.common import TRACE_NAMES, emit, format_rows, trace
+from repro.traces.stats import interarrival_distribution, popularity_distribution
+
+
+def build_figure1():
+    popularity_rows = []
+    iat_rows = []
+    for name in TRACE_NAMES:
+        t = trace(name)
+        ranks, counts = popularity_distribution(t)
+        row = {"trace": name}
+        for rank in (1, 10, 100, 1000):
+            if rank <= counts.size:
+                row[f"count@rank{rank}"] = int(counts[rank - 1])
+        head = slice(0, max(min(50, counts.size // 10), 5))
+        slope = np.polyfit(np.log(ranks[head]), np.log(counts[head] + 1e-9), 1)[0]
+        row["loglog_head_slope"] = round(float(slope), 3)
+        popularity_rows.append(row)
+
+        grid, ccdf = interarrival_distribution(t)
+        iat_row = {"trace": name}
+        for quantile in (0.5, 0.9, 0.99):
+            idx = int(np.searchsorted(-ccdf, -(1 - quantile)))
+            idx = min(idx, grid.size - 1)
+            iat_row[f"iat_p{int(quantile * 100)}_s"] = round(float(grid[idx]), 2)
+        iat_rows.append(iat_row)
+    return popularity_rows, iat_rows
+
+
+def test_figure1(benchmark):
+    popularity_rows, iat_rows = benchmark.pedantic(
+        build_figure1, rounds=1, iterations=1
+    )
+    emit(
+        "figure1",
+        "Popularity (left panel):\n"
+        + format_rows(popularity_rows)
+        + "\n\nInter-arrival CCDF quantiles (right panel):\n"
+        + format_rows(iat_rows),
+    )
+    # Shape checks: every trace is Zipf-like (negative log-log slope) and
+    # CDN-C (weeks-long, thin popularity) has the flattest head.
+    slopes = {row["trace"]: row["loglog_head_slope"] for row in popularity_rows}
+    assert all(slope < 0 for slope in slopes.values())
+    assert slopes["cdn-c"] >= min(slopes.values())
+    # Inter-arrival spread spans orders of magnitude on every trace.
+    for row in iat_rows:
+        assert row["iat_p99_s"] > row["iat_p50_s"]

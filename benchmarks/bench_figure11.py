@@ -1,0 +1,71 @@
+"""Figure 11 — responsiveness to workload changes ("Syn One"/"Syn Two").
+
+Markov-modulated Zipf workloads (Section 7.6): Syn One alternates a Zipf
+ranking with its reversal; Syn Two cycles the skew through 0.7/0.9/1.1.
+Paper finding: LHR beats every SOTA on both hit probability and traffic;
+the best SOTA differs between the two workloads.
+"""
+
+import os
+
+from benchmarks.common import SCALE, emit, format_rows, policy_kwargs
+from repro.policies import SOTA_POLICIES
+from repro.sim import run_comparison
+from repro.traces import syn_one_trace, syn_two_trace
+
+GB = 1 << 30
+
+#: Paper scale: 1M requests, N=1000 contents, r=200k requests per state.
+NUM_REQUESTS = max(int(1_000_000 * SCALE), 5_000)
+NUM_CONTENTS = 1_000
+REQUESTS_PER_STATE = max(NUM_REQUESTS // 5, 1_000)
+
+
+def build_figure11():
+    rows = []
+    workloads = {
+        "syn-one": syn_one_trace(
+            num_requests=NUM_REQUESTS,
+            num_contents=NUM_CONTENTS,
+            requests_per_state=REQUESTS_PER_STATE,
+            seed=3,
+        ),
+        "syn-two": syn_two_trace(
+            num_requests=NUM_REQUESTS,
+            num_contents=NUM_CONTENTS,
+            requests_per_state=REQUESTS_PER_STATE,
+            seed=3,
+        ),
+    }
+    for workload_name, t in workloads.items():
+        capacity = int(0.1 * t.unique_bytes())
+        results = run_comparison(
+            t, ["lhr", *SOTA_POLICIES], [capacity], policy_kwargs=policy_kwargs()
+        )
+        for result in results:
+            rows.append(
+                {
+                    "workload": workload_name,
+                    "policy": result.policy,
+                    "object_hit": round(result.object_hit_ratio, 3),
+                    "wan_traffic_gb": round(result.wan_traffic_bytes / GB, 2),
+                }
+            )
+    return rows
+
+
+def test_figure11(benchmark):
+    rows = benchmark.pedantic(build_figure11, rounds=1, iterations=1)
+    emit("figure11", format_rows(rows))
+    for workload in ("syn-one", "syn-two"):
+        cell = [r for r in rows if r["workload"] == workload]
+        lhr = next(r for r in cell if r["policy"] == "lhr")
+        best_sota = max(
+            (r for r in cell if r["policy"] != "lhr"),
+            key=lambda r: r["object_hit"],
+        )
+        # LHR adapts: at or above the best SOTA on the shifting workload.
+        assert lhr["object_hit"] >= best_sota["object_hit"] - 0.01, workload
+        # And it achieves that hit rate with less WAN traffic than the
+        # SOTA that comes closest to it on hit probability.
+        assert lhr["wan_traffic_gb"] <= best_sota["wan_traffic_gb"] * 1.05, workload

@@ -1,0 +1,63 @@
+"""Figure 2 — bounds on OPT vs the best SOTA vs LHR (one scenario per trace).
+
+Paper's finding: a 15-25% gap between the best SOTA and the tighter
+offline bound; HRO sits *below* the offline bounds (tighter) yet above
+every online policy; LHR closes part of the SOTA-to-bound gap.
+"""
+
+from benchmarks.common import (
+    TRACE_NAMES,
+    cache_bytes,
+    emit,
+    format_rows,
+    paper_cache_sizes,
+    policy_kwargs,
+    trace,
+)
+from repro.bounds import belady_size, pfoo_upper
+from repro.core import hro_bound
+from repro.policies import SOTA_POLICIES
+from repro.sim import best_policy, run_comparison
+
+
+def build_figure2():
+    rows = []
+    for name in TRACE_NAMES:
+        t = trace(name)
+        capacity = cache_bytes(name, paper_cache_sizes(name)[1])
+        sota = best_policy(
+            run_comparison(t, SOTA_POLICIES, [capacity], policy_kwargs=policy_kwargs())
+        )
+        lhr = run_comparison(t, ["lhr"], [capacity])[0]
+        rows.append(
+            {
+                "trace": name,
+                "best_sota": sota.policy,
+                "sota_hit": round(sota.object_hit_ratio, 3),
+                "lhr_hit": round(lhr.object_hit_ratio, 3),
+                "hro_hit": round(hro_bound(t, capacity).hit_ratio, 3),
+                "belady_size_hit": round(
+                    belady_size(t.requests, capacity).hit_ratio, 3
+                ),
+                "pfoo_u_hit": round(pfoo_upper(t.requests, capacity).hit_ratio, 3),
+            }
+        )
+    return rows
+
+
+def test_figure2(benchmark):
+    rows = benchmark.pedantic(build_figure2, rounds=1, iterations=1)
+    emit("figure2", format_rows(rows))
+    for row in rows:
+        # LHR above or at the best SOTA (paper: +2-9%).  On CDN-C the
+        # paper itself reports no significant improvement (one-hit-heavy
+        # trace), so allow small noise there.
+        slack = 0.02 if row["trace"] == "cdn-c" else 0.005
+        assert row["lhr_hit"] >= row["sota_hit"] - slack, row
+        # HRO upper-bounds LHR and every online policy.
+        assert row["hro_hit"] >= row["lhr_hit"] - 0.02, row
+        assert row["hro_hit"] >= row["sota_hit"] - 0.02, row
+        # PFOO-U is the loosest (its relaxation dominates Bélády-size).
+        assert row["pfoo_u_hit"] >= row["belady_size_hit"] - 0.02, row
+        # A substantial SOTA-to-bound gap exists (paper: 15-25%).
+        assert row["pfoo_u_hit"] - row["sota_hit"] > 0.05, row

@@ -1,0 +1,45 @@
+"""Figure 5 — impact of the sliding-window size on LHR's hit probability.
+
+Sweeps the window multiple over {1x, 2x, 4x, 8x} of the cache size (in
+unique bytes) on every trace.  Paper finding: hit probability grows with
+the window and flattens around 4x — the default the paper adopts.
+"""
+
+from benchmarks.common import (
+    TRACE_NAMES,
+    cache_bytes,
+    emit,
+    format_rows,
+    paper_cache_sizes,
+    trace,
+)
+from repro.core import LhrCache
+
+WINDOW_MULTIPLES = (1.0, 2.0, 4.0, 8.0)
+
+
+def build_figure5():
+    rows = []
+    for name in TRACE_NAMES:
+        t = trace(name)
+        capacity = cache_bytes(name, paper_cache_sizes(name)[1])
+        row = {"trace": name}
+        for multiple in WINDOW_MULTIPLES:
+            cache = LhrCache(capacity, window_multiple=multiple, seed=0)
+            cache.process(t)
+            row[f"hit@{multiple:g}x"] = round(cache.object_hit_ratio, 3)
+        rows.append(row)
+    return rows
+
+
+def test_figure5(benchmark):
+    rows = benchmark.pedantic(build_figure5, rounds=1, iterations=1)
+    emit("figure5", format_rows(rows))
+    for row in rows:
+        values = [row[f"hit@{m:g}x"] for m in WINDOW_MULTIPLES]
+        # The 4x default should be within noise of the sweep's best
+        # (Figure 5: diminishing returns beyond ~4x).
+        assert row["hit@4x"] >= max(values) - 0.05, row
+        # And a 1x window should not dominate everything (too little
+        # history to train on).
+        assert row["hit@1x"] <= max(values) + 1e-9, row

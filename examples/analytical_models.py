@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Analytical companions: hit-rate curves and Che's approximation.
+
+Provisioning questions rarely justify a simulation sweep.  This example
+shows the two analytical tools shipping with the package and checks them
+against simulation on the same workload:
+
+1. the exact LRU hit-rate curve from one reuse-distance pass
+   (Mattson / footprint-descriptor methodology), including the inverse
+   query "how much cache for a 40% hit ratio?", and
+2. Che's approximation, which needs only per-content request rates —
+   exactly the statistics HRO estimates online.
+
+Run:  python examples/analytical_models.py
+"""
+
+import numpy as np
+
+from repro import irm_trace
+from repro.policies import make_policy
+from repro.sim import fit_che_model, lru_hit_rate_curve
+from repro.util.sampling import zipf_weights
+
+NUM_CONTENTS = 400
+NUM_REQUESTS = 20_000
+ALPHA = 0.9
+
+MB = 1 << 20
+
+
+def main() -> None:
+    trace = irm_trace(
+        NUM_REQUESTS, NUM_CONTENTS, alpha=ALPHA, mean_size=1 << 14,
+        size_sigma=1.0, seed=19,
+    )
+    unique_mb = trace.unique_bytes() / MB
+    print(f"workload: {NUM_REQUESTS} requests, {unique_mb:.1f} MB unique\n")
+
+    # 1. The exact curve, one pass.
+    curve = lru_hit_rate_curve(trace, num_points=24)
+    print("LRU hit-rate curve (exact, single pass):")
+    print(f"{'cache MB':>10} {'object hit':>11} {'byte hit':>9}")
+    for i in range(0, len(curve.capacities), 4):
+        print(
+            f"{curve.capacities[i] / MB:>10.2f}"
+            f" {curve.object_hit_ratios[i]:>11.3f}"
+            f" {curve.byte_hit_ratios[i]:>9.3f}"
+        )
+    for target in (0.3, 0.5, 0.7):
+        needed = curve.capacity_for_hit_ratio(target)
+        label = f"{needed / MB:.1f} MB" if np.isfinite(needed) else "unreachable"
+        print(f"  -> cache for {target:.0%} object hits: {label}")
+
+    # 2. Che's approximation from rates alone, validated by simulation.
+    capacity = int(0.1 * trace.unique_bytes())
+    weights = zipf_weights(NUM_CONTENTS, ALPHA)
+    total_rate = len(trace) / trace.duration
+    sizes = np.array(
+        [trace.unique_contents().get(i, 1 << 14) for i in range(NUM_CONTENTS)],
+        dtype=float,
+    )
+    che = fit_che_model(weights * total_rate, sizes, capacity)
+    lru = make_policy("lru", capacity)
+    lru.process(trace)
+    print(f"\nChe's approximation at a {capacity / MB:.1f} MB cache:")
+    print(f"  predicted object hit ratio  {che.object_hit_ratio:.3f}")
+    print(f"  simulated  object hit ratio {lru.object_hit_ratio:.3f}")
+    print(f"  characteristic time T_C     {che.characteristic_time:.1f} s")
+    hot, cold = che.hit_probability(0), che.hit_probability(NUM_CONTENTS - 1)
+    print(f"  per-content hit prob: rank 1 = {hot:.3f}, rank {NUM_CONTENTS} = {cold:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Bring your own trace: file formats, characterization and bounds.
+
+Shows the trace-ingestion workflow a downstream user follows to evaluate
+caching on their own logs:
+
+1. build a trace (here: synthetic, standing in for your access log),
+2. write/read it in both supported formats (CSV and webcachesim),
+3. characterize it (the Table-1 columns + popularity/IAT distributions),
+4. bracket achievable hit ratios with offline/online bounds,
+5. run the policy lineup.
+
+Run:  python examples/custom_trace.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import generate_production_trace, hro_bound, run_comparison, summarize_trace
+from repro.bounds import belady_size, infinite_cap, pfoo_lower, pfoo_upper
+from repro.traces.loader import (
+    load_trace_csv,
+    load_trace_webcachesim,
+    save_trace_csv,
+    save_trace_webcachesim,
+)
+from repro.traces.stats import interarrival_distribution, popularity_distribution
+
+GB = 1 << 30
+
+
+def main() -> None:
+    # 1. Your access log; substitute load_trace_csv("my_log.csv") here.
+    trace = generate_production_trace("wiki", scale=0.005, seed=23)
+
+    # 2. Round-trip through both on-disk formats.
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "trace.csv"
+        wcs_path = Path(tmp) / "trace.tr"
+        save_trace_csv(trace, csv_path)
+        save_trace_webcachesim(trace, wcs_path)
+        from_csv = load_trace_csv(csv_path)
+        from_wcs = load_trace_webcachesim(wcs_path)
+        assert len(from_csv) == len(from_wcs) == len(trace)
+        print(f"round-tripped {len(trace)} requests through CSV and webcachesim\n")
+        trace = from_csv
+
+    # 3. Characterize (the paper's Table 1 columns).
+    summary = summarize_trace(trace)
+    for key, value in summary.as_table_row().items():
+        print(f"  {key:<28} {value}")
+    ranks, counts = popularity_distribution(trace)
+    grid, ccdf = interarrival_distribution(trace)
+    print(f"  top content serves {counts[0] / len(trace) * 100:.1f}% of requests;"
+          f" median IAT {grid[(ccdf <= 0.5).argmax()]:.0f}s\n")
+
+    # 4. Bound the achievable hit ratio at a candidate cache size.
+    capacity = int(0.05 * trace.unique_bytes())
+    print(f"bounds at a {capacity / GB:.2f} GB cache:")
+    print(f"  infinite cache   {infinite_cap(trace.requests).hit_ratio:.3f}")
+    print(f"  pfoo-u (offline) {pfoo_upper(trace.requests, capacity).hit_ratio:.3f}")
+    print(f"  hro (online)     {hro_bound(trace, capacity, min_window_requests=512).hit_ratio:.3f}")
+    print(f"  belady-size      {belady_size(trace.requests, capacity).hit_ratio:.3f}")
+    print(f"  pfoo-l (offline) {pfoo_lower(trace.requests, capacity).hit_ratio:.3f}\n")
+
+    # 5. The policy lineup.
+    results = run_comparison(trace, ("lhr", "w-tinylfu", "adaptsize", "lru"), [capacity])
+    print(f"{'policy':<12}{'object hit':>12}{'byte hit':>10}")
+    for result in sorted(results, key=lambda r: -r.object_hit_ratio):
+        print(f"{result.policy:<12}{result.object_hit_ratio:>12.3f}"
+              f"{result.byte_hit_ratio:>10.3f}")
+
+
+if __name__ == "__main__":
+    main()

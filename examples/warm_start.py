@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Warm-starting LHR from a checkpoint (operational extension).
+
+A restarted cache node loses its learned state and spends its first
+sliding windows in admit-all bootstrap.  This example trains LHR on the
+first half of a trace, checkpoints the learned state (admission model,
+tuned threshold, detector state) to JSON, restores it into a fresh cache
+and compares cold vs warm behaviour on the second half.
+
+Run:  python examples/warm_start.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import generate_production_trace
+from repro.core import LhrCache, load_lhr_checkpoint, save_lhr_checkpoint
+from repro.sim import simulate
+from repro.traces.transform import split
+
+
+def main() -> None:
+    trace = generate_production_trace("cdn-b", scale=0.01, seed=29)
+    capacity = int(0.05 * trace.unique_bytes())
+    head, tail = split(trace, 0.5)
+    print(
+        f"cdn-b stand-in: {len(head)} warmup + {len(tail)} evaluation "
+        f"requests, cache {capacity >> 20} MB\n"
+    )
+
+    # Day 1: a node learns on live traffic, then checkpoints at shutdown.
+    veteran = LhrCache(capacity, seed=0)
+    veteran.process(head)
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint_path = Path(tmp) / "lhr-checkpoint.json"
+        save_lhr_checkpoint(veteran, checkpoint_path)
+        size_kb = checkpoint_path.stat().st_size / 1024
+        print(
+            f"checkpoint: {size_kb:.1f} KB "
+            f"(model of {veteran._model.num_trees} trees, "
+            f"delta={veteran.delta:.2f}, "
+            f"{veteran.windows_processed} windows learned)\n"
+        )
+
+        # Day 2: a cold node vs a node restored from the checkpoint.
+        cold = LhrCache(capacity, seed=0)
+        warm = load_lhr_checkpoint(LhrCache(capacity, seed=0), checkpoint_path)
+
+    window = max(len(tail) // 10, 100)
+    cold_result = simulate(cold, tail, window_requests=window)
+    warm_result = simulate(warm, tail, window_requests=window)
+
+    print(f"{'':<14}{'cold start':>12}{'warm start':>12}")
+    print(f"{'overall hit':<14}{cold_result.object_hit_ratio:>12.3f}"
+          f"{warm_result.object_hit_ratio:>12.3f}")
+    for i in range(min(4, len(cold_result.windows))):
+        print(f"{'window ' + str(i):<14}"
+              f"{cold_result.windows[i].hit_ratio:>12.3f}"
+              f"{warm_result.windows[i].hit_ratio:>12.3f}")
+    print(f"{'admissions':<14}{cold.admissions:>12}{warm.admissions:>12}")
+    print(
+        "\nThe warm node filters admissions from the first request; the"
+        " cold node admits everything until its first window closes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — a reproduction of "Learning from Optimal Caching for Content
+Delivery" (Yan, Li, Towsley; CoNEXT 2021).
+
+The package implements the paper's two contributions and every substrate
+they are evaluated on:
+
+* :mod:`repro.core` — HRO, the online upper bound on optimal caching,
+  and LHR, the cache that learns from it (plus the GBM, feature store,
+  drift detector and threshold estimator they are built from).
+* :mod:`repro.policies` — the SOTA baselines (LRB, Hawkeye, LRU, LRU-4,
+  LFU-DA, AdaptSize, B-LRU, W-TinyLFU, ...).
+* :mod:`repro.bounds` — offline bounds on OPT (Bélády, Bélády-size,
+  InfiniteCap, PFOO-U/L) and the exact hazard-rate bound.
+* :mod:`repro.traces` — synthetic workloads and calibrated stand-ins for
+  the paper's four production traces.
+* :mod:`repro.sim` — the trace-driven simulator, metrics and the
+  network/latency model.
+* :mod:`repro.proto` — emulated ATS and Caffeine prototype deployments.
+
+Quickstart::
+
+    from repro import LhrCache, generate_production_trace, simulate
+
+    trace = generate_production_trace("wiki", scale=0.02, seed=7)
+    cache = LhrCache(capacity=trace.unique_bytes() // 20)
+    result = simulate(cache, trace)
+    print(result.object_hit_ratio)
+"""
+
+from repro.core import GradientBoostingRegressor, HroBound, LhrCache, hro_bound
+from repro.policies import SOTA_POLICIES, make_policy
+from repro.sim import build_policy, measure_latency, run_comparison, simulate
+from repro.traces import (
+    PRODUCTION_SPECS,
+    Request,
+    Trace,
+    generate_production_trace,
+    irm_trace,
+    summarize_trace,
+    syn_one_trace,
+    syn_two_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GradientBoostingRegressor",
+    "HroBound",
+    "LhrCache",
+    "PRODUCTION_SPECS",
+    "Request",
+    "SOTA_POLICIES",
+    "Trace",
+    "__version__",
+    "build_policy",
+    "generate_production_trace",
+    "hro_bound",
+    "irm_trace",
+    "make_policy",
+    "measure_latency",
+    "run_comparison",
+    "simulate",
+    "summarize_trace",
+    "syn_one_trace",
+    "syn_two_trace",
+]

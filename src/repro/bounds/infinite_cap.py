@@ -1,0 +1,36 @@
+"""InfiniteCap: the hit count of an infinitely large cache.
+
+Every request to a previously seen content hits; only cold (first)
+requests miss.  This is the loosest upper bound on any caching policy's
+hit probability and is used as a sanity ceiling in the bound comparisons
+(Section 8 cites it among known variable-size bounds).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.bounds.belady import BoundResult
+from repro.traces.request import Request
+
+
+def infinite_cap(requests: Sequence[Request]) -> BoundResult:
+    """Hits under an unbounded cache (all non-compulsory misses removed)."""
+    seen: set[int] = set()
+    hits = 0
+    hit_bytes = 0
+    total_bytes = 0
+    for req in requests:
+        total_bytes += req.size
+        if req.obj_id in seen:
+            hits += 1
+            hit_bytes += req.size
+        else:
+            seen.add(req.obj_id)
+    return BoundResult(
+        name="infinite-cap",
+        requests=len(requests),
+        hits=hits,
+        hit_bytes=hit_bytes,
+        total_bytes=total_bytes,
+    )

@@ -1,0 +1,286 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands cover the everyday workflows:
+
+* ``trace generate|summarize|convert`` — create stand-in traces, inspect
+  them (Table-1 columns), convert between CSV and webcachesim formats.
+* ``simulate`` — run one policy over a trace.
+* ``compare`` — run several policies across several cache sizes.
+* ``bounds`` — compute offline/online bounds for a trace and cache size.
+* ``curve`` — the exact LRU hit-rate curve over a capacity grid
+  (reuse-distance analysis; no simulation sweep needed).
+* ``prototype`` — replay a trace through the emulated ATS or Caffeine
+  deployment (LHR vs the stock baseline).
+
+Capacities accept human-readable suffixes: ``512MB``, ``4GB``, ``1TB``,
+or a plain byte count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bounds import belady_size, infinite_cap, pfoo_lower, pfoo_upper
+from repro.core import hro_bound
+from repro.core.lhr import LhrCache
+from repro.proto import (
+    AtsServer,
+    make_ats_baseline,
+    make_caffeine_baseline,
+    make_caffeine_lhr,
+    run_caffeine,
+    run_prototype,
+)
+from repro.sim import build_policy, format_table, known_policies, run_comparison, simulate
+from repro.traces import generate_production_trace, summarize_trace
+from repro.traces.loader import (
+    load_trace_csv,
+    load_trace_webcachesim,
+    save_trace_csv,
+    save_trace_webcachesim,
+)
+from repro.traces.production import PRODUCTION_SPECS
+from repro.traces.request import Trace
+
+_SIZE_SUFFIXES = {
+    "kb": 1 << 10,
+    "mb": 1 << 20,
+    "gb": 1 << 30,
+    "tb": 1 << 40,
+    "b": 1,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"4GB"``/``"512mb"``/``"1048576"`` into bytes."""
+    raw = text.strip().lower()
+    for suffix, multiplier in _SIZE_SUFFIXES.items():
+        if raw.endswith(suffix):
+            number = raw[: -len(suffix)].strip()
+            try:
+                return max(int(float(number) * multiplier), 1)
+            except ValueError:
+                break
+    try:
+        return max(int(raw), 1)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"cannot parse size {text!r}") from None
+
+
+def load_any_trace(path: str) -> Trace:
+    """Load a trace, dispatching on extension (.csv vs anything else)."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise SystemExit(f"error: trace file {path!r} does not exist")
+    if file_path.suffix.lower() == ".csv":
+        return load_trace_csv(file_path)
+    return load_trace_webcachesim(file_path)
+
+
+def _save_any_trace(trace: Trace, path: str, fmt: str) -> None:
+    if fmt == "csv":
+        save_trace_csv(trace, path)
+    else:
+        save_trace_webcachesim(trace, path)
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+
+
+def cmd_trace_generate(args: argparse.Namespace) -> int:
+    """Generate a stand-in trace and write it to disk."""
+    trace = generate_production_trace(args.spec, scale=args.scale, seed=args.seed)
+    _save_any_trace(trace, args.output, args.format)
+    print(
+        f"wrote {len(trace)} requests "
+        f"({trace.unique_bytes() / (1 << 30):.2f} GB unique) to {args.output}"
+    )
+    return 0
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Print the Table-1 style summary of a trace file."""
+    trace = load_any_trace(args.trace)
+    for key, value in summarize_trace(trace).as_table_row().items():
+        print(f"{key:<30} {value}")
+    return 0
+
+
+def cmd_trace_convert(args: argparse.Namespace) -> int:
+    """Convert a trace between CSV and webcachesim formats."""
+    trace = load_any_trace(args.input)
+    fmt = "csv" if Path(args.output).suffix.lower() == ".csv" else "webcachesim"
+    _save_any_trace(trace, args.output, fmt)
+    print(f"converted {len(trace)} requests -> {args.output} ({fmt})")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run one policy over a trace and print the result row."""
+    trace = load_any_trace(args.trace)
+    policy = build_policy(args.policy, args.capacity)
+    result = simulate(policy, trace, window_requests=args.window)
+    print(format_table([result]))
+    if args.window and result.windows:
+        series = "  ".join(f"{w.hit_ratio:.3f}" for w in result.windows)
+        print(f"per-window hit ratio: {series}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run several policies across several capacities."""
+    trace = load_any_trace(args.trace)
+    names = [name.strip() for name in args.policies.split(",") if name.strip()]
+    results = run_comparison(trace, names, args.capacities)
+    print(format_table(results))
+    return 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    """Print offline/online bounds for a trace and capacity."""
+    trace = load_any_trace(args.trace)
+    requests = trace.requests
+    rows = [
+        infinite_cap(requests),
+        pfoo_upper(requests, args.capacity),
+        hro_bound(trace, args.capacity, min_window_requests=512),
+        belady_size(requests, args.capacity),
+        pfoo_lower(requests, args.capacity),
+    ]
+    print(f"{'bound':<14}{'hit ratio':>10}{'byte hit':>10}")
+    for row in rows:
+        print(f"{row.name:<14}{row.hit_ratio:>10.4f}{row.byte_hit_ratio:>10.4f}")
+    return 0
+
+
+def cmd_curve(args: argparse.Namespace) -> int:
+    """Print the exact LRU hit-rate curve (and an optional target query)."""
+    from repro.sim import lru_hit_rate_curve
+
+    trace = load_any_trace(args.trace)
+    curve = lru_hit_rate_curve(trace, num_points=args.points)
+    print(f"{'capacity':>14}{'object hit':>12}{'byte hit':>10}")
+    for capacity, object_hit, byte_hit in zip(
+        curve.capacities, curve.object_hit_ratios, curve.byte_hit_ratios
+    ):
+        print(f"{int(capacity):>14}{object_hit:>12.4f}{byte_hit:>10.4f}")
+    if args.target is not None:
+        needed = curve.capacity_for_hit_ratio(args.target)
+        if needed == float("inf"):
+            print(f"target {args.target:.0%} object hits: unreachable")
+        else:
+            print(f"target {args.target:.0%} object hits: {int(needed)} bytes")
+    return 0
+
+
+def cmd_prototype(args: argparse.Namespace) -> int:
+    """Replay a stand-in trace through the emulated ATS or Caffeine node."""
+    spec = PRODUCTION_SPECS[args.spec]
+    trace = generate_production_trace(spec, scale=args.scale, seed=args.seed)
+    if args.system == "ats":
+        capacity = spec.scaled_cache_bytes(spec.prototype_cache_gb, args.scale)
+        reports = [
+            run_prototype(AtsServer(LhrCache(capacity, seed=0)), trace, "lhr"),
+            run_prototype(make_ats_baseline(capacity), trace, "ats"),
+        ]
+    else:
+        capacity = spec.scaled_cache_bytes(spec.caffeine_cache_gb, args.scale)
+        reports = [
+            run_caffeine(make_caffeine_lhr(capacity), trace, "lhr"),
+            run_caffeine(make_caffeine_baseline(capacity), trace, "caffeine"),
+        ]
+    rows = [report.as_row() for report in reports]
+    columns = list(rows[0])
+    widths = {c: max(len(c), *(len(str(r[c])) for r in rows)) for c in columns}
+    print("  ".join(c.ljust(widths[c]) for c in columns))
+    for row in rows:
+        print("  ".join(str(row[c]).ljust(widths[c]) for c in columns))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Learning from Optimal Caching for "
+        "Content Delivery' (CoNEXT 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace = sub.add_parser("trace", help="generate / summarize / convert traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    gen = trace_sub.add_parser("generate", help="generate a stand-in trace")
+    gen.add_argument("--spec", choices=sorted(PRODUCTION_SPECS), default="cdn-a")
+    gen.add_argument("--scale", type=float, default=0.01)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--format", choices=("csv", "webcachesim"), default="csv")
+    gen.add_argument("--output", "-o", required=True)
+    gen.set_defaults(func=cmd_trace_generate)
+
+    summ = trace_sub.add_parser("summarize", help="Table-1 style summary")
+    summ.add_argument("trace")
+    summ.set_defaults(func=cmd_trace_summarize)
+
+    conv = trace_sub.add_parser("convert", help="convert between formats")
+    conv.add_argument("input")
+    conv.add_argument("output")
+    conv.set_defaults(func=cmd_trace_convert)
+
+    sim = sub.add_parser("simulate", help="run one policy over a trace")
+    sim.add_argument("--trace", required=True)
+    sim.add_argument("--policy", choices=known_policies(), default="lhr")
+    sim.add_argument("--capacity", type=parse_size, required=True)
+    sim.add_argument("--window", type=int, default=0, help="per-window series")
+    sim.set_defaults(func=cmd_simulate)
+
+    comp = sub.add_parser("compare", help="sweep policies x cache sizes")
+    comp.add_argument("--trace", required=True)
+    comp.add_argument(
+        "--policies", default="lhr,lru,w-tinylfu", help="comma-separated names"
+    )
+    comp.add_argument(
+        "--capacities", type=parse_size, nargs="+", required=True
+    )
+    comp.set_defaults(func=cmd_compare)
+
+    bounds = sub.add_parser("bounds", help="offline/online bounds for a trace")
+    bounds.add_argument("--trace", required=True)
+    bounds.add_argument("--capacity", type=parse_size, required=True)
+    bounds.set_defaults(func=cmd_bounds)
+
+    curve = sub.add_parser("curve", help="exact LRU hit-rate curve")
+    curve.add_argument("--trace", required=True)
+    curve.add_argument("--points", type=int, default=16)
+    curve.add_argument("--target", type=float, default=None,
+                       help="also report the capacity for this hit ratio")
+    curve.set_defaults(func=cmd_curve)
+
+    proto = sub.add_parser("prototype", help="emulated ATS/Caffeine deployment")
+    proto.add_argument("--spec", choices=sorted(PRODUCTION_SPECS), default="cdn-a")
+    proto.add_argument("--system", choices=("ats", "caffeine"), default="ats")
+    proto.add_argument("--scale", type=float, default=0.01)
+    proto.add_argument("--seed", type=int, default=0)
+    proto.set_defaults(func=cmd_prototype)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The paper's core contribution: HRO (online upper bound on OPT) and
+LHR (the learning-from-HRO cache), plus the components they are built
+from — the gradient-boosting model, the feature store, the drift
+detector and the threshold estimator.
+"""
+
+from repro.core.detection import DetectionRecord, DriftDetector
+from repro.core.hazard_models import (
+    HAZARD_MODELS,
+    HyperexponentialHazard,
+    PoissonHazard,
+    WeibullHazard,
+    fit_hazard_model,
+)
+from repro.core.serialization import (
+    gbm_from_dict,
+    gbm_to_dict,
+    lhr_checkpoint,
+    load_lhr_checkpoint,
+    load_model,
+    restore_lhr,
+    save_lhr_checkpoint,
+    save_model,
+)
+from repro.core.features import FeatureStore, feature_dim
+from repro.core.gbm import GradientBoostingRegressor
+from repro.core.hro import HroBound, HroWindow, compute_top_set, hro_bound, window_labels
+from repro.core.lhr import DLhrCache, LhrCache, NLhrCache
+from repro.core.threshold import ThresholdEstimator, WindowSample, shadow_hit_ratio
+
+__all__ = [
+    "DLhrCache",
+    "DetectionRecord",
+    "DriftDetector",
+    "HAZARD_MODELS",
+    "HyperexponentialHazard",
+    "PoissonHazard",
+    "WeibullHazard",
+    "fit_hazard_model",
+    "gbm_from_dict",
+    "gbm_to_dict",
+    "lhr_checkpoint",
+    "load_lhr_checkpoint",
+    "load_model",
+    "restore_lhr",
+    "save_lhr_checkpoint",
+    "save_model",
+    "FeatureStore",
+    "GradientBoostingRegressor",
+    "HroBound",
+    "HroWindow",
+    "LhrCache",
+    "NLhrCache",
+    "ThresholdEstimator",
+    "WindowSample",
+    "compute_top_set",
+    "feature_dim",
+    "hro_bound",
+    "shadow_hit_ratio",
+    "window_labels",
+]

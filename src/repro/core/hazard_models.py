@@ -1,0 +1,190 @@
+"""Pluggable hazard-rate estimators for HRO.
+
+Section 3.2 approximates each content's request process as Poisson —
+constant hazard equal to the empirical rate — because the true c.d.f.
+"is usually unknown and computationally expensive (e.g., kernel method)
+to obtain".  The paper leaves richer estimators as future work; this
+module provides them:
+
+* :class:`PoissonHazard` — the paper's choice: ``zeta(t) = lambda``.
+* :class:`WeibullHazard` — fits a Weibull to the window's observed
+  inter-request times via the method of moments; its hazard
+  ``(k/s)(t/s)^(k-1)`` rises or falls with age, capturing bursty
+  (k < 1) and periodic (k > 1) contents the constant hazard misses.
+* :class:`HyperexponentialHazard` — a two-phase mixture fit by matching
+  the first two moments; its decreasing hazard models heavy-tailed IRT
+  mixtures (hot-then-cold contents).
+
+Each model consumes a content's recent IRT samples and answers
+``hazard(age)`` — the conditional request intensity given ``age``
+seconds since the last request.  ``fit_hazard_model`` dispatches by
+name.  The models integrate with :class:`repro.core.hro.HroBound`
+through the window statistics (see ``estimate_rates``), and are
+exercised head-to-head in ``benchmarks/bench_ablations.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+HAZARD_MODELS = ("poisson", "weibull", "hyperexponential")
+
+
+class HazardModel(ABC):
+    """Per-content hazard-rate function fitted from IRT samples."""
+
+    @abstractmethod
+    def hazard(self, age: float) -> float:
+        """Conditional request intensity ``age`` seconds after the last
+        request."""
+
+    @property
+    @abstractmethod
+    def mean_irt(self) -> float:
+        """Mean inter-request time implied by the fitted model."""
+
+
+class PoissonHazard(HazardModel):
+    """Constant hazard: the paper's window-Poisson approximation."""
+
+    def __init__(self, rate: float):
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self._rate = rate
+
+    @classmethod
+    def fit(cls, irts: Sequence[float]) -> "PoissonHazard":
+        samples = np.asarray(irts, dtype=np.float64)
+        samples = samples[samples > 0]
+        if samples.size == 0:
+            return cls(0.0)
+        return cls(1.0 / samples.mean())
+
+    def hazard(self, age: float) -> float:
+        return self._rate
+
+    @property
+    def mean_irt(self) -> float:
+        return math.inf if self._rate == 0 else 1.0 / self._rate
+
+
+class WeibullHazard(HazardModel):
+    """Weibull hazard ``(k/s)(t/s)^(k-1)`` fitted by method of moments.
+
+    The shape ``k`` is recovered from the coefficient of variation of the
+    IRT sample (CV > 1 -> k < 1, bursty; CV < 1 -> k > 1, regular) using
+    the standard lookup ``CV^2 = Gamma(1+2/k)/Gamma(1+1/k)^2 - 1`` solved
+    by bisection; the scale then matches the sample mean.
+    """
+
+    def __init__(self, shape: float, scale: float):
+        if shape <= 0 or scale <= 0:
+            raise ValueError("shape and scale must be positive")
+        self.shape = shape
+        self.scale = scale
+
+    @staticmethod
+    def _cv_squared(shape: float) -> float:
+        g1 = math.gamma(1.0 + 1.0 / shape)
+        g2 = math.gamma(1.0 + 2.0 / shape)
+        return g2 / (g1 * g1) - 1.0
+
+    @classmethod
+    def fit(cls, irts: Sequence[float]) -> "WeibullHazard":
+        samples = np.asarray(irts, dtype=np.float64)
+        samples = samples[samples > 0]
+        if samples.size < 2:
+            mean = float(samples.mean()) if samples.size else 1.0
+            return cls(1.0, max(mean, 1e-9))  # exponential fallback
+        mean = float(samples.mean())
+        cv2 = float(samples.var() / (mean * mean))
+        cv2 = min(max(cv2, 1e-3), 1e3)
+        lo, hi = 0.05, 20.0
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            # CV^2 decreases in the shape parameter.
+            if cls._cv_squared(mid) > cv2:
+                lo = mid
+            else:
+                hi = mid
+        shape = 0.5 * (lo + hi)
+        scale = mean / math.gamma(1.0 + 1.0 / shape)
+        return cls(shape, scale)
+
+    def hazard(self, age: float) -> float:
+        age = max(age, 1e-12)
+        return (self.shape / self.scale) * (age / self.scale) ** (self.shape - 1.0)
+
+    @property
+    def mean_irt(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+
+class HyperexponentialHazard(HazardModel):
+    """Two-phase hyperexponential ``p*Exp(l1) + (1-p)*Exp(l2)``.
+
+    Fitted by matching mean and CV^2 >= 1 with the balanced-means
+    heuristic; degenerates to exponential when the sample CV^2 <= 1.
+    The hazard decreases with age: long-idle contents are progressively
+    attributed to the slow phase.
+    """
+
+    def __init__(self, p: float, rate1: float, rate2: float):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must lie in [0, 1]")
+        if rate1 <= 0 or rate2 <= 0:
+            raise ValueError("rates must be positive")
+        self.p = p
+        self.rate1 = rate1
+        self.rate2 = rate2
+
+    @classmethod
+    def fit(cls, irts: Sequence[float]) -> "HyperexponentialHazard":
+        samples = np.asarray(irts, dtype=np.float64)
+        samples = samples[samples > 0]
+        if samples.size == 0:
+            return cls(1.0, 1e-9, 1e-9)
+        mean = float(samples.mean())
+        if samples.size < 2:
+            return cls(1.0, 1.0 / mean, 1.0 / mean)
+        cv2 = float(samples.var() / (mean * mean))
+        if cv2 <= 1.0 + 1e-9:
+            return cls(1.0, 1.0 / mean, 1.0 / mean)
+        # Balanced-means fit (Whitt): p chosen from CV^2, rates from p.
+        root = math.sqrt((cv2 - 1.0) / (cv2 + 1.0))
+        p = 0.5 * (1.0 + root)
+        rate1 = 2.0 * p / mean
+        rate2 = 2.0 * (1.0 - p) / mean
+        return cls(p, rate1, rate2)
+
+    def _survival(self, age: float) -> tuple[float, float]:
+        s1 = self.p * math.exp(-min(self.rate1 * age, 700.0))
+        s2 = (1.0 - self.p) * math.exp(-min(self.rate2 * age, 700.0))
+        return s1, s2
+
+    def hazard(self, age: float) -> float:
+        s1, s2 = self._survival(max(age, 0.0))
+        total = s1 + s2
+        if total <= 0.0:
+            return min(self.rate1, self.rate2)
+        return (self.rate1 * s1 + self.rate2 * s2) / total
+
+    @property
+    def mean_irt(self) -> float:
+        return self.p / self.rate1 + (1.0 - self.p) / self.rate2
+
+
+def fit_hazard_model(name: str, irts: Sequence[float]) -> HazardModel:
+    """Fit the named hazard model to a content's IRT samples."""
+    key = name.lower()
+    if key == "poisson":
+        return PoissonHazard.fit(irts)
+    if key == "weibull":
+        return WeibullHazard.fit(irts)
+    if key == "hyperexponential":
+        return HyperexponentialHazard.fit(irts)
+    raise ValueError(f"unknown hazard model {name!r}; known: {HAZARD_MODELS}")

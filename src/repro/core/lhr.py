@@ -1,0 +1,301 @@
+"""LHR — Learning from HRO (Sections 4 and 5; Algorithm 1).
+
+LHR is a cache policy that learns *from optimal caching*: a gradient-
+boosted model is trained to imitate HRO's per-request hit/miss verdicts,
+and its output — the admission probability ``p_i`` — drives both
+admission and eviction:
+
+* **Admission**: admit on a miss iff ``p_i >= delta``, where ``delta``
+  is auto-tuned per window by :class:`~repro.core.threshold.ThresholdEstimator`.
+* **Hit bookkeeping** (the four cases of Section 4.1): on a hit the
+  stored probability is refreshed; if ``p_i < delta`` the content is
+  additionally marked an *eviction candidate*.
+* **Eviction**: evict the candidate with the smallest eviction value
+  ``q_i = p_i / (s_i * IRT_1)`` (Section 5.2.5), falling back to a
+  uniform sample of the cache when no candidates are marked.
+* **Efficient training**: the model is retrained only when the Zipf-alpha
+  drift detector flags a significant popularity change between windows
+  (Section 5.2.2), never more than once per sliding window.
+
+Ablation variants from Section 7.4 are provided: ``DLhrCache`` (fixed
+``delta = 0.5``) and ``NLhrCache`` (fixed threshold *and* retrain every
+window).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.detection import DriftDetector
+from repro.core.features import FeatureStore, feature_dim
+from repro.core.gbm import GradientBoostingRegressor
+from repro.core.hro import HroBound, HroWindow, window_labels
+from repro.core.threshold import ThresholdEstimator, WindowSample
+from repro.policies.base import CachePolicy
+from repro.traces.request import Request
+from repro.util.indexed_set import IndexedSet
+
+#: Eviction-rule variants: the paper's rule and the "straightforward"
+#: smallest-p rule it improves upon (Section 5.2.5).
+EVICTION_RULES = ("lhr", "p-only", "p-recency")
+
+
+class LhrCache(CachePolicy):
+    """The LHR cache (Algorithm 1).
+
+    Parameters
+    ----------
+    capacity:
+        Cache size in bytes.
+    window_multiple:
+        Sliding-window size as a multiple of the cache size in unique
+        bytes (paper default 4x; Figure 5 sweeps 1x-8x).
+    num_irts:
+        Inter-request-time features used by the model (paper default 20;
+        Figure 6 sweeps 10-30).
+    epsilon:
+        Zipf-alpha drift threshold for the detection mechanism.
+    beta:
+        Minimum hit-ratio improvement required to adopt a new admission
+        threshold (paper default 0.2%).
+    auto_threshold:
+        Auto-tune ``delta`` (False gives the D-LHR ablation).
+    use_detection:
+        Gate retraining on drift detection (False + fixed threshold
+        gives the N-LHR ablation).
+    eviction_rule:
+        ``"lhr"`` for ``p / (s * IRT_1)``; ``"p-only"`` for smallest-p.
+    num_candidates:
+        Eviction candidates sampled per eviction.
+    sample_fraction:
+        Fraction of window requests replayed by the threshold estimator.
+    threshold_objective:
+        ``"object"`` tunes delta for object hit ratio (the paper);
+        ``"byte"`` tunes it for byte hit ratio (WAN traffic) instead.
+    gbm_params:
+        Overrides for the :class:`GradientBoostingRegressor`.
+    """
+
+    name = "lhr"
+
+    def __init__(
+        self,
+        capacity: int,
+        window_multiple: float = 4.0,
+        min_window_requests: int = 512,
+        num_irts: int = 20,
+        epsilon: float = 0.005,
+        beta: float = 0.002,
+        initial_delta: float = 0.5,
+        auto_threshold: bool = True,
+        use_detection: bool = True,
+        eviction_rule: str = "lhr",
+        num_candidates: int = 64,
+        sample_fraction: float = 0.5,
+        threshold_objective: str = "object",
+        gbm_params: dict | None = None,
+        seed: int = 0,
+    ):
+        super().__init__(capacity)
+        if eviction_rule not in EVICTION_RULES:
+            raise ValueError(f"eviction_rule must be one of {EVICTION_RULES}")
+        self.num_irts = num_irts
+        self.auto_threshold = auto_threshold
+        self.use_detection = use_detection
+        self.eviction_rule = eviction_rule
+        self._num_candidates = num_candidates
+        self._rng = np.random.default_rng(seed)
+        self._gbm_params = gbm_params or {
+            "n_estimators": 16,
+            "max_depth": 4,
+            "learning_rate": 0.3,
+            "subsample": 0.8,
+            "seed": seed,
+        }
+
+        self.features = FeatureStore(max_irts=max(num_irts, 32))
+        self.hro = HroBound(
+            capacity, window_multiple, min_window_requests=min_window_requests
+        )
+        self.hro.on_window = self._window_closed
+        self.detector = DriftDetector(epsilon=epsilon)
+        self.estimator = ThresholdEstimator(
+            initial_delta=initial_delta,
+            beta=beta,
+            sample_fraction=sample_fraction,
+            objective=threshold_objective,
+            seed=seed,
+        )
+        self._model: GradientBoostingRegressor | None = None
+
+        # Cache-side learned state: L (admission probabilities of cached
+        # contents) and the eviction-candidate set (Section 4.1).
+        self._probabilities: dict[int, float] = {}
+        self._eviction_candidates: IndexedSet = IndexedSet()
+        self._cached_ids = IndexedSet()
+
+        # Per-window buffers for training and threshold estimation.
+        self._window_rows: list[np.ndarray] = []
+        self._window_requests: list[Request] = []
+        self._window_samples: list[WindowSample] = []
+
+        self._current_p = 1.0
+        self.trainings = 0
+        self.training_seconds = 0.0
+        self.windows_processed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def delta(self) -> float:
+        """The current admission threshold."""
+        return self.estimator.delta
+
+    @property
+    def model_ready(self) -> bool:
+        return self._model is not None
+
+    def admission_probability(self, obj_id: int) -> float | None:
+        """The stored probability of a cached content (the vector L)."""
+        return self._probabilities.get(obj_id)
+
+    # ------------------------------------------------------------------
+    # Request path (the four cases of Section 4.1)
+    # ------------------------------------------------------------------
+
+    def _on_access(self, req: Request) -> None:
+        row = self.features.vector(req.obj_id, req.time, self.num_irts)
+        if self._model is not None:
+            p = min(max(self._model.predict_one(row), 0.0), 1.0)
+        else:
+            # Bootstrap (first window): behave as admit-all with p = 1.
+            p = 1.0
+        self._current_p = p
+        self.features.observe(req)
+        self._window_rows.append(row)
+        self._window_requests.append(req)
+        self._window_samples.append(
+            WindowSample(obj_id=req.obj_id, size=req.size, time=req.time, probability=p)
+        )
+        self.hro.process(req)
+
+    def _on_hit(self, req: Request) -> None:
+        p = self._current_p
+        self._probabilities[req.obj_id] = p
+        if p < self.delta:
+            # Case (ii): refresh L and mark as an eviction candidate.
+            self._eviction_candidates.add(req.obj_id)
+        else:
+            # Case (i): refresh L only.
+            self._eviction_candidates.discard(req.obj_id)
+
+    def _should_admit(self, req: Request) -> bool:
+        # Cases (iii)/(iv): admit iff p >= delta.
+        return self._current_p >= self.delta
+
+    def _on_admit(self, req: Request) -> None:
+        self._probabilities[req.obj_id] = self._current_p
+        self._cached_ids.add(req.obj_id)
+
+    def _on_evict(self, obj_id: int) -> None:
+        self._probabilities.pop(obj_id, None)
+        self._eviction_candidates.discard(obj_id)
+        self._cached_ids.discard(obj_id)
+
+    # ------------------------------------------------------------------
+    # Eviction (Section 5.2.5)
+    # ------------------------------------------------------------------
+
+    def _eviction_value(self, obj_id: int, now: float) -> float:
+        p = self._probabilities.get(obj_id, 0.0)
+        if self.eviction_rule == "p-only":
+            return p
+        last = self.features.last_access(obj_id)
+        irt1 = max(now - last, 1e-9) if last is not None else 1e9
+        if self.eviction_rule == "p-recency":
+            # Ablation: keep size out of eviction; the learned p already
+            # internalizes HRO's size normalization.
+            return p / irt1
+        return p / (self._sizes[obj_id] * irt1)
+
+    def _select_victim(self, incoming: Request) -> int:
+        if len(self._eviction_candidates):
+            pool = self._eviction_candidates.sample(self._num_candidates, self._rng)
+        else:
+            pool = self._cached_ids.sample(self._num_candidates, self._rng)
+        return min(pool, key=lambda oid: self._eviction_value(oid, incoming.time))
+
+    # ------------------------------------------------------------------
+    # Window pipeline: detection -> estimation -> training
+    # ------------------------------------------------------------------
+
+    def _window_closed(self, window: HroWindow) -> None:
+        self.windows_processed += 1
+        should_train = (
+            self.detector.observe_window(window.counts)
+            if self.use_detection
+            else True
+        )
+        if self._model is None:
+            should_train = True
+        if should_train:
+            if self.auto_threshold and self._model is not None:
+                self.estimator.update(self._window_samples, self.capacity)
+            self._train(window)
+        # Keep feature history bounded to a few windows of idle time.
+        if self._window_requests:
+            now = self._window_requests[-1].time
+            self.features.prune(now, horizon=max(window.duration * 4.0, 1e-6))
+        self._window_rows.clear()
+        self._window_requests.clear()
+        self._window_samples.clear()
+
+    def _train(self, window: HroWindow) -> None:
+        if not self._window_rows:
+            return
+        labels = window_labels(window, self._window_requests)
+        rows = np.vstack(self._window_rows)
+        start = time.perf_counter()
+        model = GradientBoostingRegressor(**self._gbm_params)
+        self._model = model.fit(rows, labels)
+        self.training_seconds += time.perf_counter() - start
+        self.trainings += 1
+
+    # ------------------------------------------------------------------
+    # Resource accounting
+    # ------------------------------------------------------------------
+
+    def metadata_bytes(self) -> int:
+        total = self.features.metadata_bytes()
+        total += 16 * len(self._probabilities)
+        total += 8 * feature_dim(self.num_irts) * len(self._window_rows)
+        total += 40 * len(self._window_samples)
+        if self._model is not None:
+            total += self._model.metadata_bytes()
+        return super().metadata_bytes() + total
+
+
+class DLhrCache(LhrCache):
+    """D-LHR (Section 7.4): LHR with a fixed threshold ``delta = 0.5``."""
+
+    name = "d-lhr"
+
+    def __init__(self, capacity: int, **kwargs):
+        kwargs["auto_threshold"] = False
+        super().__init__(capacity, **kwargs)
+
+
+class NLhrCache(LhrCache):
+    """N-LHR (Section 7.4): D-LHR without the detection mechanism —
+    fixed threshold and retraining on every sliding window."""
+
+    name = "n-lhr"
+
+    def __init__(self, capacity: int, **kwargs):
+        kwargs["auto_threshold"] = False
+        kwargs["use_detection"] = False
+        super().__init__(capacity, **kwargs)

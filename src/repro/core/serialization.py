@@ -1,0 +1,143 @@
+"""Model and policy-state serialization.
+
+A deployed LHR node wants to persist its learned state across restarts
+(the paper's prototype retrains from scratch; warm-starting is the
+obvious operational extension).  This module provides JSON round trips
+for the GBM and a *checkpoint* of LHR's transferable learned state — the
+admission model, the tuned threshold and the detector's alpha history.
+Cache *contents* are deliberately not serialized: they belong to the
+storage layer (flash), not the learner.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.gbm import GradientBoostingRegressor, _Tree
+from repro.core.lhr import LhrCache
+
+#: Format marker so future layout changes can be detected on load.
+FORMAT_VERSION = 1
+
+
+def gbm_to_dict(model: GradientBoostingRegressor) -> dict:
+    """Serializable representation of a fitted GBM."""
+    if not model._fitted:
+        raise ValueError("cannot serialize an unfitted model")
+    return {
+        "format_version": FORMAT_VERSION,
+        "hyperparameters": {
+            "n_estimators": model.n_estimators,
+            "learning_rate": model.learning_rate,
+            "max_depth": model.max_depth,
+            "min_samples_leaf": model.min_samples_leaf,
+            "n_bins": model.n_bins,
+            "l2_regularization": model.l2_regularization,
+            "subsample": model.subsample,
+            "loss": model.loss,
+        },
+        "base_score": model._base_score,
+        "trees": [
+            {
+                "feature": tree.feature.tolist(),
+                "threshold": tree.threshold.tolist(),
+                "left": tree.left.tolist(),
+                "right": tree.right.tolist(),
+                "value": tree.value.tolist(),
+            }
+            for tree in model._trees
+        ],
+    }
+
+
+def gbm_from_dict(payload: dict) -> GradientBoostingRegressor:
+    """Rebuild a fitted GBM from :func:`gbm_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version {version!r}")
+    model = GradientBoostingRegressor(**payload["hyperparameters"])
+    model._base_score = float(payload["base_score"])
+    model._trees = [
+        _Tree(
+            feature=np.asarray(tree["feature"], np.int32),
+            threshold=np.asarray(tree["threshold"], np.float64),
+            left=np.asarray(tree["left"], np.int32),
+            right=np.asarray(tree["right"], np.int32),
+            value=np.asarray(tree["value"], np.float64),
+        )
+        for tree in payload["trees"]
+    ]
+    model._scalar_trees = None
+    model._fitted = True
+    return model
+
+
+def save_model(model: GradientBoostingRegressor, path: str | Path) -> None:
+    """Write a fitted GBM to a JSON file."""
+    Path(path).write_text(json.dumps(gbm_to_dict(model)))
+
+
+def load_model(path: str | Path) -> GradientBoostingRegressor:
+    """Read a GBM previously written by :func:`save_model`."""
+    return gbm_from_dict(json.loads(Path(path).read_text()))
+
+
+def lhr_checkpoint(cache: LhrCache) -> dict:
+    """Snapshot LHR's transferable learned state.
+
+    Captures the admission model, the auto-tuned threshold (with its
+    history), the detector's alpha trajectory and the key configuration
+    knobs needed to validate compatibility at restore time.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "config": {
+            "num_irts": cache.num_irts,
+            "eviction_rule": cache.eviction_rule,
+            "auto_threshold": cache.auto_threshold,
+            "use_detection": cache.use_detection,
+        },
+        "model": gbm_to_dict(cache._model) if cache._model is not None else None,
+        "delta": cache.estimator.delta,
+        "delta_history": list(cache.estimator.history),
+        "detector_alpha": cache.detector.current_alpha,
+        "windows_processed": cache.windows_processed,
+    }
+
+
+def restore_lhr(cache: LhrCache, checkpoint: dict) -> LhrCache:
+    """Warm-start ``cache`` (a fresh LhrCache) from a checkpoint.
+
+    The target must agree with the checkpoint on ``num_irts`` (the model's
+    feature layout depends on it); other knobs may differ and are left as
+    configured.  Returns ``cache`` for chaining.
+    """
+    version = checkpoint.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint format version {version!r}")
+    if checkpoint["config"]["num_irts"] != cache.num_irts:
+        raise ValueError(
+            "checkpoint num_irts "
+            f"{checkpoint['config']['num_irts']} != cache num_irts {cache.num_irts}"
+        )
+    if checkpoint["model"] is not None:
+        cache._model = gbm_from_dict(checkpoint["model"])
+    cache.estimator.delta = float(checkpoint["delta"])
+    cache.estimator.history = [float(v) for v in checkpoint["delta_history"]]
+    alpha = checkpoint.get("detector_alpha")
+    if alpha is not None:
+        cache.detector._previous_alpha = float(alpha)
+    return cache
+
+
+def save_lhr_checkpoint(cache: LhrCache, path: str | Path) -> None:
+    """Write an LHR checkpoint to a JSON file."""
+    Path(path).write_text(json.dumps(lhr_checkpoint(cache)))
+
+
+def load_lhr_checkpoint(cache: LhrCache, path: str | Path) -> LhrCache:
+    """Warm-start ``cache`` from a JSON checkpoint file; returns it."""
+    return restore_lhr(cache, json.loads(Path(path).read_text()))

@@ -1,0 +1,135 @@
+"""ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST '03).
+
+ARC balances recency (list T1) against frequency (list T2) using ghost
+lists B1/B2 to adapt the target size ``p`` of T1.  The original algorithm
+is defined for unit-size pages; as is standard in CDN simulators, we adapt
+it to variable sizes by measuring all lists in bytes and evicting until
+the incoming object fits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.policies.base import CachePolicy
+from repro.traces.request import Request
+
+
+class _ByteList:
+    """LRU-ordered id list with byte accounting (for T1/T2/B1/B2)."""
+
+    def __init__(self) -> None:
+        self._items: OrderedDict[int, int] = OrderedDict()
+        self.bytes = 0
+
+    def __contains__(self, obj_id: int) -> bool:
+        return obj_id in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, obj_id: int, size: int) -> None:
+        self._items[obj_id] = size
+        self.bytes += size
+
+    def touch(self, obj_id: int) -> None:
+        self._items.move_to_end(obj_id)
+
+    def remove(self, obj_id: int) -> int:
+        size = self._items.pop(obj_id)
+        self.bytes -= size
+        return size
+
+    def pop_lru(self) -> tuple[int, int]:
+        obj_id, size = next(iter(self._items.items()))
+        del self._items[obj_id]
+        self.bytes -= size
+        return obj_id, size
+
+    def size_of(self, obj_id: int) -> int:
+        return self._items[obj_id]
+
+
+class ArcCache(CachePolicy):
+    """Byte-based ARC.
+
+    ``_select_victim`` implements the REPLACE step: evict from T1 when it
+    exceeds the adaptive target ``p`` (or the request hit in B2), else
+    from T2.  Ghost lists are trimmed to at most the cache capacity in
+    bytes each, mirroring ARC's "|B1|+|T1| <= c" discipline.
+    """
+
+    name = "arc"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._t1 = _ByteList()
+        self._t2 = _ByteList()
+        self._b1 = _ByteList()
+        self._b2 = _ByteList()
+        self._p = 0.0
+        self._last_miss_in_b2 = False
+
+    def _on_hit(self, req: Request) -> None:
+        # A hit in T1 promotes to T2; a hit in T2 refreshes recency.
+        if req.obj_id in self._t1:
+            self._t1.remove(req.obj_id)
+            self._t2.add(req.obj_id, req.size)
+        else:
+            self._t2.touch(req.obj_id)
+
+    def _on_miss(self, req: Request) -> None:
+        self._last_miss_in_b2 = False
+        if req.obj_id in self._b1:
+            # Recency ghost hit: grow T1's target.
+            ratio = max(self._b2.bytes / max(self._b1.bytes, 1), 1.0)
+            self._p = min(self._p + ratio * req.size, float(self.capacity))
+            self._b1.remove(req.obj_id)
+        elif req.obj_id in self._b2:
+            # Frequency ghost hit: shrink T1's target.
+            ratio = max(self._b1.bytes / max(self._b2.bytes, 1), 1.0)
+            self._p = max(self._p - ratio * req.size, 0.0)
+            self._b2.remove(req.obj_id)
+            self._last_miss_in_b2 = True
+
+    def _on_admit(self, req: Request) -> None:
+        if self._last_miss_in_b2:
+            self._t2.add(req.obj_id, req.size)
+        else:
+            self._t1.add(req.obj_id, req.size)
+        self._trim_ghosts()
+
+    def _select_victim(self, incoming: Request) -> int:
+        prefer_t1 = self._t1.bytes > 0 and (
+            self._t1.bytes > self._p
+            or (self._last_miss_in_b2 and self._t1.bytes >= self._p)
+            or self._t2.bytes == 0
+        )
+        if prefer_t1:
+            obj_id, size = self._t1.pop_lru()
+            self._b1.add(obj_id, size)
+        else:
+            obj_id, size = self._t2.pop_lru()
+            self._b2.add(obj_id, size)
+        return obj_id
+
+    def _on_evict(self, obj_id: int) -> None:
+        # Victims were already moved to a ghost list by _select_victim;
+        # evictions triggered any other way just drop list state.
+        for lst in (self._t1, self._t2):
+            if obj_id in lst:
+                lst.remove(obj_id)
+
+    def _trim_ghosts(self) -> None:
+        # Classic ARC keeps |L1|, |L2| <= c in entries; in the byte
+        # adaptation T1 alone may legitimately fill the capacity, so each
+        # ghost list gets its own byte budget of one capacity instead
+        # (total directory still <= 2c as in the original).
+        while self._b1.bytes > self.capacity and len(self._b1):
+            self._b1.pop_lru()
+        while self._b2.bytes > self.capacity and len(self._b2):
+            self._b2.pop_lru()
+
+    def metadata_bytes(self) -> int:
+        ghosts = len(self._b1) + len(self._b2)
+        return super().metadata_bytes() + 32 * ghosts

@@ -1,0 +1,174 @@
+"""Cache-policy framework.
+
+Every caching algorithm in the paper — the seven SOTA baselines, the
+prototype baselines and LHR itself — is expressed as a subclass of
+:class:`CachePolicy`.  The base class owns the byte-accurate cache state
+(what is cached, how many bytes are used) and the admission/eviction
+control flow; subclasses supply the policy logic through four hooks:
+
+* ``_should_admit(req)``  — admission decision on a miss (default: admit).
+* ``_select_victim(req)`` — which cached object to evict when space is
+  needed (abstract).
+* ``_on_hit(req)`` / ``_on_access(req)`` / ``_on_admit(req)`` /
+  ``_on_evict(obj_id)`` — bookkeeping notifications.
+
+The framework follows the paper's accounting rules: an object larger than
+the cache is never admitted, every miss costs its size in WAN traffic
+regardless of admission, and per-policy metadata is reported via
+``metadata_bytes`` so experiments can deduct it from usable capacity
+(Section 7.1 "Overhead").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.traces.request import Request
+
+
+class CachePolicy(ABC):
+    """Byte-accurate cache with pluggable admission and eviction."""
+
+    #: Human-readable policy name used in result tables.
+    name = "base"
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._sizes: dict[int, int] = {}
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.hit_bytes = 0
+        self.miss_bytes = 0
+        self.admissions = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def num_objects(self) -> int:
+        return len(self._sizes)
+
+    def contains(self, obj_id: int) -> bool:
+        return obj_id in self._sizes
+
+    def cached_objects(self) -> dict[int, int]:
+        """Snapshot of ``obj_id -> size`` for everything currently cached."""
+        return dict(self._sizes)
+
+    def request(self, req: Request) -> bool:
+        """Process one request; return True on a cache hit."""
+        self._on_access(req)
+        if req.obj_id in self._sizes:
+            self.hits += 1
+            self.hit_bytes += req.size
+            self._on_hit(req)
+            return True
+        self.misses += 1
+        self.miss_bytes += req.size
+        self._on_miss(req)
+        if req.size <= self.capacity and self._should_admit(req):
+            self._admit(req)
+        return False
+
+    def process(self, requests) -> None:
+        """Convenience: run a request iterable through the cache."""
+        for req in requests:
+            self.request(req)
+
+    @property
+    def object_hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def byte_hit_ratio(self) -> float:
+        total = self.hit_bytes + self.miss_bytes
+        return self.hit_bytes / total if total else 0.0
+
+    def metadata_bytes(self) -> int:
+        """Approximate policy metadata footprint for overhead accounting.
+
+        The default charges a conservative 64 bytes per cached object for
+        the id/size bookkeeping; subclasses add their own structures.
+        """
+        return 64 * len(self._sizes)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+
+    def _on_access(self, req: Request) -> None:
+        """Called for every request, hit or miss, before the lookup result
+        is known to the caller.  Feature trackers live here."""
+
+    def _on_hit(self, req: Request) -> None:
+        """Called when ``req`` hits."""
+
+    def _on_miss(self, req: Request) -> None:
+        """Called when ``req`` misses (before any admission decision)."""
+
+    def _should_admit(self, req: Request) -> bool:
+        """Admission decision for a missed object that fits in the cache."""
+        return True
+
+    def _on_admit(self, req: Request) -> None:
+        """Called after ``req.obj_id`` has been inserted."""
+
+    def _on_evict(self, obj_id: int) -> None:
+        """Called after ``obj_id`` has been removed."""
+
+    @abstractmethod
+    def _select_victim(self, incoming: Request) -> int:
+        """Return the obj_id to evict to make room for ``incoming``.
+
+        Only called while the cache genuinely needs space; must return a
+        currently cached object id.
+        """
+
+    # ------------------------------------------------------------------
+    # Internal mechanics
+    # ------------------------------------------------------------------
+
+    def _admit(self, req: Request) -> None:
+        while self._used + req.size > self.capacity:
+            victim = self._select_victim(req)
+            if victim not in self._sizes:
+                raise RuntimeError(
+                    f"{self.name}: victim {victim} is not cached"
+                )
+            self._remove(victim)
+        self._sizes[req.obj_id] = req.size
+        self._used += req.size
+        self.admissions += 1
+        self._on_admit(req)
+
+    def _remove(self, obj_id: int) -> None:
+        size = self._sizes.pop(obj_id)
+        self._used -= size
+        self.evictions += 1
+        self._on_evict(obj_id)
+
+
+class NoCache(CachePolicy):
+    """Degenerate policy that never admits anything (admit-nothing model).
+
+    Useful as a floor in experiments and as the "simple admit-nothing
+    model" Section 4.2 mentions.
+    """
+
+    name = "no-cache"
+
+    def _should_admit(self, req: Request) -> bool:
+        return False
+
+    def _select_victim(self, incoming: Request) -> int:
+        raise RuntimeError("no-cache never stores objects")

@@ -1,0 +1,71 @@
+"""B-LRU — Bloom-filter LRU (footnote 6 of the paper).
+
+A Bloom filter remembers which contents have been seen before; an object
+is only admitted on its *second* request, which keeps one-hit wonders out
+of the cache.  The filter is rotated (two-generation scheme) once it has
+absorbed ``rotation_items`` distinct keys so stale history ages out while
+recent contents stay remembered across the rotation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.policies.base import CachePolicy
+from repro.traces.request import Request
+from repro.util.bloom import BloomFilter
+
+
+class BloomLruCache(CachePolicy):
+    """LRU eviction behind a seen-before Bloom-filter admission gate."""
+
+    name = "b-lru"
+
+    def __init__(
+        self,
+        capacity: int,
+        rotation_items: int = 100_000,
+        false_positive_rate: float = 0.01,
+    ):
+        super().__init__(capacity)
+        if rotation_items <= 0:
+            raise ValueError("rotation_items must be positive")
+        self._rotation_items = rotation_items
+        self._fpr = false_positive_rate
+        self._current = BloomFilter(rotation_items, false_positive_rate)
+        self._previous: BloomFilter | None = None
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def _seen_before(self, obj_id: int) -> bool:
+        if obj_id in self._current:
+            return True
+        return self._previous is not None and obj_id in self._previous
+
+    def _on_access(self, req: Request) -> None:
+        if len(self._current) >= self._rotation_items:
+            self._previous = self._current
+            self._current = BloomFilter(self._rotation_items, self._fpr)
+
+    def _on_hit(self, req: Request) -> None:
+        self._order.move_to_end(req.obj_id)
+        self._current.add(req.obj_id)
+
+    def _should_admit(self, req: Request) -> bool:
+        seen = self._seen_before(req.obj_id)
+        self._current.add(req.obj_id)
+        return seen
+
+    def _on_admit(self, req: Request) -> None:
+        self._order[req.obj_id] = None
+
+    def _on_evict(self, obj_id: int) -> None:
+        self._order.pop(obj_id, None)
+
+    def _select_victim(self, incoming: Request) -> int:
+        return next(iter(self._order))
+
+    def metadata_bytes(self) -> int:
+        total = self._current.metadata_bytes()
+        if self._previous is not None:
+            total += self._previous.metadata_bytes()
+        return super().metadata_bytes() + total

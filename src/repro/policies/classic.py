@@ -1,0 +1,279 @@
+"""Classic eviction policies: FIFO, RANDOM, LRU, LRU-K, LFU, LFU-DA, GDSF.
+
+These are the conventional baselines from Section 8 ("Conventional
+caching algorithms").  LRU-4, LFU-DA and GDSF are among the paper's seven
+best-performing SOTAs (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+import numpy as np
+
+from repro.policies.base import CachePolicy
+from repro.traces.request import Request
+
+
+class FifoCache(CachePolicy):
+    """First-in first-out eviction."""
+
+    name = "fifo"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._queue: deque[int] = deque()
+
+    def _on_admit(self, req: Request) -> None:
+        self._queue.append(req.obj_id)
+
+    def _select_victim(self, incoming: Request) -> int:
+        while self._queue:
+            candidate = self._queue[0]
+            if self.contains(candidate):
+                return self._queue.popleft()
+            self._queue.popleft()
+        raise RuntimeError("fifo queue out of sync with cache state")
+
+
+class RandomCache(CachePolicy):
+    """Uniform-random eviction; the memoryless baseline."""
+
+    name = "random"
+
+    def __init__(self, capacity: int, seed: int = 0):
+        super().__init__(capacity)
+        self._rng = np.random.default_rng(seed)
+        self._order: list[int] = []
+        self._slot: dict[int, int] = {}
+
+    def _on_admit(self, req: Request) -> None:
+        self._slot[req.obj_id] = len(self._order)
+        self._order.append(req.obj_id)
+
+    def _on_evict(self, obj_id: int) -> None:
+        slot = self._slot.pop(obj_id)
+        last = self._order.pop()
+        if last != obj_id:
+            self._order[slot] = last
+            self._slot[last] = slot
+
+    def _select_victim(self, incoming: Request) -> int:
+        index = int(self._rng.integers(0, len(self._order)))
+        return self._order[index]
+
+
+class LruCache(CachePolicy):
+    """Least Recently Used — the production default the paper argues against."""
+
+    name = "lru"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def _on_hit(self, req: Request) -> None:
+        self._order.move_to_end(req.obj_id)
+
+    def _on_admit(self, req: Request) -> None:
+        self._order[req.obj_id] = None
+
+    def _on_evict(self, obj_id: int) -> None:
+        self._order.pop(obj_id, None)
+
+    def _select_victim(self, incoming: Request) -> int:
+        return next(iter(self._order))
+
+
+class LruKCache(CachePolicy):
+    """LRU-K (O'Neil et al.): evict by backward-K reference time.
+
+    The victim is the object whose K-th most recent reference is oldest;
+    objects with fewer than K references rank before all fully-referenced
+    objects (classic LRU-K tie-break), falling back to plain LRU order
+    among themselves.  ``k=4`` gives the paper's LRU-4 baseline.
+    """
+
+    name = "lru-k"
+
+    def __init__(self, capacity: int, k: int = 4):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        super().__init__(capacity)
+        self.k = k
+        self.name = f"lru-{k}"
+        self._history: dict[int, deque[float]] = {}
+        self._heap = _PriorityIndex()
+
+    def _on_access(self, req: Request) -> None:
+        times = self._history.get(req.obj_id)
+        if times is None:
+            times = deque(maxlen=self.k)
+            self._history[req.obj_id] = times
+        times.append(req.time)
+        if self.contains(req.obj_id):
+            self._heap.update(req.obj_id, self._backward_k_time(req.obj_id))
+
+    def _on_admit(self, req: Request) -> None:
+        self._heap.update(req.obj_id, self._backward_k_time(req.obj_id))
+
+    def _on_evict(self, obj_id: int) -> None:
+        self._heap.discard(obj_id)
+
+    def _backward_k_time(self, obj_id: int) -> float:
+        times = self._history.get(obj_id)
+        if times is None or len(times) < self.k:
+            return -np.inf
+        return times[0]
+
+    def _select_victim(self, incoming: Request) -> int:
+        # Smallest backward-K time first; objects with fewer than K
+        # references carry -inf and are evicted first, oldest-pushed first
+        # (the heap's FIFO tie-break approximates LRU among them).
+        return self._heap.peek_min()
+
+    def metadata_bytes(self) -> int:
+        return super().metadata_bytes() + 8 * sum(
+            len(times) for times in self._history.values()
+        )
+
+
+class LfuCache(CachePolicy):
+    """Least Frequently Used with per-object lifetime counts."""
+
+    name = "lfu"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._counts: dict[int, int] = {}
+        self._heap = _PriorityIndex()
+
+    def _on_access(self, req: Request) -> None:
+        self._counts[req.obj_id] = self._counts.get(req.obj_id, 0) + 1
+        if self.contains(req.obj_id):
+            self._heap.update(req.obj_id, float(self._counts[req.obj_id]))
+
+    def _on_admit(self, req: Request) -> None:
+        self._heap.update(req.obj_id, float(self._counts[req.obj_id]))
+
+    def _on_evict(self, obj_id: int) -> None:
+        self._heap.discard(obj_id)
+
+    def _select_victim(self, incoming: Request) -> int:
+        return self._heap.peek_min()
+
+    def metadata_bytes(self) -> int:
+        return super().metadata_bytes() + 16 * len(self._counts)
+
+
+class LfuDaCache(CachePolicy):
+    """LFU with Dynamic Aging (Arlitt et al.) — one of the paper's SOTAs.
+
+    Priority is ``count + L`` where the aging factor ``L`` is raised to the
+    priority of each evicted object, so long-resident but stale objects
+    eventually lose to newly popular ones.
+    """
+
+    name = "lfu-da"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._counts: dict[int, int] = {}
+        self._heap = _PriorityIndex()
+        self._age = 0.0
+
+    def _priority(self, obj_id: int) -> float:
+        return self._counts.get(obj_id, 0) + self._age
+
+    def _on_access(self, req: Request) -> None:
+        self._counts[req.obj_id] = self._counts.get(req.obj_id, 0) + 1
+        if self.contains(req.obj_id):
+            self._heap.update(req.obj_id, self._priority(req.obj_id))
+
+    def _on_admit(self, req: Request) -> None:
+        self._heap.update(req.obj_id, self._priority(req.obj_id))
+
+    def _on_evict(self, obj_id: int) -> None:
+        self._heap.discard(obj_id)
+
+    def _select_victim(self, incoming: Request) -> int:
+        victim = self._heap.peek_min()
+        self._age = self._heap.priority(victim)
+        return victim
+
+    def metadata_bytes(self) -> int:
+        return super().metadata_bytes() + 16 * len(self._counts)
+
+
+class GdsfCache(CachePolicy):
+    """GreedyDual-Size-Frequency (Cherkasova).
+
+    Priority is ``L + frequency / size``; small, popular objects are
+    retained preferentially, which matters on CDN traces whose sizes span
+    seven orders of magnitude.
+    """
+
+    name = "gdsf"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._counts: dict[int, int] = {}
+        self._heap = _PriorityIndex()
+        self._age = 0.0
+
+    def _priority(self, obj_id: int, size: int) -> float:
+        return self._age + self._counts.get(obj_id, 0) / size
+
+    def _on_access(self, req: Request) -> None:
+        self._counts[req.obj_id] = self._counts.get(req.obj_id, 0) + 1
+        if self.contains(req.obj_id):
+            self._heap.update(req.obj_id, self._priority(req.obj_id, req.size))
+
+    def _on_admit(self, req: Request) -> None:
+        self._heap.update(req.obj_id, self._priority(req.obj_id, req.size))
+
+    def _on_evict(self, obj_id: int) -> None:
+        self._heap.discard(obj_id)
+
+    def _select_victim(self, incoming: Request) -> int:
+        victim = self._heap.peek_min()
+        self._age = self._heap.priority(victim)
+        return victim
+
+    def metadata_bytes(self) -> int:
+        return super().metadata_bytes() + 16 * len(self._counts)
+
+
+class GdsCache(GdsfCache):
+    """GreedyDual-Size (Cao & Irani): ``L + 1/size``, frequency-blind.
+
+    The non-frequency ancestor of GDSF; kept as a baseline to isolate how
+    much of GDSF's win comes from frequency vs pure size-awareness.
+    """
+
+    name = "gds"
+
+    def _priority(self, obj_id: int, size: int) -> float:
+        return self._age + 1.0 / size
+
+
+class _PriorityIndex:
+    """Thin wrapper over LazyHeap with discard-if-present semantics."""
+
+    def __init__(self) -> None:
+        from repro.util.heap import LazyHeap
+
+        self._heap = LazyHeap()
+
+    def update(self, key: int, priority: float) -> None:
+        self._heap.push(key, priority)
+
+    def discard(self, key: int) -> None:
+        if key in self._heap:
+            self._heap.remove(key)
+
+    def peek_min(self) -> int:
+        return self._heap.peek()[0]
+
+    def priority(self, key: int) -> float:
+        return self._heap.priority(key)

@@ -1,0 +1,166 @@
+"""Hawkeye (Jain & Lin, ISCA '16) adapted to CDN caching.
+
+Hawkeye reconstructs what Bélády's OPT *would have done* on the recent
+past (the OPTgen structure) and trains a predictor on those labels; the
+predictor then classifies each content as cache-friendly or cache-averse.
+The original targets CPU caches with per-PC predictors; as the paper
+notes (Section 8), "its idea of applying Bélády to history data ... can be
+implemented in CDNs".  Our adaptation, matching how the LRB authors also
+ported it:
+
+* OPTgen runs at byte granularity over a bucketed occupancy vector of the
+  recent request history: a reuse interval is an OPT hit iff the liveness
+  occupancy stays below capacity throughout the interval.
+* The predictor is a table of saturating counters keyed by content id
+  hash (CDN requests have no program counter).
+* Eviction: cache-averse objects first (LRU among them), then LRU among
+  friendly objects.  A detected averse object is also denied admission.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+from repro.policies.base import CachePolicy
+from repro.traces.request import Request
+
+
+class _OptGen:
+    """Byte-granularity OPTgen over a sliding bucketed history."""
+
+    def __init__(self, capacity: int, num_buckets: int, requests_per_bucket: int):
+        self._capacity = capacity
+        self._num_buckets = num_buckets
+        self._requests_per_bucket = requests_per_bucket
+        self._occupancy: deque[int] = deque([0] * num_buckets, maxlen=num_buckets)
+        self._bucket_index = 0
+        self._requests_in_bucket = 0
+        self._last_bucket: dict[int, int] = {}
+
+    def _advance(self) -> None:
+        self._requests_in_bucket += 1
+        if self._requests_in_bucket >= self._requests_per_bucket:
+            self._requests_in_bucket = 0
+            self._bucket_index += 1
+            self._occupancy.append(0)
+
+    def record(self, req: Request) -> bool | None:
+        """Record one request; return OPT's verdict for its reuse interval.
+
+        ``True``  — OPT would have kept the content since its previous
+        request (an OPT hit).
+        ``False`` — the interval overflowed the cache (an OPT miss).
+        ``None``  — first request, or previous request aged out of history.
+        """
+        previous = self._last_bucket.get(req.obj_id)
+        self._last_bucket[req.obj_id] = self._bucket_index
+        verdict: bool | None = None
+        if previous is not None:
+            age = self._bucket_index - previous
+            if age < self._num_buckets:
+                start = self._num_buckets - 1 - age
+                window = [self._occupancy[i] for i in range(start, self._num_buckets)]
+                if all(level + req.size <= self._capacity for level in window):
+                    for i in range(start, self._num_buckets):
+                        self._occupancy[i] += req.size
+                    verdict = True
+                else:
+                    verdict = False
+        self._advance()
+        return verdict
+
+    def prune(self, horizon: int = 4) -> None:
+        """Drop last-seen entries older than ``horizon`` full histories."""
+        cutoff = self._bucket_index - horizon * self._num_buckets
+        if cutoff <= 0:
+            return
+        stale = [oid for oid, bucket in self._last_bucket.items() if bucket < cutoff]
+        for oid in stale:
+            del self._last_bucket[oid]
+
+    def metadata_bytes(self) -> int:
+        return 8 * self._num_buckets + 16 * len(self._last_bucket)
+
+
+class HawkeyeCache(CachePolicy):
+    """OPTgen-trained friendly/averse prediction with LRU fallback."""
+
+    name = "hawkeye"
+
+    #: Saturating counter range; >= _FRIENDLY_THRESHOLD means friendly.
+    _COUNTER_MAX = 7
+    _FRIENDLY_THRESHOLD = 4
+
+    def __init__(
+        self,
+        capacity: int,
+        num_buckets: int = 128,
+        requests_per_bucket: int = 64,
+        predictor_slots: int = 1 << 16,
+    ):
+        super().__init__(capacity)
+        self._optgen = _OptGen(capacity, num_buckets, requests_per_bucket)
+        self._predictor_slots = predictor_slots
+        self._counters: dict[int, int] = {}
+        self._friendly: OrderedDict[int, None] = OrderedDict()
+        self._averse: OrderedDict[int, None] = OrderedDict()
+        self._requests_seen = 0
+
+    def _slot(self, obj_id: int) -> int:
+        return obj_id % self._predictor_slots
+
+    def _predict_friendly(self, obj_id: int) -> bool:
+        return (
+            self._counters.get(self._slot(obj_id), self._FRIENDLY_THRESHOLD)
+            >= self._FRIENDLY_THRESHOLD
+        )
+
+    def _train(self, obj_id: int, opt_hit: bool) -> None:
+        slot = self._slot(obj_id)
+        counter = self._counters.get(slot, self._FRIENDLY_THRESHOLD)
+        if opt_hit:
+            counter = min(counter + 1, self._COUNTER_MAX)
+        else:
+            counter = max(counter - 1, 0)
+        self._counters[slot] = counter
+
+    def _on_access(self, req: Request) -> None:
+        verdict = self._optgen.record(req)
+        if verdict is not None:
+            self._train(req.obj_id, verdict)
+        self._requests_seen += 1
+        if self._requests_seen % 65_536 == 0:
+            self._optgen.prune()
+        # Re-classify a cached object when its prediction flips.
+        if self.contains(req.obj_id):
+            self._place(req.obj_id)
+
+    def _place(self, obj_id: int) -> None:
+        self._friendly.pop(obj_id, None)
+        self._averse.pop(obj_id, None)
+        if self._predict_friendly(obj_id):
+            self._friendly[obj_id] = None
+        else:
+            self._averse[obj_id] = None
+
+    def _should_admit(self, req: Request) -> bool:
+        return self._predict_friendly(req.obj_id)
+
+    def _on_admit(self, req: Request) -> None:
+        self._place(req.obj_id)
+
+    def _on_evict(self, obj_id: int) -> None:
+        self._friendly.pop(obj_id, None)
+        self._averse.pop(obj_id, None)
+
+    def _select_victim(self, incoming: Request) -> int:
+        if self._averse:
+            return next(iter(self._averse))
+        return next(iter(self._friendly))
+
+    def metadata_bytes(self) -> int:
+        return (
+            super().metadata_bytes()
+            + self._optgen.metadata_bytes()
+            + 9 * len(self._counters)
+        )

@@ -1,0 +1,106 @@
+"""LFO — Learning From OPT (Berger, HotNets '18).
+
+LFO periodically computes offline-optimal admission decisions over the
+recent past (here: Bélády-size run on the previous window), trains a
+classifier mapping request features to those decisions, and applies it to
+future admissions with LRU eviction.  The paper includes LFO in its SOTA
+pool but notes it "performs even worse than some conventional algorithms
+on production traces" — our reproduction of Figure 8 shows the same.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict, deque
+
+import numpy as np
+
+from repro.core.gbm import GradientBoostingRegressor
+from repro.policies.base import CachePolicy
+from repro.traces.request import Request
+
+_NUM_DELTAS = 4
+
+
+class LfoCache(CachePolicy):
+    """Window-batched OPT-imitation admission with LRU eviction."""
+
+    name = "lfo"
+
+    def __init__(
+        self,
+        capacity: int,
+        window_requests: int = 20_000,
+        threshold: float = 0.5,
+        seed: int = 0,
+    ):
+        super().__init__(capacity)
+        self._order: OrderedDict[int, None] = OrderedDict()
+        self._window_requests = window_requests
+        self._threshold = threshold
+        self._seed = seed
+        self._model: GradientBoostingRegressor | None = None
+        self._deltas: dict[int, deque[float]] = {}
+        self._last_time: dict[int, float] = {}
+        self._counts: dict[int, int] = {}
+        self._window: list[tuple[np.ndarray, Request]] = []
+
+    def _features(self, req: Request) -> np.ndarray:
+        row = np.empty(_NUM_DELTAS + 2, dtype=np.float64)
+        deltas = self._deltas.get(req.obj_id, ())
+        deltas = list(deltas)
+        for i in range(_NUM_DELTAS):
+            row[i] = deltas[-1 - i] if i < len(deltas) else 1e9
+        row[-2] = math.log1p(req.size)
+        row[-1] = self._counts.get(req.obj_id, 0)
+        return row
+
+    def _on_access(self, req: Request) -> None:
+        self._window.append((self._features(req), req))
+        last = self._last_time.get(req.obj_id)
+        if last is not None:
+            self._deltas.setdefault(req.obj_id, deque(maxlen=_NUM_DELTAS)).append(
+                req.time - last
+            )
+        self._last_time[req.obj_id] = req.time
+        self._counts[req.obj_id] = self._counts.get(req.obj_id, 0) + 1
+        if len(self._window) >= self._window_requests:
+            self._retrain()
+
+    def _retrain(self) -> None:
+        from repro.bounds.belady import belady_size_decisions
+
+        requests = [req for _, req in self._window]
+        labels = belady_size_decisions(requests, self.capacity)
+        features = np.vstack([row for row, _ in self._window])
+        targets = np.asarray(labels, dtype=np.float64)
+        model = GradientBoostingRegressor(
+            n_estimators=12, max_depth=3, seed=self._seed
+        )
+        self._model = model.fit(features, targets)
+        self._window.clear()
+
+    def _on_hit(self, req: Request) -> None:
+        self._order.move_to_end(req.obj_id)
+
+    def _should_admit(self, req: Request) -> bool:
+        if self._model is None:
+            return True
+        score = self._model.predict_one(self._features(req))
+        return score >= self._threshold
+
+    def _on_admit(self, req: Request) -> None:
+        self._order[req.obj_id] = None
+
+    def _on_evict(self, obj_id: int) -> None:
+        self._order.pop(obj_id, None)
+
+    def _select_victim(self, incoming: Request) -> int:
+        return next(iter(self._order))
+
+    def metadata_bytes(self) -> int:
+        total = 16 * len(self._last_time) + 8 * _NUM_DELTAS * len(self._deltas)
+        total += 8 * (_NUM_DELTAS + 3) * len(self._window)
+        if self._model is not None:
+            total += self._model.metadata_bytes()
+        return super().metadata_bytes() + total

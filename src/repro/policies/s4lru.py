@@ -1,0 +1,122 @@
+"""S4LRU — quadruply-segmented LRU (Huang et al., "An Analysis of
+Facebook Photo Caching", SOSP '13 — the paper's citation [34]).
+
+The cache is split into ``num_segments`` LRU queues.  Objects enter at
+the lowest segment; a hit promotes the object one segment up; overflow
+at segment ``k`` demotes its LRU object to segment ``k-1`` (and out of
+the cache at segment 0).  Repeatedly-hit objects climb to the protected
+top while one-hit objects wash out of the bottom quickly — a cheap
+frequency gradient without counters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.policies.base import CachePolicy
+from repro.traces.request import Request
+
+
+class _Segment:
+    """LRU-ordered byte-accounted queue (one level of the gradient)."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._items: OrderedDict[int, int] = OrderedDict()
+        self.bytes = 0
+
+    def __contains__(self, obj_id: int) -> bool:
+        return obj_id in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, obj_id: int, size: int) -> None:
+        self._items[obj_id] = size
+        self.bytes += size
+
+    def touch(self, obj_id: int) -> None:
+        self._items.move_to_end(obj_id)
+
+    def remove(self, obj_id: int) -> int:
+        size = self._items.pop(obj_id)
+        self.bytes -= size
+        return size
+
+    def pop_lru(self) -> tuple[int, int]:
+        obj_id, size = next(iter(self._items.items()))
+        del self._items[obj_id]
+        self.bytes -= size
+        return obj_id, size
+
+    @property
+    def overflowing(self) -> bool:
+        return self.bytes > self.capacity and len(self._items) > 1
+
+
+class S4LruCache(CachePolicy):
+    """Segmented LRU with promotion-on-hit and cascading demotion."""
+
+    name = "s4lru"
+
+    def __init__(self, capacity: int, num_segments: int = 4):
+        if num_segments < 2:
+            raise ValueError("num_segments must be >= 2")
+        super().__init__(capacity)
+        per_segment = max(capacity // num_segments, 1)
+        self._segments = [_Segment(per_segment) for _ in range(num_segments)]
+        self._level: dict[int, int] = {}
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    def segment_of(self, obj_id: int) -> int | None:
+        """Which segment (0 = lowest) currently holds the object."""
+        return self._level.get(obj_id)
+
+    def _place(self, obj_id: int, size: int, level: int) -> None:
+        self._segments[level].add(obj_id, size)
+        self._level[obj_id] = level
+        self._cascade(level)
+
+    def _cascade(self, level: int) -> None:
+        # Demote overflow downward; segment 0's overflow leaves the cache.
+        for current in range(level, -1, -1):
+            segment = self._segments[current]
+            while segment.overflowing:
+                victim, size = segment.pop_lru()
+                if current > 0:
+                    self._segments[current - 1].add(victim, size)
+                    self._level[victim] = current - 1
+                else:
+                    del self._level[victim]
+                    if self.contains(victim):
+                        self._remove(victim)
+
+    def _on_hit(self, req: Request) -> None:
+        level = self._level[req.obj_id]
+        if level + 1 < len(self._segments):
+            size = self._segments[level].remove(req.obj_id)
+            self._place(req.obj_id, size, level + 1)
+        else:
+            self._segments[level].touch(req.obj_id)
+
+    def _on_admit(self, req: Request) -> None:
+        self._place(req.obj_id, req.size, 0)
+
+    def _on_evict(self, obj_id: int) -> None:
+        level = self._level.pop(obj_id, None)
+        if level is not None and obj_id in self._segments[level]:
+            self._segments[level].remove(obj_id)
+
+    def _select_victim(self, incoming: Request) -> int:
+        # The base eviction loop needs a victim: take the LRU of the
+        # lowest non-empty segment.
+        for segment in self._segments:
+            if len(segment):
+                return next(iter(segment._items))
+        raise RuntimeError("s4lru segments out of sync with cache state")
+
+    def metadata_bytes(self) -> int:
+        return super().metadata_bytes() + 8 * len(self._level)

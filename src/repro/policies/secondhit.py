@@ -1,0 +1,73 @@
+"""SecondHit — cache-on-second-request admission (Maggs & Sitaraman,
+"Algorithmic Nuggets in Content Delivery", 2015).
+
+Akamai's production admission rule: an object enters the cache only on
+its second request within a recency horizon.  Unlike B-LRU's Bloom
+filter, the original uses an exact (bounded) table of recently seen
+object ids; this implementation keeps an LRU-ordered table of the last
+``history_items`` first-seen ids with an optional time horizon.
+Eviction is plain LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.policies.base import CachePolicy
+from repro.traces.request import Request
+
+
+class SecondHitCache(CachePolicy):
+    """Exact-history cache-on-second-request with LRU eviction."""
+
+    name = "secondhit"
+
+    def __init__(
+        self,
+        capacity: int,
+        history_items: int = 100_000,
+        horizon_seconds: float | None = None,
+    ):
+        super().__init__(capacity)
+        if history_items <= 0:
+            raise ValueError("history_items must be positive")
+        self._history_items = history_items
+        self._horizon = horizon_seconds
+        self._seen: OrderedDict[int, float] = OrderedDict()
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def _seen_recently(self, req: Request) -> bool:
+        seen_at = self._seen.get(req.obj_id)
+        if seen_at is None:
+            return False
+        if self._horizon is not None and req.time - seen_at > self._horizon:
+            del self._seen[req.obj_id]
+            return False
+        return True
+
+    def _remember(self, req: Request) -> None:
+        self._seen[req.obj_id] = req.time
+        self._seen.move_to_end(req.obj_id)
+        while len(self._seen) > self._history_items:
+            self._seen.popitem(last=False)
+
+    def _on_hit(self, req: Request) -> None:
+        self._order.move_to_end(req.obj_id)
+        self._remember(req)
+
+    def _should_admit(self, req: Request) -> bool:
+        admit = self._seen_recently(req)
+        self._remember(req)
+        return admit
+
+    def _on_admit(self, req: Request) -> None:
+        self._order[req.obj_id] = None
+
+    def _on_evict(self, obj_id: int) -> None:
+        self._order.pop(obj_id, None)
+
+    def _select_victim(self, incoming: Request) -> int:
+        return next(iter(self._order))
+
+    def metadata_bytes(self) -> int:
+        return super().metadata_bytes() + 16 * len(self._seen)

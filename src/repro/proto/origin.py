@@ -1,0 +1,74 @@
+"""Origin server model.
+
+The ATS request path (Section 6.1) talks to an origin server in two
+ways: full fetches on cache misses and *revalidations* of stale cached
+contents (Step 2b).  The model tracks content versions — a content is
+mutated at a configurable rate, so a revalidation either confirms
+freshness (cheap, headers only) or triggers a re-fetch (full size over
+the WAN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class OriginStats:
+    """Traffic accounting on the origin side."""
+
+    fetches: int = 0
+    fetch_bytes: int = 0
+    revalidations: int = 0
+    refetches: int = 0
+
+    @property
+    def wan_bytes(self) -> int:
+        return self.fetch_bytes
+
+
+class OriginServer:
+    """Versioned content store behind the WAN.
+
+    Parameters
+    ----------
+    update_probability:
+        Probability that a content has changed since its last validation
+        timestamp, per revalidation check.  Production CDN contents are
+        mostly immutable; the default is small.
+    """
+
+    def __init__(self, update_probability: float = 0.02, seed: int = 0):
+        if not 0.0 <= update_probability <= 1.0:
+            raise ValueError("update_probability must lie in [0, 1]")
+        self._update_probability = update_probability
+        self._rng = np.random.default_rng(seed)
+        self._versions: dict[int, int] = {}
+        self.stats = OriginStats()
+
+    def version(self, obj_id: int) -> int:
+        return self._versions.get(obj_id, 0)
+
+    def fetch(self, obj_id: int, size: int) -> int:
+        """Full fetch over the WAN; returns the current version."""
+        self.stats.fetches += 1
+        self.stats.fetch_bytes += size
+        return self.version(obj_id)
+
+    def revalidate(self, obj_id: int, cached_version: int, size: int) -> bool:
+        """Revalidate a stale cached copy (Step 2b of the ATS path).
+
+        Returns True when the cached copy is still current (an If-Modified
+        304: only headers cross the WAN); on False the content changed and
+        a full re-fetch is performed and accounted.
+        """
+        self.stats.revalidations += 1
+        if self._rng.random() < self._update_probability:
+            self._versions[obj_id] = self.version(obj_id) + 1
+        if self.version(obj_id) == cached_version:
+            return True
+        self.stats.refetches += 1
+        self.fetch(obj_id, size)
+        return False

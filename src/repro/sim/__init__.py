@@ -1,0 +1,47 @@
+"""Trace-driven cache simulation: engine, metrics, network model and
+experiment sweep runner.
+"""
+
+from repro.sim.analytical import CheModel, che_hit_ratio_curve, fit_che_model
+from repro.sim.engine import simulate
+from repro.sim.hierarchy import TieredCache
+from repro.sim.instrumentation import InstrumentedPolicy
+from repro.sim.hitrate_curve import (
+    HitRateCurve,
+    ReuseDistanceAnalyzer,
+    lru_hit_rate_curve,
+)
+from repro.sim.metrics import SimulationResult, WindowMetrics
+from repro.sim.network import LatencyReport, NetworkModel, measure_latency
+from repro.sim.replication import ReplicatedResult, replicate_comparison
+from repro.sim.runner import (
+    best_policy,
+    build_policy,
+    format_table,
+    known_policies,
+    run_comparison,
+)
+
+__all__ = [
+    "CheModel",
+    "HitRateCurve",
+    "InstrumentedPolicy",
+    "LatencyReport",
+    "NetworkModel",
+    "ReplicatedResult",
+    "ReuseDistanceAnalyzer",
+    "SimulationResult",
+    "TieredCache",
+    "che_hit_ratio_curve",
+    "fit_che_model",
+    "lru_hit_rate_curve",
+    "WindowMetrics",
+    "best_policy",
+    "build_policy",
+    "format_table",
+    "known_policies",
+    "measure_latency",
+    "replicate_comparison",
+    "run_comparison",
+    "simulate",
+]

@@ -1,0 +1,74 @@
+"""Trace-driven simulation engine.
+
+``simulate`` runs one policy over one trace, collecting aggregate and
+per-window metrics plus resource proxies (runtime, peak metadata).  The
+engine owns nothing policy-specific: any :class:`CachePolicy` works,
+including LHR and the prototype emulations.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.policies.base import CachePolicy
+from repro.sim.metrics import SimulationResult, WindowMetrics
+from repro.traces.request import Trace
+
+
+def simulate(
+    policy: CachePolicy,
+    trace: Trace,
+    window_requests: int = 0,
+    warmup_requests: int = 0,
+    metadata_probe_interval: int = 1000,
+) -> SimulationResult:
+    """Run ``policy`` over ``trace``.
+
+    Parameters
+    ----------
+    policy:
+        A fresh policy instance (the engine does not reset state).
+    trace:
+        The request stream.
+    window_requests:
+        If > 0, collect per-window hit series every this many requests
+        (the Figure 7 time series).
+    warmup_requests:
+        Requests processed but excluded from aggregate metrics (classic
+        cache-simulation warmup; the per-window series still covers them).
+    metadata_probe_interval:
+        How often (in requests) to sample ``policy.metadata_bytes()`` for
+        the peak-memory statistic.
+    """
+    if warmup_requests < 0:
+        raise ValueError("warmup_requests must be non-negative")
+    result = SimulationResult(
+        policy=policy.name, trace=trace.name, capacity=policy.capacity
+    )
+    window: WindowMetrics | None = None
+    start = time.perf_counter()
+    peak_metadata = 0
+    for i, req in enumerate(trace):
+        if window_requests and (window is None or window.requests >= window_requests):
+            window = WindowMetrics(index=len(result.windows))
+            result.windows.append(window)
+        hit = policy.request(req)
+        if i >= warmup_requests:
+            result.requests += 1
+            result.total_bytes += req.size
+            if hit:
+                result.hits += 1
+                result.hit_bytes += req.size
+        if window is not None:
+            window.requests += 1
+            window.total_bytes += req.size
+            if hit:
+                window.hits += 1
+                window.hit_bytes += req.size
+        if metadata_probe_interval and i % metadata_probe_interval == 0:
+            peak_metadata = max(peak_metadata, policy.metadata_bytes())
+    result.runtime_seconds = time.perf_counter() - start
+    result.peak_metadata_bytes = max(peak_metadata, policy.metadata_bytes())
+    result.evictions = policy.evictions
+    result.admissions = policy.admissions
+    return result

@@ -1,0 +1,118 @@
+"""Two-level cache hierarchy.
+
+A production CDN node is a hierarchy: a small RAM cache over a large
+flash cache (the ATS deployment of Section 6.1).  The prototype code
+hard-wires that pairing; this module provides the general, composable
+form — any policy at either level — so hierarchy effects (inclusive
+caching, promotion traffic) can be studied with the same simulator.
+
+Semantics (inclusive-on-read, like ATS):
+
+* L1 hit — served from L1.
+* L1 miss, L2 hit — served from L2 and *promoted* into L1.
+* both miss — fetched from origin; the request is offered to both
+  levels' admission policies.
+
+The wrapper quacks like a :class:`CachePolicy` (request/hits/misses/
+metadata), so :func:`repro.sim.simulate` works unchanged; per-level
+statistics are exposed for deeper analysis.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import CachePolicy
+from repro.traces.request import Request
+
+
+class TieredCache(CachePolicy):
+    """Inclusive two-level cache composed of two policies.
+
+    Parameters
+    ----------
+    l1, l2:
+        Pre-constructed policies; ``l1.capacity`` should be smaller than
+        ``l2.capacity`` for the hierarchy to make sense (not enforced —
+        inverted hierarchies are occasionally useful in experiments).
+    """
+
+    name = "tiered"
+
+    def __init__(self, l1: CachePolicy, l2: CachePolicy):
+        super().__init__(l1.capacity + l2.capacity)
+        self.l1 = l1
+        self.l2 = l2
+        self.name = f"tiered({l1.name}/{l2.name})"
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.promotions = 0
+
+    # The base class machinery (admission/eviction loop) is bypassed: the
+    # two inner policies own all cache state.
+    def request(self, req: Request) -> bool:
+        hit_l1 = self.l1.request(req)
+        if hit_l1:
+            # Keep L2's recency/learning state in sync with the request
+            # stream (ATS consults its index on every request too).
+            self.l2.request(req)
+            self.l1_hits += 1
+            self.hits += 1
+            self.hit_bytes += req.size
+            return True
+        hit_l2 = self.l2.request(req)
+        if hit_l2:
+            # Promotion: the L1 request above already offered the object
+            # to L1's admission path on its miss.
+            self.l2_hits += 1
+            self.promotions += self.l1.contains(req.obj_id)
+            self.hits += 1
+            self.hit_bytes += req.size
+            return True
+        self.misses += 1
+        self.miss_bytes += req.size
+        return False
+
+    @property
+    def used_bytes(self) -> int:
+        return self.l1.used_bytes + self.l2.used_bytes
+
+    @property
+    def num_objects(self) -> int:
+        return self.l1.num_objects + self.l2.num_objects
+
+    def contains(self, obj_id: int) -> bool:
+        return self.l1.contains(obj_id) or self.l2.contains(obj_id)
+
+    @property
+    def admissions(self) -> int:  # type: ignore[override]
+        return self.l1.admissions + self.l2.admissions
+
+    @admissions.setter
+    def admissions(self, value: int) -> None:
+        # The base constructor assigns 0; inner policies own the counts.
+        pass
+
+    @property
+    def evictions(self) -> int:  # type: ignore[override]
+        return self.l1.evictions + self.l2.evictions
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        pass
+
+    def _select_victim(self, incoming: Request) -> int:
+        raise RuntimeError("tiered cache delegates eviction to its levels")
+
+    def metadata_bytes(self) -> int:
+        return self.l1.metadata_bytes() + self.l2.metadata_bytes()
+
+    def level_report(self) -> dict:
+        """Per-level accounting for hierarchy studies."""
+        total = self.hits + self.misses
+        return {
+            "l1_hit_ratio": self.l1_hits / total if total else 0.0,
+            "l2_hit_ratio": self.l2_hits / total if total else 0.0,
+            "overall_hit_ratio": self.object_hit_ratio,
+            "promotions": self.promotions,
+            "l1_used_bytes": self.l1.used_bytes,
+            "l2_used_bytes": self.l2.used_bytes,
+        }

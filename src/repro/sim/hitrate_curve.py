@@ -1,0 +1,189 @@
+"""Hit-rate curves from reuse distances (Mattson's stack algorithm).
+
+A CDN operator provisioning cache sizes wants the whole curve
+``hit_ratio(cache_size)`` rather than point simulations — the
+"footprint descriptor" methodology (Sundarrajan et al., CoNEXT '17,
+cited by the paper).  For LRU the curve follows from the *reuse
+distance* of each request: the number of distinct bytes touched since
+the previous request to the same content.  A request hits in an LRU
+cache of capacity ``C`` iff its reuse distance is < ``C``, so one pass
+over the trace yields the exact curve for every capacity at once.  (For
+*variable* object sizes byte-LRU is not quite a stack algorithm — an
+oversized insertion can evict deeper than the boundary — so the curve is
+exact for unit sizes and a close approximation otherwise; the tests
+quantify the gap at well under one hit-ratio point.)
+
+This module computes byte-weighted reuse distances with a Fenwick tree
+over request positions — O(n log n) total — and exposes:
+
+* :class:`ReuseDistanceAnalyzer` — streaming reuse-distance computation.
+* :func:`lru_hit_rate_curve` — exact LRU object/byte hit ratio at any
+  set of capacities, from a single pass.
+
+The curves are validated against direct LRU simulation in the tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.request import Trace
+
+#: Reuse distance assigned to first-ever requests (always a miss).
+COLD = float("inf")
+
+
+class _FenwickTree:
+    """Prefix sums over request slots, for counting bytes in a range."""
+
+    def __init__(self, size: int):
+        self._tree = np.zeros(size + 1, dtype=np.int64)
+        self._size = size
+
+    def add(self, index: int, value: int) -> None:
+        i = index + 1
+        while i <= self._size:
+            self._tree[i] += value
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of values at slots 0..index inclusive."""
+        i = index + 1
+        total = 0
+        while i > 0:
+            total += int(self._tree[i])
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum over slots lo..hi inclusive."""
+        if hi < lo:
+            return 0
+        total = self.prefix_sum(hi)
+        if lo > 0:
+            total -= self.prefix_sum(lo - 1)
+        return total
+
+
+class ReuseDistanceAnalyzer:
+    """Byte-weighted reuse distances for a materialized trace.
+
+    ``distances()`` returns, per request, the total bytes of *distinct*
+    contents referenced strictly between the previous request to the same
+    content and this one (inclusive of nothing) — i.e. the LRU stack
+    depth in bytes the content sits at when re-requested.
+    """
+
+    def __init__(self, trace: Trace):
+        self._trace = trace
+
+    def distances(self, size_cap: float | None = None) -> np.ndarray:
+        """Per-request byte reuse distances.
+
+        ``size_cap`` excludes contents larger than it from the stack —
+        objects bigger than the cache are never admitted by any byte
+        cache, so they do not push other objects down.  Pass the cache
+        capacity under study for capacity-faithful distances.
+        """
+        n = len(self._trace)
+        tree = _FenwickTree(n)
+        last_position: dict[int, int] = {}
+        result = np.empty(n, dtype=np.float64)
+        for i, req in enumerate(self._trace):
+            counted = size_cap is None or req.size <= size_cap
+            previous = last_position.get(req.obj_id)
+            if previous is None:
+                result[i] = COLD
+            else:
+                # Bytes of distinct contents touched after the previous
+                # access: each content contributes at its *latest* slot.
+                result[i] = float(tree.range_sum(previous + 1, n - 1))
+                if counted:
+                    tree.add(previous, -req.size)
+            if counted:
+                tree.add(i, req.size)
+            last_position[req.obj_id] = i
+        return result
+
+
+@dataclass(frozen=True)
+class HitRateCurve:
+    """Exact LRU hit-rate curve over a capacity grid."""
+
+    capacities: np.ndarray
+    object_hit_ratios: np.ndarray
+    byte_hit_ratios: np.ndarray
+    trace_name: str
+
+    def object_hit_at(self, capacity: int) -> float:
+        """Interpolated object hit ratio at an arbitrary capacity."""
+        return float(
+            np.interp(capacity, self.capacities, self.object_hit_ratios)
+        )
+
+    def capacity_for_hit_ratio(self, target: float) -> float:
+        """Smallest capacity achieving ``target`` object hit ratio.
+
+        Returns ``inf`` if the target is unreachable (above the curve's
+        ceiling — the compulsory-miss limit).
+        """
+        reachable = self.object_hit_ratios >= target
+        if not reachable.any():
+            return float("inf")
+        return float(self.capacities[int(np.argmax(reachable))])
+
+
+def lru_hit_rate_curve(
+    trace: Trace,
+    capacities: Sequence[int] | None = None,
+    num_points: int = 32,
+) -> HitRateCurve:
+    """Exact LRU hit ratios at every capacity from one trace pass.
+
+    ``capacities`` defaults to a log-spaced grid from the largest single
+    object to the trace's unique bytes.
+    """
+    if not len(trace):
+        raise ValueError("cannot build a curve from an empty trace")
+    sizes = np.fromiter((req.size for req in trace), dtype=np.float64)
+    max_size = float(sizes.max())
+    if capacities is None:
+        low = max(int(max_size), 1)
+        high = max(trace.unique_bytes(), low + 1)
+        grid = np.unique(
+            np.logspace(np.log10(low), np.log10(high), num_points).astype(np.int64)
+        )
+    else:
+        grid = np.asarray(sorted(capacities), dtype=np.int64)
+        if (grid <= 0).any():
+            raise ValueError("capacities must be positive")
+    analyzer = ReuseDistanceAnalyzer(trace)
+    # Objects larger than the capacity are never admitted and must not
+    # count toward the stack depth; distances therefore depend on the
+    # capacity whenever some object exceeds it (one extra pass per such
+    # grid point — grid points above max_size share one pass).
+    shared = analyzer.distances()
+    object_ratios = np.empty(grid.size, dtype=np.float64)
+    byte_ratios = np.empty(grid.size, dtype=np.float64)
+    total_bytes = sizes.sum()
+    for k, capacity in enumerate(grid):
+        if capacity < max_size:
+            distances = analyzer.distances(size_cap=float(capacity))
+        else:
+            distances = shared
+        finite = np.isfinite(distances)
+        # A request hits at capacity C iff distance + size <= C (the
+        # object itself must also fit while resident).
+        effective = np.where(finite, distances + sizes, np.inf)
+        hit_mask = effective <= capacity
+        object_ratios[k] = hit_mask.mean()
+        byte_ratios[k] = sizes[hit_mask].sum() / total_bytes
+    return HitRateCurve(
+        capacities=grid,
+        object_hit_ratios=object_ratios,
+        byte_hit_ratios=byte_ratios,
+        trace_name=trace.name,
+    )

@@ -1,0 +1,88 @@
+"""Simulation metrics.
+
+``SimulationResult`` captures everything the paper's evaluation reports
+per (policy, trace, cache size) cell: object/byte hit ratios, WAN traffic
+(= bytes fetched from the origin, i.e. all miss bytes — a miss must be
+fetched to serve the user whether or not it is admitted), per-window hit
+series (Figure 7), runtime and metadata overhead (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WindowMetrics:
+    """Hit counters for one reporting window."""
+
+    index: int
+    requests: int = 0
+    hits: int = 0
+    hit_bytes: int = 0
+    total_bytes: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def byte_hit_ratio(self) -> float:
+        return self.hit_bytes / self.total_bytes if self.total_bytes else 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one policy run over one trace."""
+
+    policy: str
+    trace: str
+    capacity: int
+    requests: int = 0
+    hits: int = 0
+    hit_bytes: int = 0
+    total_bytes: int = 0
+    evictions: int = 0
+    admissions: int = 0
+    runtime_seconds: float = 0.0
+    peak_metadata_bytes: int = 0
+    windows: list[WindowMetrics] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def object_hit_ratio(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def byte_hit_ratio(self) -> float:
+        return self.hit_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    @property
+    def miss_bytes(self) -> int:
+        return self.total_bytes - self.hit_bytes
+
+    @property
+    def wan_traffic_bytes(self) -> int:
+        """Bytes pulled over the WAN from the origin (every miss fetches)."""
+        return self.miss_bytes
+
+    @property
+    def wan_traffic_ratio(self) -> float:
+        """WAN bytes as a fraction of total requested bytes."""
+        return self.miss_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    def as_row(self) -> dict:
+        """Flat dict for result tables."""
+        return {
+            "policy": self.policy,
+            "trace": self.trace,
+            "capacity": self.capacity,
+            "requests": self.requests,
+            "object_hit_ratio": round(self.object_hit_ratio, 4),
+            "byte_hit_ratio": round(self.byte_hit_ratio, 4),
+            "wan_traffic_gb": round(self.wan_traffic_bytes / (1 << 30), 3),
+            "evictions": self.evictions,
+            "runtime_seconds": round(self.runtime_seconds, 3),
+            "peak_metadata_mb": round(self.peak_metadata_bytes / (1 << 20), 3),
+            **self.extra,
+        }

@@ -1,0 +1,130 @@
+"""Replicated experiments: seed sweeps with summary statistics.
+
+Single-trace numbers hide generator noise.  This harness re-runs a
+(policy, capacity) comparison across several stand-in trace seeds and
+reports mean ± sample standard deviation per policy — the form results
+should take before any "X beats Y" claim.  Cells are independent, so the
+sweep optionally fans out over a process pool.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.traces.production import PRODUCTION_SPECS
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Per-policy summary over a seed sweep."""
+
+    policy: str
+    trace: str
+    capacity: int
+    seeds: tuple[int, ...]
+    object_hit_ratios: tuple[float, ...]
+    byte_hit_ratios: tuple[float, ...]
+
+    @staticmethod
+    def _mean(values: tuple[float, ...]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    @staticmethod
+    def _std(values: tuple[float, ...]) -> float:
+        if len(values) < 2:
+            return 0.0
+        mean = sum(values) / len(values)
+        return math.sqrt(
+            sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        )
+
+    @property
+    def mean_object_hit(self) -> float:
+        return self._mean(self.object_hit_ratios)
+
+    @property
+    def std_object_hit(self) -> float:
+        return self._std(self.object_hit_ratios)
+
+    @property
+    def mean_byte_hit(self) -> float:
+        return self._mean(self.byte_hit_ratios)
+
+    @property
+    def std_byte_hit(self) -> float:
+        return self._std(self.byte_hit_ratios)
+
+    def as_row(self) -> dict:
+        return {
+            "policy": self.policy,
+            "trace": self.trace,
+            "object_hit": f"{self.mean_object_hit:.3f}±{self.std_object_hit:.3f}",
+            "byte_hit": f"{self.mean_byte_hit:.3f}±{self.std_byte_hit:.3f}",
+            "seeds": len(self.seeds),
+        }
+
+
+def _run_cell(args: tuple) -> tuple[str, int, float, float]:
+    """One (policy, seed) cell; module-level so it pickles for workers."""
+    spec_name, policy_name, cache_gb, scale, seed, policy_kwargs = args
+    from repro.sim.runner import build_policy
+    from repro.traces.production import generate_production_trace
+
+    spec = PRODUCTION_SPECS[spec_name]
+    trace = generate_production_trace(spec, scale=scale, seed=seed)
+    capacity = spec.scaled_cache_bytes(cache_gb, scale)
+    policy = build_policy(policy_name, capacity, **(policy_kwargs or {}))
+    policy.process(trace)
+    return policy_name, seed, policy.object_hit_ratio, policy.byte_hit_ratio
+
+
+def replicate_comparison(
+    spec_name: str,
+    policy_names: list[str],
+    cache_gb: float,
+    seeds: list[int],
+    scale: float = 0.01,
+    policy_kwargs: dict[str, dict] | None = None,
+    workers: int = 0,
+) -> list[ReplicatedResult]:
+    """Run every policy over freshly generated traces for every seed.
+
+    ``workers > 1`` fans cells out over a process pool; results are
+    identical either way (each cell is deterministic in its seed).
+    """
+    if spec_name not in PRODUCTION_SPECS:
+        raise ValueError(f"unknown trace spec {spec_name!r}")
+    if not seeds:
+        raise ValueError("need at least one seed")
+    overrides = policy_kwargs or {}
+    cells = [
+        (spec_name, name, cache_gb, scale, seed, overrides.get(name))
+        for name in policy_names
+        for seed in seeds
+    ]
+    if workers and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_run_cell, cells))
+    else:
+        outcomes = [_run_cell(cell) for cell in cells]
+
+    spec = PRODUCTION_SPECS[spec_name]
+    capacity = spec.scaled_cache_bytes(cache_gb, scale)
+    results = []
+    for name in policy_names:
+        mine = sorted(
+            (o for o in outcomes if o[0] == name), key=lambda o: o[1]
+        )
+        results.append(
+            ReplicatedResult(
+                policy=name,
+                trace=spec_name,
+                capacity=capacity,
+                seeds=tuple(o[1] for o in mine),
+                object_hit_ratios=tuple(o[2] for o in mine),
+                byte_hit_ratios=tuple(o[3] for o in mine),
+            )
+        )
+    return results

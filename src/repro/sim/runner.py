@@ -1,0 +1,94 @@
+"""Experiment sweep runner.
+
+``run_comparison`` is the workhorse behind Figures 2 and 8: it runs a set
+of policies (by name) over a trace for one or more cache sizes and
+returns the grid of :class:`SimulationResult`.  Policy names resolve
+through the combined registry — the SOTA policies from
+:mod:`repro.policies` plus LHR and its ablation variants.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.lhr import DLhrCache, LhrCache, NLhrCache
+from repro.policies import POLICY_REGISTRY, make_policy
+from repro.policies.base import CachePolicy
+from repro.sim.engine import simulate
+from repro.sim.metrics import SimulationResult
+from repro.traces.request import Trace
+
+_CORE_REGISTRY = {
+    "lhr": LhrCache,
+    "d-lhr": DLhrCache,
+    "n-lhr": NLhrCache,
+}
+
+
+def build_policy(name: str, capacity: int, **kwargs) -> CachePolicy:
+    """Instantiate any policy in the package — SOTAs, classics or LHR."""
+    key = name.lower()
+    if key in _CORE_REGISTRY:
+        return _CORE_REGISTRY[key](capacity, **kwargs)
+    return make_policy(key, capacity, **kwargs)
+
+
+def known_policies() -> list[str]:
+    """All resolvable policy names."""
+    return sorted(set(POLICY_REGISTRY) | set(_CORE_REGISTRY))
+
+
+def run_comparison(
+    trace: Trace,
+    policy_names: Sequence[str],
+    capacities: Iterable[int],
+    window_requests: int = 0,
+    warmup_requests: int = 0,
+    policy_kwargs: dict[str, dict] | None = None,
+) -> list[SimulationResult]:
+    """Run every (policy, capacity) combination over ``trace``.
+
+    ``policy_kwargs`` maps policy name -> constructor overrides.  Each
+    combination gets a fresh policy instance.
+    """
+    overrides = policy_kwargs or {}
+    results: list[SimulationResult] = []
+    for capacity in capacities:
+        for name in policy_names:
+            policy = build_policy(name, capacity, **overrides.get(name, {}))
+            results.append(
+                simulate(
+                    policy,
+                    trace,
+                    window_requests=window_requests,
+                    warmup_requests=warmup_requests,
+                )
+            )
+    return results
+
+
+def best_policy(results: Sequence[SimulationResult]) -> SimulationResult:
+    """The result with the highest object hit ratio (the paper's
+    "best-performing SOTA" selector)."""
+    if not results:
+        raise ValueError("no results to choose from")
+    return max(results, key=lambda result: result.object_hit_ratio)
+
+
+def format_table(results: Sequence[SimulationResult]) -> str:
+    """Plain-text results table for benchmark harness output."""
+    if not results:
+        return "(no results)"
+    rows = [result.as_row() for result in results]
+    columns = list(rows[0])
+    widths = {
+        col: max(len(col), *(len(str(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)

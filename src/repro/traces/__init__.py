@@ -1,0 +1,39 @@
+"""Trace substrate: request records, synthetic workloads, production-trace
+stand-ins, trace I/O and trace characterization.
+
+The paper evaluates on four proprietary CDN traces (Table 1).  Those traces
+are not public, so :mod:`repro.traces.production` generates synthetic
+stand-ins calibrated to the published per-trace statistics; see DESIGN.md
+for the substitution rationale.
+"""
+
+from repro.traces.loader import load_trace_csv, save_trace_csv
+from repro.traces.production import (
+    PRODUCTION_SPECS,
+    TraceSpec,
+    generate_production_trace,
+)
+from repro.traces.request import Request, Trace
+from repro.traces.stats import TraceSummary, summarize_trace
+from repro.traces.synthetic import (
+    MarkovModulatedGenerator,
+    irm_trace,
+    syn_one_trace,
+    syn_two_trace,
+)
+
+__all__ = [
+    "MarkovModulatedGenerator",
+    "PRODUCTION_SPECS",
+    "Request",
+    "Trace",
+    "TraceSpec",
+    "TraceSummary",
+    "generate_production_trace",
+    "irm_trace",
+    "load_trace_csv",
+    "save_trace_csv",
+    "summarize_trace",
+    "syn_one_trace",
+    "syn_two_trace",
+]

@@ -1,0 +1,84 @@
+"""Trace file I/O.
+
+Two on-disk formats are supported:
+
+* ``csv`` — ``time,obj_id,size`` with a header row (this package's native
+  format).
+* ``webcachesim`` — whitespace-separated ``time id size`` lines with no
+  header, the de-facto interchange format used by the LRB/webcachesim
+  simulators the paper builds on.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.traces.request import Request, Trace
+
+
+def save_trace_csv(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` as a headered CSV file."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "obj_id", "size"])
+        for req in trace:
+            writer.writerow([f"{req.time:.6f}", req.obj_id, req.size])
+
+
+def load_trace_csv(path: str | Path, name: str | None = None) -> Trace:
+    """Read a headered CSV trace written by :func:`save_trace_csv`."""
+    path = Path(path)
+    requests: list[Request] = []
+    with path.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise ValueError(f"{path} is empty")
+        expected = ["time", "obj_id", "size"]
+        if [col.strip().lower() for col in header] != expected:
+            raise ValueError(f"{path} header {header!r} != {expected!r}")
+        for index, row in enumerate(reader):
+            if len(row) != 3:
+                raise ValueError(f"{path}:{index + 2}: expected 3 columns, got {len(row)}")
+            requests.append(
+                Request(
+                    time=float(row[0]),
+                    obj_id=int(row[1]),
+                    size=int(row[2]),
+                    index=index,
+                )
+            )
+    return Trace(requests, name=name or path.stem)
+
+
+def save_trace_webcachesim(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` in the webcachesim ``time id size`` format."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for req in trace:
+            handle.write(f"{req.time:.6f} {req.obj_id} {req.size}\n")
+
+
+def load_trace_webcachesim(path: str | Path, name: str | None = None) -> Trace:
+    """Read a webcachesim-format trace (no header, whitespace separated)."""
+    path = Path(path)
+    requests: list[Request] = []
+    with path.open() as handle:
+        for index, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ValueError(f"{path}:{index + 1}: expected 3 fields, got {len(parts)}")
+            requests.append(
+                Request(
+                    time=float(parts[0]),
+                    obj_id=int(parts[1]),
+                    size=int(parts[2]),
+                    index=len(requests),
+                )
+            )
+    return Trace(requests, name=name or path.stem)

@@ -1,0 +1,119 @@
+"""Request and trace records — the common currency of the whole package.
+
+Every policy, bound and prototype consumes a stream of
+``(time, content id, size)`` tuples; nothing downstream depends on where
+the stream came from (synthetic generator, production stand-in or a CSV on
+disk).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """A single content request.
+
+    Attributes
+    ----------
+    time:
+        Arrival timestamp in seconds (monotonically non-decreasing within
+        a trace).
+    obj_id:
+        Integer content identifier.
+    size:
+        Content size in bytes.
+    index:
+        Zero-based sequence number within the trace; ``-1`` if unknown.
+    """
+
+    time: float
+    obj_id: int
+    size: int
+    index: int = -1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"request size must be positive, got {self.size}")
+        if self.time < 0:
+            raise ValueError(f"request time must be non-negative, got {self.time}")
+
+
+@dataclass
+class Trace:
+    """A materialized request trace with optional provenance metadata."""
+
+    requests: list[Request]
+    name: str = "trace"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.requests = [
+            req if req.index == idx else Request(req.time, req.obj_id, req.size, idx)
+            for idx, req in enumerate(self.requests)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return Trace(list(self.requests[item]), name=self.name, metadata=dict(self.metadata))
+        return self.requests[item]
+
+    @classmethod
+    def from_tuples(
+        cls, rows: Iterable[tuple[float, int, int]], name: str = "trace"
+    ) -> "Trace":
+        """Build a trace from ``(time, obj_id, size)`` tuples."""
+        requests = [
+            Request(time=float(t), obj_id=int(o), size=int(s), index=i)
+            for i, (t, o, s) in enumerate(rows)
+        ]
+        return cls(requests, name=name)
+
+    @property
+    def duration(self) -> float:
+        """Trace span in seconds (0 for traces with fewer than 2 requests)."""
+        if len(self.requests) < 2:
+            return 0.0
+        return self.requests[-1].time - self.requests[0].time
+
+    def unique_contents(self) -> dict[int, int]:
+        """Map of content id -> size for every distinct content."""
+        sizes: dict[int, int] = {}
+        for req in self.requests:
+            sizes[req.obj_id] = req.size
+        return sizes
+
+    def total_bytes(self) -> int:
+        return sum(req.size for req in self.requests)
+
+    def unique_bytes(self) -> int:
+        return sum(self.unique_contents().values())
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if timestamps regress or sizes are inconsistent.
+
+        A content that changes size mid-trace would silently corrupt the
+        byte accounting of every policy, so we check for it here.
+        """
+        sizes: dict[int, int] = {}
+        last_time = -1.0
+        for req in self.requests:
+            if req.time < last_time:
+                raise ValueError(
+                    f"timestamps regress at index {req.index}: "
+                    f"{req.time} < {last_time}"
+                )
+            last_time = req.time
+            known = sizes.setdefault(req.obj_id, req.size)
+            if known != req.size:
+                raise ValueError(
+                    f"content {req.obj_id} changes size {known} -> {req.size}"
+                )

@@ -1,0 +1,148 @@
+"""Trace characterization: the columns of Table 1 and the distributions in
+Figure 1 (content popularity and inter-arrival times).
+
+``active bytes`` follows the paper's definition (footnote 2): a content is
+active at time ``t`` if ``t`` lies between its first and last request; the
+active bytes at ``t`` is the total size of active contents.  Table 1
+reports one number per trace, which we take to be the peak over the trace
+(the quantity cache sizes were provisioned against).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.request import Trace
+
+GB = 1 << 30
+MB = 1 << 20
+TB = 1 << 40
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """One row of Table 1, computed from an actual trace."""
+
+    name: str
+    duration_hours: float
+    unique_contents: int
+    total_requests: int
+    total_bytes_tb: float
+    unique_bytes_gb: float
+    peak_active_bytes_gb: float
+    mean_active_bytes_gb: float
+    mean_size_mb: float
+    max_size_mb: float
+    one_hit_fraction: float
+
+    def as_table_row(self) -> dict[str, float | int | str]:
+        """Rounded values laid out like a Table 1 column."""
+        return {
+            "Dataset": self.name,
+            "Duration (Hours)": round(self.duration_hours, 2),
+            "Unique contents": self.unique_contents,
+            "Total requests (Millions)": round(self.total_requests / 1e6, 3),
+            "Total bytes requested (TB)": round(self.total_bytes_tb, 2),
+            "Unique bytes requested (GB)": round(self.unique_bytes_gb, 1),
+            "Active bytes (GB)": round(self.peak_active_bytes_gb, 1),
+            "Mean content size (MB)": round(self.mean_size_mb, 1),
+            "Max content size (MB)": round(self.max_size_mb, 1),
+        }
+
+
+def active_bytes_profile(trace: Trace) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(times, active_bytes)`` step function over the trace.
+
+    The profile steps up at each content's first request and down after
+    its last request.
+    """
+    first_seen: dict[int, float] = {}
+    last_seen: dict[int, float] = {}
+    sizes: dict[int, int] = {}
+    for req in trace:
+        first_seen.setdefault(req.obj_id, req.time)
+        last_seen[req.obj_id] = req.time
+        sizes[req.obj_id] = req.size
+    events: list[tuple[float, int]] = []
+    for obj_id, start in first_seen.items():
+        events.append((start, sizes[obj_id]))
+        events.append((last_seen[obj_id], -sizes[obj_id]))
+    # Sort decrements after increments at equal time: a content requested
+    # once is momentarily active.
+    events.sort(key=lambda ev: (ev[0], -ev[1]))
+    times = np.empty(len(events))
+    levels = np.empty(len(events))
+    level = 0
+    for i, (time, delta) in enumerate(events):
+        level += delta
+        times[i] = time
+        levels[i] = level
+    return times, levels
+
+
+def summarize_trace(trace: Trace) -> TraceSummary:
+    """Compute the Table 1 row for ``trace``."""
+    if not len(trace):
+        raise ValueError("cannot summarize an empty trace")
+    counts = Counter(req.obj_id for req in trace)
+    sizes = trace.unique_contents()
+    size_values = np.fromiter(sizes.values(), dtype=np.float64)
+    times, levels = active_bytes_profile(trace)
+    if len(times) > 1 and times[-1] > times[0]:
+        widths = np.diff(times)
+        mean_active = float(np.dot(levels[:-1], widths) / widths.sum())
+    else:
+        mean_active = float(levels.max(initial=0.0))
+    one_hit = sum(1 for c in counts.values() if c == 1)
+    return TraceSummary(
+        name=trace.name,
+        duration_hours=trace.duration / 3600.0,
+        unique_contents=len(sizes),
+        total_requests=len(trace),
+        total_bytes_tb=trace.total_bytes() / TB,
+        unique_bytes_gb=trace.unique_bytes() / GB,
+        peak_active_bytes_gb=float(levels.max(initial=0.0)) / GB,
+        mean_active_bytes_gb=mean_active / GB,
+        mean_size_mb=float(size_values.mean()) / MB,
+        max_size_mb=float(size_values.max()) / MB,
+        one_hit_fraction=one_hit / len(sizes),
+    )
+
+
+def popularity_distribution(trace: Trace) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 1 (left): request count per content vs popularity rank.
+
+    Returns ``(ranks, counts)`` with counts sorted descending.
+    """
+    counts = Counter(req.obj_id for req in trace)
+    values = np.sort(np.fromiter(counts.values(), dtype=np.float64))[::-1]
+    ranks = np.arange(1, values.size + 1, dtype=np.float64)
+    return ranks, values
+
+
+def interarrival_distribution(
+    trace: Trace, num_points: int = 200
+) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 1 (right): CCDF of per-content inter-request times.
+
+    Returns ``(t, P(IRT > t))`` sampled at ``num_points`` log-spaced
+    abscissae.
+    """
+    last_time: dict[int, float] = {}
+    gaps: list[float] = []
+    for req in trace:
+        previous = last_time.get(req.obj_id)
+        if previous is not None:
+            gaps.append(req.time - previous)
+        last_time[req.obj_id] = req.time
+    if not gaps:
+        raise ValueError("trace has no repeated contents; no inter-arrival times")
+    samples = np.sort(np.asarray(gaps, dtype=np.float64))
+    positive = samples[samples > 0]
+    low = positive.min() if positive.size else 1e-6
+    grid = np.logspace(np.log10(low), np.log10(samples.max() + 1e-12), num_points)
+    ccdf = 1.0 - np.searchsorted(samples, grid, side="right") / samples.size
+    return grid, ccdf

@@ -1,0 +1,170 @@
+"""Trace transformations.
+
+Practitioner utilities for shaping request traces before simulation:
+temporal scaling, head/tail splits for train/test protocols, content
+filtering, deterministic subsampling, and interleaving multiple traces
+onto one timeline (e.g. to model a server consolidating two customer
+workloads).
+
+All functions are pure: they return new :class:`Trace` objects and leave
+inputs untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.request import Request, Trace
+
+
+def time_scale(trace: Trace, factor: float, name: str | None = None) -> Trace:
+    """Multiply all timestamps by ``factor`` (speed up or slow down).
+
+    ``factor < 1`` compresses the trace (higher request rate), ``> 1``
+    stretches it.  Content ids and sizes are unchanged.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    requests = [
+        Request(req.time * factor, req.obj_id, req.size, i)
+        for i, req in enumerate(trace)
+    ]
+    return Trace(
+        requests,
+        name=name or f"{trace.name}-x{factor:g}",
+        metadata={**trace.metadata, "time_scale": factor},
+    )
+
+
+def split(trace: Trace, fraction: float) -> tuple[Trace, Trace]:
+    """Split a trace at ``fraction`` of its requests (train/test protocol)."""
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must lie in (0, 1)")
+    cut = int(len(trace) * fraction)
+    head = Trace(list(trace.requests[:cut]), name=f"{trace.name}-head")
+    tail = Trace(list(trace.requests[cut:]), name=f"{trace.name}-tail")
+    return head, tail
+
+
+def filter_by_size(
+    trace: Trace,
+    min_bytes: int = 0,
+    max_bytes: int | None = None,
+    name: str | None = None,
+) -> Trace:
+    """Keep only requests whose content size lies in ``[min_bytes, max_bytes]``."""
+    if max_bytes is not None and max_bytes < min_bytes:
+        raise ValueError("max_bytes must be >= min_bytes")
+    kept = [
+        req
+        for req in trace
+        if req.size >= min_bytes and (max_bytes is None or req.size <= max_bytes)
+    ]
+    return Trace(
+        [Request(r.time, r.obj_id, r.size, i) for i, r in enumerate(kept)],
+        name=name or f"{trace.name}-filtered",
+    )
+
+
+def subsample(trace: Trace, fraction: float, seed: int = 0) -> Trace:
+    """Content-consistent subsampling: keep a random ``fraction`` of
+    *contents* and every request to them.
+
+    Sampling whole contents (rather than individual requests) preserves
+    per-content inter-request patterns, which request-level sampling
+    destroys — the standard methodology for shrinking CDN traces.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must lie in (0, 1]")
+    rng = np.random.default_rng(seed)
+    contents = sorted(trace.unique_contents())
+    keep = {
+        contents[i]
+        for i in rng.choice(
+            len(contents), size=max(int(len(contents) * fraction), 1), replace=False
+        )
+    }
+    kept = [req for req in trace if req.obj_id in keep]
+    return Trace(
+        [Request(r.time, r.obj_id, r.size, i) for i, r in enumerate(kept)],
+        name=f"{trace.name}-sub{fraction:g}",
+        metadata={**trace.metadata, "subsample": fraction, "subsample_seed": seed},
+    )
+
+
+def interleave(first: Trace, second: Trace, name: str | None = None) -> Trace:
+    """Merge two traces onto one timeline, keeping timestamps.
+
+    Content ids of ``second`` are offset above ``first``'s id space so the
+    two workloads never alias.  Requests are merged in time order.
+    """
+    offset = max((req.obj_id for req in first), default=-1) + 1
+    merged = [(req.time, req.obj_id, req.size) for req in first]
+    merged.extend((req.time, req.obj_id + offset, req.size) for req in second)
+    merged.sort(key=lambda row: row[0])
+    requests = [
+        Request(time, obj_id, size, i)
+        for i, (time, obj_id, size) in enumerate(merged)
+    ]
+    return Trace(
+        requests,
+        name=name or f"{first.name}+{second.name}",
+        metadata={"sources": [first.name, second.name], "id_offset": offset},
+    )
+
+
+def diurnal(
+    trace: Trace,
+    period_seconds: float = 86_400.0,
+    amplitude: float = 0.5,
+    name: str | None = None,
+) -> Trace:
+    """Re-time requests under a sinusoidal (diurnal) arrival intensity.
+
+    CDN request rates swing with the day-night cycle; trace generators
+    that emit homogeneous arrivals miss the resulting load peaks.  This
+    warps timestamps so the instantaneous rate follows
+    ``1 + amplitude * sin(2*pi*t/period)`` while preserving the request
+    *order*, the id sequence, and the total duration — only the spacing
+    changes (dense at peaks, sparse in troughs).
+    """
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must lie in [0, 1)")
+    if period_seconds <= 0:
+        raise ValueError("period_seconds must be positive")
+    if len(trace) < 2 or amplitude == 0.0:
+        return Trace(list(trace.requests), name=name or trace.name,
+                     metadata=dict(trace.metadata))
+    start = trace.requests[0].time
+    duration = trace.duration
+    if duration <= 0:
+        return Trace(list(trace.requests), name=name or trace.name,
+                     metadata=dict(trace.metadata))
+    # Cumulative intensity of the target rate, normalized to [0, 1]:
+    # Lambda(t) = t + A*P/(2*pi) * (1 - cos(2*pi*t/P)).
+    grid = np.linspace(0.0, duration, 4096)
+    omega = 2.0 * np.pi / period_seconds
+    cumulative = grid + amplitude / omega * (1.0 - np.cos(omega * grid))
+    cumulative /= cumulative[-1]
+    old = np.array([req.time - start for req in trace]) / duration
+    # A request at normalized cumulative mass u arrives at Lambda^{-1}(u).
+    new_times = start + np.interp(old, cumulative, grid)
+    requests = [
+        Request(float(new_times[i]), req.obj_id, req.size, i)
+        for i, req in enumerate(trace)
+    ]
+    return Trace(
+        requests,
+        name=name or f"{trace.name}-diurnal",
+        metadata={**trace.metadata, "diurnal_period": period_seconds,
+                  "diurnal_amplitude": amplitude},
+    )
+
+
+def truncate_requests(trace: Trace, num_requests: int) -> Trace:
+    """First ``num_requests`` requests of a trace."""
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    return Trace(
+        list(trace.requests[:num_requests]), name=trace.name, metadata=dict(trace.metadata)
+    )

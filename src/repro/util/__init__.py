@@ -1,0 +1,27 @@
+"""Shared utility substrate: probabilistic data structures, heaps, sampling,
+curve fitting and streaming statistics.
+
+These are the building blocks the caching policies, bounds and the LHR core
+are assembled from.  Everything here is deterministic given an explicit seed
+and has no dependency on the rest of the package.
+"""
+
+from repro.util.bloom import BloomFilter
+from repro.util.fitting import ZipfFit, fit_zipf
+from repro.util.heap import LazyHeap
+from repro.util.sampling import ZipfSampler, zipf_weights
+from repro.util.sketch import CountMinSketch
+from repro.util.stats import EwmaEstimator, PercentileTracker, RunningStats
+
+__all__ = [
+    "BloomFilter",
+    "CountMinSketch",
+    "EwmaEstimator",
+    "LazyHeap",
+    "PercentileTracker",
+    "RunningStats",
+    "ZipfFit",
+    "ZipfSampler",
+    "fit_zipf",
+    "zipf_weights",
+]

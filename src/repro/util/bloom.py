@@ -1,0 +1,98 @@
+"""Bloom filter used by the B-LRU admission policy (Section 6.2 of the paper).
+
+B-LRU ("Bloom Filter LRU") only admits a content the *second* time it is
+seen, which filters out one-hit wonders.  The filter here is a standard
+partitioned Bloom filter over ``k`` hash functions derived from two base
+hashes (Kirsch-Mitzenmacker double hashing).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+_GOLDEN64 = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(value: int) -> int:
+    """SplitMix64 finalizer; a cheap, well-distributed 64-bit mixer."""
+    value = (value + _GOLDEN64) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over integer keys.
+
+    Parameters
+    ----------
+    expected_items:
+        Number of distinct keys the filter is sized for.
+    false_positive_rate:
+        Target false-positive probability at ``expected_items`` inserts.
+    """
+
+    def __init__(self, expected_items: int, false_positive_rate: float = 0.01):
+        if expected_items <= 0:
+            raise ValueError("expected_items must be positive")
+        if not 0.0 < false_positive_rate < 1.0:
+            raise ValueError("false_positive_rate must lie in (0, 1)")
+        ln2 = math.log(2.0)
+        bits = math.ceil(-expected_items * math.log(false_positive_rate) / (ln2 * ln2))
+        self._num_bits = max(64, bits)
+        self._num_hashes = max(1, round((self._num_bits / expected_items) * ln2))
+        self._bits = np.zeros((self._num_bits + 63) // 64, dtype=np.uint64)
+        self._count = 0
+
+    @property
+    def num_bits(self) -> int:
+        return self._num_bits
+
+    @property
+    def num_hashes(self) -> int:
+        return self._num_hashes
+
+    def __len__(self) -> int:
+        """Number of ``add`` calls for keys not already (apparently) present."""
+        return self._count
+
+    def _positions(self, key: int):
+        h1 = _mix64(key & _MASK64)
+        h2 = _mix64(h1) | 1
+        for i in range(self._num_hashes):
+            yield ((h1 + i * h2) & _MASK64) % self._num_bits
+
+    def add(self, key: int) -> bool:
+        """Insert ``key``; return True if it appeared to be present already."""
+        present = True
+        for pos in self._positions(key):
+            word, bit = divmod(pos, 64)
+            mask = np.uint64(1 << bit)
+            if not self._bits[word] & mask:
+                present = False
+                self._bits[word] |= mask
+        if not present:
+            self._count += 1
+        return present
+
+    def __contains__(self, key: int) -> bool:
+        return all(
+            self._bits[pos // 64] & np.uint64(1 << (pos % 64))
+            for pos in self._positions(key)
+        )
+
+    def clear(self) -> None:
+        self._bits.fill(0)
+        self._count = 0
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set; used to decide when to rotate the filter."""
+        set_bits = int(np.unpackbits(self._bits.view(np.uint8)).sum())
+        return set_bits / self._num_bits
+
+    def metadata_bytes(self) -> int:
+        """Approximate memory footprint in bytes (for overhead accounting)."""
+        return self._bits.nbytes

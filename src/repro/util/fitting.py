@@ -1,0 +1,80 @@
+"""Least-squares Zipf parameter estimation (Section 5.2.2).
+
+LHR's detection mechanism estimates the Zipf skew ``alpha`` of each
+sliding window by regressing ``log p_i`` on ``log i`` — the paper's
+"LSM-based model" — and retrains the admission model only when alpha
+drifts by more than ``epsilon`` between consecutive windows.  The fit is
+O(N) in the number of unique contents.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ZipfFit:
+    """Result of a least-squares Zipf fit.
+
+    Attributes
+    ----------
+    alpha:
+        Estimated skew (the negated slope of the log-log regression).
+    log_amplitude:
+        Estimated intercept ``log A``.
+    r_squared:
+        Coefficient of determination of the regression.
+    num_contents:
+        Number of unique contents the fit was computed over.
+    """
+
+    alpha: float
+    log_amplitude: float
+    r_squared: float
+    num_contents: int
+
+
+def fit_zipf(frequencies: np.ndarray) -> ZipfFit:
+    """Fit ``p_i = A / i^alpha`` to a vector of per-content request counts.
+
+    ``frequencies`` need not be sorted or normalized; zero entries are
+    dropped.  Raises ``ValueError`` when fewer than two distinct contents
+    remain, since a slope is then undefined.
+    """
+    counts = np.asarray(frequencies, dtype=np.float64)
+    counts = counts[counts > 0]
+    if counts.size < 2:
+        raise ValueError("need at least two non-zero frequencies to fit Zipf")
+    counts = np.sort(counts)[::-1]
+    probabilities = counts / counts.sum()
+    ranks = np.arange(1, counts.size + 1, dtype=np.float64)
+    x = np.log(ranks)
+    y = np.log(probabilities)
+    x_mean = x.mean()
+    y_mean = y.mean()
+    x_centered = x - x_mean
+    denom = float(np.dot(x_centered, x_centered))
+    if denom == 0.0:
+        raise ValueError("degenerate rank axis")
+    slope = float(np.dot(x_centered, y - y_mean)) / denom
+    intercept = y_mean - slope * x_mean
+    residuals = y - (intercept + slope * x)
+    total = float(np.dot(y - y_mean, y - y_mean))
+    r_squared = 1.0 - float(np.dot(residuals, residuals)) / total if total > 0 else 1.0
+    return ZipfFit(
+        alpha=-slope,
+        log_amplitude=intercept,
+        r_squared=r_squared,
+        num_contents=int(counts.size),
+    )
+
+
+def fit_zipf_from_requests(content_ids) -> ZipfFit:
+    """Convenience wrapper: fit Zipf directly from a request id stream."""
+    counter = Counter(content_ids)
+    if not counter:
+        raise ValueError("empty request stream")
+    return fit_zipf(np.fromiter(counter.values(), dtype=np.float64))

@@ -1,0 +1,84 @@
+"""Lazy-deletion priority queue keyed by object id.
+
+Cache eviction policies repeatedly need "pop the object with the smallest
+priority" while priorities of cached objects change on every hit.  A binary
+heap with lazy deletion gives amortized O(log n) updates: stale entries are
+left in the heap and skipped at pop time.  This is the eviction engine
+behind GDSF, LFU-DA, LHR's eviction rule and several other policies.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator
+
+
+class LazyHeap:
+    """Min-heap mapping ``key -> priority`` with O(log n) update and pop.
+
+    Ties are broken by insertion order (FIFO among equal priorities), which
+    matches how classic cache policies (e.g. LFU) behave in simulators.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int]] = []
+        self._priority: dict[int, float] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._priority)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._priority
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._priority)
+
+    def priority(self, key: int) -> float:
+        return self._priority[key]
+
+    def push(self, key: int, priority: float) -> None:
+        """Insert ``key`` or update its priority."""
+        self._priority[key] = priority
+        heapq.heappush(self._heap, (priority, self._counter, key))
+        self._counter += 1
+
+    def remove(self, key: int) -> None:
+        """Remove ``key``; its heap entries become stale and are skipped."""
+        del self._priority[key]
+
+    def _compact(self) -> None:
+        live = [
+            entry
+            for entry in self._heap
+            if entry[2] in self._priority and self._priority[entry[2]] == entry[0]
+        ]
+        heapq.heapify(live)
+        self._heap = live
+
+    def peek(self) -> tuple[int, float]:
+        """Return ``(key, priority)`` of the minimum without removing it."""
+        while self._heap:
+            priority, _, key = self._heap[0]
+            current = self._priority.get(key)
+            if current is not None and current == priority:
+                return key, priority
+            heapq.heappop(self._heap)
+        raise IndexError("peek from an empty heap")
+
+    def pop(self) -> tuple[int, float]:
+        """Remove and return the ``(key, priority)`` with smallest priority."""
+        while self._heap:
+            priority, _, key = heapq.heappop(self._heap)
+            current = self._priority.get(key)
+            if current is not None and current == priority:
+                del self._priority[key]
+                if len(self._heap) > 8 and len(self._heap) > 4 * len(self._priority):
+                    self._compact()
+                return key, priority
+        raise IndexError("pop from an empty heap")
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._priority.clear()
+        self._counter = 0

@@ -1,0 +1,103 @@
+"""Zipf popularity sampling for synthetic workloads.
+
+Section 5.2.2 of the paper models content popularity within a sliding
+window as Zipf: the i-th most popular content is requested with
+probability ``p_i = A / i^alpha``.  The responsiveness experiments in
+Section 7.6 ("Syn One" / "Syn Two") draw requests from Markov-modulated
+Zipf distributions.  This module provides the samplers those generators
+are built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_weights(num_contents: int, alpha: float) -> np.ndarray:
+    """Normalized Zipf probabilities ``A / i^alpha`` for ranks 1..N."""
+    if num_contents <= 0:
+        raise ValueError("num_contents must be positive")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    ranks = np.arange(1, num_contents + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    return weights / weights.sum()
+
+
+class ZipfSampler:
+    """Draws content ranks from a (possibly reversed) Zipf distribution.
+
+    Parameters
+    ----------
+    num_contents:
+        Catalogue size N.
+    alpha:
+        Zipf skew parameter.
+    reverse:
+        If True, the *least* popular rank under the forward distribution
+        becomes the most popular (``p_j = A/(N-j+1)^alpha``) — the second
+        state of the "Syn One" Markov chain in Section 7.6.
+    rng:
+        NumPy random generator; pass one to make draws reproducible.
+    """
+
+    def __init__(
+        self,
+        num_contents: int,
+        alpha: float,
+        reverse: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        self.num_contents = num_contents
+        self.alpha = alpha
+        self.reverse = reverse
+        weights = zipf_weights(num_contents, alpha)
+        if reverse:
+            weights = weights[::-1].copy()
+        self._weights = weights
+        self._cdf = np.cumsum(weights)
+        self._cdf[-1] = 1.0
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Probability of each content id (0-based)."""
+        return self._weights
+
+    def sample(self, count: int = 1) -> np.ndarray:
+        """Draw ``count`` content ids in ``[0, num_contents)``."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        uniform = self._rng.random(count)
+        return np.searchsorted(self._cdf, uniform, side="right").astype(np.int64)
+
+    def probability(self, content_id: int) -> float:
+        return float(self._weights[content_id])
+
+
+def lognormal_sizes(
+    count: int,
+    mean_bytes: float,
+    sigma: float,
+    max_bytes: float,
+    min_bytes: float = 1024.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Heavy-tailed content sizes matching production CDN characteristics.
+
+    Production traces in Table 1 have mean sizes of tens of MB with maxima
+    of tens of GB — roughly lognormal bodies with truncated tails.  Sizes
+    are clipped to ``[min_bytes, max_bytes]`` and rescaled so the sample
+    mean approximates ``mean_bytes``.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if mean_bytes <= 0 or max_bytes < mean_bytes:
+        raise ValueError("need 0 < mean_bytes <= max_bytes")
+    generator = rng if rng is not None else np.random.default_rng()
+    mu = np.log(mean_bytes) - sigma**2 / 2.0
+    sizes = generator.lognormal(mean=mu, sigma=sigma, size=count)
+    sizes = np.clip(sizes, min_bytes, max_bytes)
+    scale = mean_bytes / sizes.mean()
+    sizes = np.clip(sizes * scale, min_bytes, max_bytes)
+    return np.round(sizes).astype(np.int64)

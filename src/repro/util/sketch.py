@@ -1,0 +1,96 @@
+"""Count-min sketch with periodic aging, as used by (W-)TinyLFU.
+
+TinyLFU estimates content request frequencies in a compact sketch and
+halves all counters every ``sample_size`` increments ("reset" aging), so
+the estimate tracks a sliding window of roughly the last ``sample_size``
+requests.  This is the frequency oracle behind the Caffeine baseline in
+Appendix A.3 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.bloom import _mix64
+
+_MASK64 = (1 << 64) - 1
+
+
+class CountMinSketch:
+    """Conservative-update count-min sketch over integer keys.
+
+    Parameters
+    ----------
+    width:
+        Counters per row; rounded up to a power of two.
+    depth:
+        Number of hash rows.
+    sample_size:
+        After this many increments every counter is halved (TinyLFU aging).
+        ``0`` disables aging.
+    max_count:
+        Counter saturation value (TinyLFU uses 4-bit counters, i.e. 15).
+    """
+
+    def __init__(
+        self,
+        width: int = 1024,
+        depth: int = 4,
+        sample_size: int = 0,
+        max_count: int = 15,
+    ):
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        if max_count <= 0:
+            raise ValueError("max_count must be positive")
+        self._width = 1 << (width - 1).bit_length()
+        self._depth = depth
+        self._mask = self._width - 1
+        self._table = np.zeros((depth, self._width), dtype=np.uint32)
+        self._sample_size = sample_size
+        self._max_count = max_count
+        self._increments = 0
+        self._seeds = [_mix64(0xC0FFEE + 31 * row) for row in range(depth)]
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def _indices(self, key: int) -> list[int]:
+        return [
+            _mix64((key ^ seed) & _MASK64) & self._mask for seed in self._seeds
+        ]
+
+    def add(self, key: int, count: int = 1) -> None:
+        """Increment ``key`` with conservative update and TinyLFU aging."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        idx = self._indices(key)
+        current = min(int(self._table[row, col]) for row, col in enumerate(idx))
+        target = min(current + count, self._max_count)
+        for row, col in enumerate(idx):
+            if self._table[row, col] < target:
+                self._table[row, col] = target
+        self._increments += count
+        if self._sample_size and self._increments >= self._sample_size:
+            self._age()
+
+    def _age(self) -> None:
+        self._table >>= 1
+        self._increments //= 2
+
+    def estimate(self, key: int) -> int:
+        return min(
+            int(self._table[row, col]) for row, col in enumerate(self._indices(key))
+        )
+
+    def clear(self) -> None:
+        self._table.fill(0)
+        self._increments = 0
+
+    def metadata_bytes(self) -> int:
+        return self._table.nbytes

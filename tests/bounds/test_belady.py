@@ -1,0 +1,142 @@
+"""Bélády MIN and Bélády-size: exactness and eviction-order semantics."""
+
+import pytest
+
+from repro.bounds.belady import (
+    NEVER,
+    belady_size,
+    belady_size_decisions,
+    belady_unit,
+    next_occurrences,
+)
+from repro.policies.classic import LruCache
+from repro.traces.request import Request, Trace
+from repro.traces.synthetic import irm_trace
+
+
+def reqs(ids, size=1):
+    return [Request(time=float(i), obj_id=o, size=size, index=i) for i, o in enumerate(ids)]
+
+
+class TestNextOccurrences:
+    def test_simple(self):
+        nxt = next_occurrences(reqs([1, 2, 1, 3, 2]))
+        assert nxt == [2, 4, NEVER, NEVER, NEVER]
+
+    def test_empty(self):
+        assert next_occurrences([]) == []
+
+    def test_all_distinct(self):
+        assert next_occurrences(reqs([1, 2, 3])) == [NEVER] * 3
+
+
+class TestBeladyUnit:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            belady_unit(reqs([1]), 0)
+
+    def test_textbook_sequence(self):
+        # The classic Bélády example: with 3 frames, demand-paging OPT
+        # takes 9 faults (11 hits).  Our MIN allows *bypass* (an object
+        # never worth caching is not brought in), which saves one more
+        # fault — still a valid upper bound on any caching policy.
+        sequence = [7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2, 1, 2, 0, 1, 7, 0, 1]
+        result = belady_unit(reqs(sequence), 3)
+        assert result.hits == 12
+        assert result.hits >= 11  # at least as good as demand-paging OPT
+        assert result.requests == 20
+
+    def test_never_worse_than_lru(self):
+        trace = irm_trace(3000, 120, equal_size=1, seed=1)
+        capacity = 30
+        opt = belady_unit(trace.requests, capacity)
+        lru = LruCache(capacity)
+        lru.process(trace)
+        assert opt.hits >= lru.hits
+
+    def test_capacity_one(self):
+        # With a single frame only immediate repeats hit.
+        result = belady_unit(reqs([1, 1, 2, 2, 2, 1]), 1)
+        assert result.hits == 3
+
+    def test_infinite_capacity_hits_all_rerequests(self):
+        result = belady_unit(reqs([1, 2, 1, 2, 3, 1]), 1000)
+        assert result.hits == 3
+
+    def test_skips_never_requested_again(self):
+        # Stream of singletons: OPT caches nothing useful, zero hits.
+        result = belady_unit(reqs(list(range(10))), 2)
+        assert result.hits == 0
+
+
+class TestBeladySize:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            belady_size(reqs([1]), 0)
+
+    def test_equal_sizes_reduce_to_belady(self):
+        trace = irm_trace(2000, 80, equal_size=1, seed=2)
+        unit = belady_unit(trace.requests, 25)
+        sized = belady_size(trace.requests, 25)
+        assert sized.hits == unit.hits
+
+    def test_prefers_not_evicting_sooner_needed(self):
+        # 1 (size 2) is re-requested before 2 and 3; inserting 4 (size 2)
+        # must evict the later-needed objects, not object 1.
+        requests = [
+            Request(0.0, 1, 2, 0),
+            Request(1.0, 2, 1, 1),
+            Request(2.0, 3, 1, 2),
+            Request(3.0, 4, 2, 3),
+            Request(4.0, 1, 2, 4),
+            Request(5.0, 4, 2, 5),
+            Request(6.0, 2, 1, 6),
+            Request(7.0, 3, 1, 7),
+        ]
+        result = belady_size(requests, 4)
+        # Hits: 1 at t=4 and 4 at t=5 (2 and 3 sacrificed).
+        assert result.hits == 2
+
+    def test_huge_object_never_admitted(self):
+        requests = [
+            Request(0.0, 1, 100, 0),
+            Request(1.0, 1, 100, 1),
+        ]
+        result = belady_size(requests, 10)
+        assert result.hits == 0
+
+    def test_byte_hit_ratio_bounds(self, production_trace, production_capacity):
+        result = belady_size(production_trace.requests, production_capacity)
+        assert 0.0 < result.hit_ratio < 1.0
+        assert 0.0 < result.byte_hit_ratio <= result.hit_ratio + 0.5
+
+    def test_beats_every_simple_policy(self, production_trace, production_capacity):
+        from repro.policies import make_policy
+
+        bound = belady_size(production_trace.requests, production_capacity)
+        for name in ("lru", "lfu-da", "gdsf"):
+            policy = make_policy(name, production_capacity)
+            policy.process(production_trace)
+            assert bound.hits >= policy.hits
+
+
+class TestBeladySizeDecisions:
+    def test_labels_align_with_future_hits(self):
+        requests = reqs([1, 2, 1, 2, 3])
+        labels = belady_size_decisions(requests, 10)
+        # Requests 0 and 1 lead to hits at their next occurrences.
+        assert labels[0] == 1
+        assert labels[1] == 1
+        # Last occurrences can never pay off.
+        assert labels[2] == 0 and labels[3] == 0 and labels[4] == 0
+
+    def test_length_matches(self, tiny_trace):
+        labels = belady_size_decisions(tiny_trace.requests, 1000)
+        assert len(labels) == len(tiny_trace)
+        assert set(labels) <= {0, 1}
+
+
+class TestTraceTypeCompat:
+    def test_accepts_trace_object(self, tiny_trace):
+        result = belady_size(tiny_trace.requests, 500)
+        assert result.requests == len(tiny_trace)

@@ -1,0 +1,100 @@
+"""Hazard-rate bound machinery and the exact HR bound on synthetic IRM."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.hazard import exact_hazard_bound, hazard_top_set
+from repro.bounds.infinite_cap import infinite_cap
+from repro.policies.classic import LfuCache, LruCache
+from repro.traces.synthetic import irm_trace
+from repro.util.sampling import zipf_weights
+
+
+class TestHazardTopSet:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            hazard_top_set([1], np.array([1.0]), np.array([1.0]), 0)
+
+    def test_takes_highest_hazard_first(self):
+        ids = [10, 20, 30]
+        hazards = np.array([1.0, 3.0, 2.0])
+        sizes = np.array([5.0, 5.0, 5.0])
+        top = hazard_top_set(ids, hazards, sizes, 10)
+        assert top == {20, 30}
+
+    def test_fractional_knapsack_includes_marginal(self):
+        # Capacity 7 fits object of size 5 fully and object of size 5
+        # partially; the fractional relaxation includes the marginal one.
+        ids = [1, 2]
+        top = hazard_top_set(ids, np.array([2.0, 1.0]), np.array([5.0, 5.0]), 7)
+        assert top == {1, 2}
+
+    def test_zero_hazard_excluded(self):
+        ids = [1, 2]
+        top = hazard_top_set(ids, np.array([1.0, 0.0]), np.array([1.0, 1.0]), 100)
+        assert top == {1}
+
+    def test_empty_input(self):
+        assert hazard_top_set([], np.empty(0), np.empty(0), 10) == set()
+
+
+class TestExactHazardBound:
+    def test_empty_trace(self):
+        result = exact_hazard_bound([], {}, 10)
+        assert result.hits == 0
+
+    def test_upper_bounds_online_policies_on_irm(self):
+        """Appendix A.1: the HR bound dominates any non-anticipative
+        policy under a stationary Poisson (IRM) workload."""
+        num_contents = 150
+        alpha = 0.9
+        trace = irm_trace(
+            20_000, num_contents, alpha=alpha, equal_size=1 << 10, seed=5
+        )
+        capacity = 30 << 10  # room for 30 of 150 contents
+        weights = zipf_weights(num_contents, alpha)
+        total_rate = len(trace) / trace.duration
+        rates = {i: float(weights[i]) * total_rate for i in range(num_contents)}
+        bound = exact_hazard_bound(trace.requests, rates, capacity)
+        for policy in (LruCache(capacity), LfuCache(capacity)):
+            policy.process(trace)
+            assert bound.hits >= policy.hits
+
+    def test_equals_lfu_structure_for_equal_sizes(self):
+        # For IRM with equal sizes the HR bound = "top-M most popular hit,
+        # after their first request" — an idealized LFU.
+        trace = irm_trace(5000, 50, alpha=1.0, equal_size=1, seed=6)
+        weights = zipf_weights(50, 1.0)
+        rates = {i: float(w) for i, w in enumerate(weights)}
+        bound = exact_hazard_bound(trace.requests, rates, 10)
+        seen = set()
+        expected = 0
+        for req in trace:
+            if req.obj_id < 10 and req.obj_id in seen:
+                expected += 1
+            seen.add(req.obj_id)
+        assert bound.hits == expected
+
+    def test_at_most_infinite_cap(self):
+        trace = irm_trace(3000, 60, seed=7)
+        rates = {i: 1.0 for i in range(60)}
+        bound = exact_hazard_bound(trace.requests, rates, 1 << 30)
+        assert bound.hits <= infinite_cap(trace.requests).hits
+
+    def test_size_normalization_prefers_small(self):
+        """With equal request rates, the size-normalized hazard favours
+        small contents for the top set."""
+        from repro.traces.request import Request
+
+        requests = []
+        t = 0.0
+        for round_index in range(50):
+            for obj_id, size in ((1, 10), (2, 490), (3, 1000)):
+                requests.append(Request(t, obj_id, size, len(requests)))
+                t += 1.0
+        rates = {1: 1.0, 2: 1.0, 3: 1.0}
+        bound = exact_hazard_bound(requests, rates, 500)
+        # The hazard prefix is {1, 2}: contents 1 and 2 exactly fill the
+        # 500-byte budget, so content 3 (lowest hazard per byte) is out.
+        # 49 re-requests each for contents 1 and 2 hit.
+        assert bound.hits == 98

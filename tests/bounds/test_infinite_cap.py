@@ -1,0 +1,41 @@
+"""InfiniteCap: the compulsory-miss-only ceiling."""
+
+from repro.bounds.infinite_cap import infinite_cap
+from repro.traces.request import Request
+
+
+def reqs(ids, size=1):
+    return [Request(float(i), o, size, i) for i, o in enumerate(ids)]
+
+
+class TestInfiniteCap:
+    def test_empty(self):
+        result = infinite_cap([])
+        assert result.hits == 0 and result.requests == 0
+
+    def test_all_distinct(self):
+        assert infinite_cap(reqs([1, 2, 3])).hits == 0
+
+    def test_every_rerequest_hits(self):
+        result = infinite_cap(reqs([1, 2, 1, 2, 1]))
+        assert result.hits == 3
+        assert result.hit_ratio == 0.6
+
+    def test_byte_accounting(self):
+        result = infinite_cap(reqs([5, 5], size=100))
+        assert result.hit_bytes == 100
+        assert result.total_bytes == 200
+        assert result.byte_hit_ratio == 0.5
+
+    def test_hits_equal_requests_minus_unique(self, production_trace):
+        result = infinite_cap(production_trace.requests)
+        unique = len(production_trace.unique_contents())
+        assert result.hits == len(production_trace) - unique
+
+    def test_dominates_any_finite_policy(self, production_trace, production_capacity):
+        from repro.policies import make_policy
+
+        ceiling = infinite_cap(production_trace.requests)
+        policy = make_policy("gdsf", production_capacity)
+        policy.process(production_trace)
+        assert ceiling.hits >= policy.hits

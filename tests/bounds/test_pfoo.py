@@ -1,0 +1,92 @@
+"""PFOO upper/lower bounds: sandwich property and relaxation semantics."""
+
+import pytest
+
+from repro.bounds.belady import belady_size
+from repro.bounds.infinite_cap import infinite_cap
+from repro.bounds.pfoo import pfoo_lower, pfoo_upper
+from repro.traces.request import Request
+from repro.traces.synthetic import irm_trace
+
+
+def reqs(ids, size=1):
+    return [Request(float(i), o, size, i) for i, o in enumerate(ids)]
+
+
+class TestPfooUpper:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            pfoo_upper(reqs([1]), 0)
+
+    def test_empty_trace(self):
+        result = pfoo_upper([], 10)
+        assert result.hits == 0 and result.requests == 0
+
+    def test_no_reuse_no_hits(self):
+        assert pfoo_upper(reqs([1, 2, 3, 4]), 100).hits == 0
+
+    def test_everything_fits_within_budget(self):
+        # Tight loop over 2 objects, ample capacity: all re-requests hit.
+        result = pfoo_upper(reqs([1, 2, 1, 2, 1, 2]), 100)
+        assert result.hits == 4
+
+    def test_budget_limits_hits(self):
+        # One object re-requested after a very long gap (large footprint)
+        # vs several short-gap objects; a small budget prefers the cheap
+        # intervals.
+        ids = [9] + [1, 1, 2, 2, 3, 3] + [9]
+        result = pfoo_upper(reqs(ids, size=4), 4)
+        assert result.hits >= 3  # the three short intervals
+        assert result.hits < 4 + 1  # cannot take everything
+
+    def test_at_least_belady_size(self, production_trace, production_capacity):
+        upper = pfoo_upper(production_trace.requests, production_capacity)
+        offline = belady_size(production_trace.requests, production_capacity)
+        assert upper.hits >= offline.hits
+
+    def test_at_most_infinite_cap(self, production_trace, production_capacity):
+        upper = pfoo_upper(production_trace.requests, production_capacity)
+        ceiling = infinite_cap(production_trace.requests)
+        assert upper.hits <= ceiling.hits
+
+
+class TestPfooLower:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            pfoo_lower(reqs([1]), 0)
+
+    def test_empty_trace(self):
+        assert pfoo_lower([], 10).hits == 0
+
+    def test_feasible_packing_only(self):
+        # Two interleaved objects of size 6 cannot both be resident in a
+        # capacity-10 cache across overlapping intervals.
+        ids = [1, 2, 1, 2]
+        result = pfoo_lower(reqs(ids, size=6), 10, bucket_requests=1)
+        assert result.hits == 1
+
+    def test_sandwich_property(self, production_trace, production_capacity):
+        lower = pfoo_lower(production_trace.requests, production_capacity)
+        upper = pfoo_upper(production_trace.requests, production_capacity)
+        assert lower.hits <= upper.hits
+
+    def test_coarser_buckets_more_conservative(self, var_size_trace):
+        capacity = 1 << 21
+        fine = pfoo_lower(var_size_trace.requests, capacity, bucket_requests=8)
+        coarse = pfoo_lower(var_size_trace.requests, capacity, bucket_requests=256)
+        assert coarse.hits <= fine.hits + max(2, int(0.02 * len(var_size_trace)))
+
+
+class TestOrderingAcrossBounds:
+    def test_full_bound_hierarchy(self):
+        """PFOO-L <= Bélády-size (achievable offline) and
+        Bélády-size <= PFOO-U <= InfiniteCap on any trace."""
+        trace = irm_trace(4000, 150, mean_size=1 << 16, size_sigma=1.2, seed=9)
+        capacity = int(0.15 * trace.unique_bytes())
+        lower = pfoo_lower(trace.requests, capacity)
+        offline = belady_size(trace.requests, capacity)
+        upper = pfoo_upper(trace.requests, capacity)
+        ceiling = infinite_cap(trace.requests)
+        assert lower.hits <= offline.hits + max(2, int(0.02 * len(trace)))
+        assert offline.hits <= upper.hits
+        assert upper.hits <= ceiling.hits

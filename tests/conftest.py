@@ -1,0 +1,54 @@
+"""Shared fixtures: small, deterministic traces reused across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces import generate_production_trace, irm_trace
+from repro.traces.request import Request, Trace
+
+
+@pytest.fixture(scope="session")
+def equal_size_trace() -> Trace:
+    """Unit-size IRM trace — the classic paging model."""
+    return irm_trace(2000, 100, alpha=0.8, equal_size=1, seed=11, name="unit")
+
+
+@pytest.fixture(scope="session")
+def var_size_trace() -> Trace:
+    """Variable-size IRM trace with a heavy size tail."""
+    return irm_trace(
+        3000, 200, alpha=0.8, mean_size=1 << 20, size_sigma=1.5, seed=12, name="var"
+    )
+
+
+@pytest.fixture(scope="session")
+def production_trace() -> Trace:
+    """A small CDN-A stand-in (≈5k requests)."""
+    return generate_production_trace("cdn-a", scale=0.005, seed=42)
+
+
+@pytest.fixture(scope="session")
+def production_capacity(production_trace) -> int:
+    """A cache size giving realistic pressure on ``production_trace``."""
+    return max(int(0.05 * production_trace.unique_bytes()), 1)
+
+
+@pytest.fixture()
+def tiny_trace() -> Trace:
+    """Hand-written 8-request trace with known hit/miss structure."""
+    rows = [
+        (1.0, 1, 100),
+        (2.0, 2, 100),
+        (3.0, 1, 100),  # re-request of 1
+        (4.0, 3, 100),
+        (5.0, 2, 100),  # re-request of 2
+        (6.0, 4, 100),
+        (7.0, 1, 100),  # re-request of 1
+        (8.0, 5, 100),
+    ]
+    return Trace.from_tuples(rows, name="tiny")
+
+
+def make_request(obj_id: int, time: float = 0.0, size: int = 1, index: int = -1):
+    return Request(time=time, obj_id=obj_id, size=size, index=index)

@@ -1,0 +1,89 @@
+"""Drift detection (Section 5.2.2 / Appendix A.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.detection import DriftDetector
+from repro.util.sampling import ZipfSampler, zipf_weights
+
+
+def window_counts(alpha, num_contents=300, num_requests=30_000, seed=0):
+    rng = np.random.default_rng(seed)
+    sampler = ZipfSampler(num_contents, alpha, rng=rng)
+    ids = sampler.sample(num_requests)
+    counts = np.bincount(ids, minlength=num_contents)
+    return {i: int(c) for i, c in enumerate(counts) if c > 0}
+
+
+class TestConstruction:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            DriftDetector(epsilon=0.0)
+
+
+class TestDetection:
+    def test_first_window_always_trains(self):
+        detector = DriftDetector(epsilon=0.01)
+        assert detector.observe_window(window_counts(0.9)) is True
+
+    def test_stable_alpha_no_drift(self):
+        detector = DriftDetector(epsilon=0.05)
+        detector.observe_window(window_counts(0.9, seed=1))
+        assert detector.observe_window(window_counts(0.9, seed=2)) is False
+
+    def test_alpha_jump_detected(self):
+        detector = DriftDetector(epsilon=0.05)
+        detector.observe_window(window_counts(0.7, seed=3))
+        assert detector.observe_window(window_counts(1.1, seed=4)) is True
+
+    def test_exact_zipf_detection_accuracy(self):
+        """Appendix A.2 setup: alternating alphas with epsilon = 0.002
+        should flag every change and no stable window."""
+        detector = DriftDetector(epsilon=0.002)
+        alphas = [0.7, 0.7, 0.9, 0.9, 1.1, 1.1]
+        flags = []
+        for alpha in alphas:
+            counts = {i: c for i, c in enumerate(zipf_weights(400, alpha) * 1e7)}
+            flags.append(detector.observe_window(counts))
+        assert flags == [True, False, True, False, True, False]
+
+    def test_degenerate_window_forces_training(self):
+        detector = DriftDetector(epsilon=0.01)
+        assert detector.observe_window({1: 100}) is True
+        assert detector.records[-1].drifted is True
+
+    def test_accepts_plain_sequences(self):
+        detector = DriftDetector(epsilon=0.01)
+        assert detector.observe_window([50, 25, 17, 12, 10]) is True
+
+
+class TestRecords:
+    def test_records_accumulate(self):
+        detector = DriftDetector(epsilon=0.05)
+        for seed in range(4):
+            detector.observe_window(window_counts(0.9, seed=seed))
+        assert len(detector.records) == 4
+        assert detector.records[0].previous_alpha is None
+        assert detector.records[1].previous_alpha == pytest.approx(
+            detector.records[0].alpha
+        )
+
+    def test_alphas_series(self):
+        detector = DriftDetector(epsilon=0.05)
+        detector.observe_window(window_counts(0.6, seed=5))
+        detector.observe_window(window_counts(1.2, seed=6))
+        alphas = detector.alphas()
+        assert len(alphas) == 2
+        assert alphas[1] > alphas[0]
+
+    def test_num_detections(self):
+        detector = DriftDetector(epsilon=0.05)
+        detector.observe_window(window_counts(0.7, seed=7))
+        detector.observe_window(window_counts(0.7, seed=8))
+        detector.observe_window(window_counts(1.2, seed=9))
+        assert detector.num_detections == 2  # first window + the jump
+
+    def test_estimated_alpha_tracks_truth(self):
+        detector = DriftDetector(epsilon=0.01)
+        detector.observe_window(window_counts(0.9, num_requests=100_000, seed=10))
+        assert detector.current_alpha == pytest.approx(0.9, abs=0.2)

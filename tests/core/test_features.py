@@ -1,0 +1,117 @@
+"""FeatureStore: IRT semantics (Section 5.2.1) and pruning."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import DEFAULT_MISSING, FeatureStore, feature_dim
+from repro.traces.request import Request
+
+
+def req(obj_id, time, size=100):
+    return Request(time=time, obj_id=obj_id, size=size)
+
+
+class TestFeatureDim:
+    def test_dimension(self):
+        assert feature_dim(20) == 23  # 20 IRTs + 3 static features
+
+
+class TestVectorSemantics:
+    def test_rejects_bad_max_irts(self):
+        with pytest.raises(ValueError):
+            FeatureStore(max_irts=0)
+
+    def test_unknown_content_all_missing(self):
+        store = FeatureStore()
+        row = store.vector(99, now=10.0, num_irts=5)
+        assert (row[:5] == DEFAULT_MISSING).all()
+        assert (row[5:] == 0.0).all()
+
+    def test_irt1_is_time_since_last_request(self):
+        store = FeatureStore()
+        store.observe(req(1, time=10.0))
+        row = store.vector(1, now=17.5, num_irts=5)
+        assert row[0] == pytest.approx(7.5)
+
+    def test_irt_chain_matches_paper_definition(self):
+        # IRT_2 is the gap between the previous two requests, IRT_3 the
+        # one before, etc.
+        store = FeatureStore()
+        for t in (0.0, 1.0, 4.0, 9.0):  # gaps 1, 3, 5
+            store.observe(req(1, time=t))
+        row = store.vector(1, now=11.0, num_irts=5)
+        assert row[0] == pytest.approx(2.0)  # now - last
+        assert row[1] == pytest.approx(5.0)  # most recent stored gap
+        assert row[2] == pytest.approx(3.0)
+        assert row[3] == pytest.approx(1.0)
+        assert row[4] == DEFAULT_MISSING  # only 3 gaps exist
+
+    def test_static_features(self):
+        store = FeatureStore()
+        store.observe(req(1, time=2.0, size=1000))
+        store.observe(req(1, time=5.0, size=1000))
+        row = store.vector(1, now=6.0, num_irts=2)
+        assert row[2] == pytest.approx(np.log1p(1000))  # log size
+        assert row[3] == 2  # request count
+        assert row[4] == pytest.approx(4.0)  # age since first request
+
+    def test_num_irts_bounds(self):
+        store = FeatureStore(max_irts=8)
+        store.observe(req(1, time=0.0))
+        with pytest.raises(ValueError):
+            store.vector(1, now=1.0, num_irts=9)
+        with pytest.raises(ValueError):
+            store.vector(1, now=1.0, num_irts=0)
+
+    def test_gap_buffer_bounded_by_max_irts(self):
+        store = FeatureStore(max_irts=4)
+        for t in range(20):
+            store.observe(req(1, time=float(t)))
+        row = store.vector(1, now=20.0, num_irts=4)
+        assert row[:4] == pytest.approx([1.0, 1.0, 1.0, 1.0])
+
+    def test_figure6_sweep_dimensions(self):
+        # The Figure 6 ablation reads 10/20/30 IRT vectors off one store.
+        store = FeatureStore(max_irts=32)
+        store.observe(req(1, time=0.0))
+        for k in (10, 20, 30):
+            assert store.vector(1, now=1.0, num_irts=k).shape == (feature_dim(k),)
+
+
+class TestAccessors:
+    def test_last_access_and_count(self):
+        store = FeatureStore()
+        assert store.last_access(1) is None
+        assert store.request_count(1) == 0
+        store.observe(req(1, time=3.0))
+        store.observe(req(1, time=8.0))
+        assert store.last_access(1) == 8.0
+        assert store.request_count(1) == 2
+
+    def test_contains_and_len(self):
+        store = FeatureStore()
+        store.observe(req(1, time=0.0))
+        store.observe(req(2, time=1.0))
+        assert 1 in store and 2 in store and 3 not in store
+        assert len(store) == 2
+
+
+class TestPruning:
+    def test_prune_removes_idle_contents(self):
+        store = FeatureStore()
+        store.observe(req(1, time=0.0))
+        store.observe(req(2, time=100.0))
+        pruned = store.prune(now=101.0, horizon=50.0)
+        assert pruned == 1
+        assert 1 not in store and 2 in store
+
+    def test_prune_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            FeatureStore().prune(now=0.0, horizon=0.0)
+
+    def test_metadata_bytes_tracks_population(self):
+        store = FeatureStore()
+        assert store.metadata_bytes() == 0
+        for i in range(10):
+            store.observe(req(i, time=float(i)))
+        assert store.metadata_bytes() > 0

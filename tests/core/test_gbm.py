@@ -1,0 +1,239 @@
+"""Gradient-boosting model: learning ability, API contract, scalar path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gbm import GradientBoostingRegressor
+
+
+@pytest.fixture(scope="module")
+def xor_data():
+    rng = np.random.default_rng(0)
+    X = rng.random((4000, 4))
+    y = ((X[:, 0] > 0.5) ^ (X[:, 1] > 0.5)).astype(float)
+    return X, y
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_estimators": 0},
+            {"learning_rate": 0.0},
+            {"learning_rate": 1.5},
+            {"n_bins": 1},
+            {"n_bins": 300},
+            {"subsample": 0.0},
+        ],
+    )
+    def test_rejects_bad_hyperparameters(self, kwargs):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(**kwargs)
+
+    def test_predict_before_fit_raises(self):
+        model = GradientBoostingRegressor()
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 3)))
+        with pytest.raises(RuntimeError):
+            model.predict_one(np.zeros(3))
+
+
+class TestFitValidation:
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor().fit(np.zeros(5), np.zeros(5))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestLearning:
+    def test_constant_target(self):
+        X = np.random.default_rng(1).random((100, 3))
+        model = GradientBoostingRegressor(n_estimators=5).fit(X, np.full(100, 3.5))
+        assert np.allclose(model.predict(X), 3.5, atol=1e-9)
+
+    def test_learns_step_function(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((2000, 2))
+        y = (X[:, 0] > 0.3).astype(float)
+        model = GradientBoostingRegressor(n_estimators=20, max_depth=3).fit(X, y)
+        predictions = model.predict(X)
+        assert ((predictions > 0.5) == (y > 0.5)).mean() > 0.98
+
+    def test_learns_xor(self, xor_data):
+        X, y = xor_data
+        model = GradientBoostingRegressor(n_estimators=40, max_depth=4).fit(X, y)
+        predictions = model.predict(X)
+        assert ((predictions > 0.5) == (y > 0.5)).mean() > 0.95
+
+    def test_more_trees_reduce_training_error(self, xor_data):
+        X, y = xor_data
+        def mse(trees):
+            model = GradientBoostingRegressor(n_estimators=trees, max_depth=4)
+            return float(((model.fit(X, y).predict(X) - y) ** 2).mean())
+
+        assert mse(30) < mse(3)
+
+    def test_deterministic_given_seed(self, xor_data):
+        X, y = xor_data
+        a = GradientBoostingRegressor(n_estimators=8, subsample=0.7, seed=5).fit(X, y)
+        b = GradientBoostingRegressor(n_estimators=8, subsample=0.7, seed=5).fit(X, y)
+        assert np.allclose(a.predict(X[:50]), b.predict(X[:50]))
+
+    def test_min_samples_leaf_respected(self):
+        # With min_samples_leaf = n no split is possible: model = mean.
+        rng = np.random.default_rng(3)
+        X = rng.random((50, 2))
+        y = rng.random(50)
+        model = GradientBoostingRegressor(
+            n_estimators=5, min_samples_leaf=50
+        ).fit(X, y)
+        assert np.allclose(model.predict(X), y.mean(), atol=1e-9)
+
+    def test_single_feature(self):
+        rng = np.random.default_rng(4)
+        X = rng.random((500, 1))
+        y = 2.0 * (X[:, 0] > 0.6)
+        model = GradientBoostingRegressor(n_estimators=10).fit(X, y)
+        assert ((model.predict(X) > 1.0) == (y > 1.0)).mean() > 0.98
+
+    def test_constant_feature_ignored(self):
+        rng = np.random.default_rng(5)
+        X = np.column_stack([np.full(300, 7.0), rng.random(300)])
+        y = (X[:, 1] > 0.5).astype(float)
+        model = GradientBoostingRegressor(n_estimators=10).fit(X, y)
+        assert ((model.predict(X) > 0.5) == (y > 0.5)).mean() > 0.97
+
+
+class TestPredictApi:
+    def test_predict_accepts_1d_row(self, xor_data):
+        X, y = xor_data
+        model = GradientBoostingRegressor(n_estimators=5).fit(X, y)
+        assert model.predict(X[0]).shape == (1,)
+
+    def test_predict_one_matches_vectorized(self, xor_data):
+        X, y = xor_data
+        model = GradientBoostingRegressor(n_estimators=12, max_depth=4).fit(X, y)
+        vectorized = model.predict(X[:100])
+        scalar = np.array([model.predict_one(X[i]) for i in range(100)])
+        assert np.allclose(vectorized, scalar, atol=1e-12)
+
+    def test_predict_one_accepts_plain_list(self, xor_data):
+        X, y = xor_data
+        model = GradientBoostingRegressor(n_estimators=4).fit(X, y)
+        assert model.predict_one(list(X[0])) == pytest.approx(
+            float(model.predict(X[:1])[0])
+        )
+
+    def test_num_trees_and_metadata(self, xor_data):
+        X, y = xor_data
+        model = GradientBoostingRegressor(n_estimators=7).fit(X, y)
+        assert model.num_trees == 7
+        assert model.metadata_bytes() > 0
+
+    def test_refit_replaces_model(self, xor_data):
+        X, y = xor_data
+        model = GradientBoostingRegressor(n_estimators=5)
+        model.fit(X, y)
+        first = model.predict(X[:10]).copy()
+        model.fit(X, 1.0 - y)
+        second = model.predict(X[:10])
+        assert not np.allclose(first, second)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=2**31 - 1))
+def test_property_predictions_bounded_by_target_range(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.random((200, 3))
+    y = rng.random(200)  # targets in [0, 1]
+    model = GradientBoostingRegressor(n_estimators=6, max_depth=3).fit(X, y)
+    predictions = model.predict(X)
+    # Squared-loss leaf averages cannot overshoot the target range by much
+    # (shrinkage keeps the ensemble inside a slightly padded hull).
+    assert predictions.min() > -0.5
+    assert predictions.max() < 1.5
+
+
+class TestLogisticLoss:
+    def test_rejects_unknown_loss(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(loss="hinge")
+
+    def test_rejects_non_binary_targets(self):
+        X = np.zeros((10, 2))
+        y = np.linspace(0, 2, 10)
+        with pytest.raises(ValueError, match="0/1"):
+            GradientBoostingRegressor(loss="logistic").fit(X, y)
+
+    def test_outputs_probabilities(self, xor_data):
+        X, y = xor_data
+        model = GradientBoostingRegressor(
+            n_estimators=20, loss="logistic"
+        ).fit(X, y)
+        predictions = model.predict(X)
+        assert predictions.min() >= 0.0
+        assert predictions.max() <= 1.0
+        assert ((predictions > 0.5) == (y > 0.5)).mean() > 0.9
+
+    def test_scalar_path_applies_sigmoid(self, xor_data):
+        X, y = xor_data
+        model = GradientBoostingRegressor(n_estimators=8, loss="logistic").fit(X, y)
+        vectorized = model.predict(X[:20])
+        scalar = np.array([model.predict_one(X[i]) for i in range(20)])
+        assert np.allclose(vectorized, scalar, atol=1e-12)
+
+
+class TestEarlyStopping:
+    def test_rejects_negative_rounds(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(early_stopping_rounds=-1)
+
+    def test_stops_before_budget(self):
+        rng = np.random.default_rng(7)
+        X = rng.random((2000, 3))
+        y = (X[:, 0] > 0.5).astype(float)
+        model = GradientBoostingRegressor(
+            n_estimators=300, early_stopping_rounds=5
+        )
+        model.fit(X[:1500], y[:1500], validation=(X[1500:], y[1500:]))
+        assert model.num_trees < 300
+
+    def test_no_validation_uses_full_budget(self):
+        rng = np.random.default_rng(8)
+        X = rng.random((300, 2))
+        y = rng.random(300)
+        model = GradientBoostingRegressor(
+            n_estimators=12, early_stopping_rounds=3
+        ).fit(X, y)
+        assert model.num_trees == 12
+
+
+class TestFeatureImportances:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().feature_importances()
+
+    def test_informative_feature_dominates(self):
+        rng = np.random.default_rng(9)
+        X = rng.random((3000, 4))
+        y = (X[:, 2] > 0.5).astype(float)
+        model = GradientBoostingRegressor(n_estimators=10).fit(X, y)
+        importances = model.feature_importances(4)
+        assert importances.argmax() == 2
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_explicit_size(self):
+        rng = np.random.default_rng(10)
+        X = rng.random((200, 6))
+        y = X[:, 0]
+        model = GradientBoostingRegressor(n_estimators=4).fit(X, y)
+        assert model.feature_importances(6).shape == (6,)

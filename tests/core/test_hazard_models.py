@@ -1,0 +1,131 @@
+"""Hazard-model estimators: fits, hazard shapes, dispatch."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hazard_models import (
+    HAZARD_MODELS,
+    HyperexponentialHazard,
+    PoissonHazard,
+    WeibullHazard,
+    fit_hazard_model,
+)
+
+
+class TestPoisson:
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            PoissonHazard(-1.0)
+
+    def test_constant_hazard(self):
+        model = PoissonHazard(0.5)
+        assert model.hazard(0.0) == model.hazard(100.0) == 0.5
+        assert model.mean_irt == 2.0
+
+    def test_fit_recovers_rate(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(4.0, 5000)
+        model = PoissonHazard.fit(samples)
+        assert model.hazard(0.0) == pytest.approx(0.25, rel=0.1)
+
+    def test_fit_empty(self):
+        model = PoissonHazard.fit([])
+        assert model.hazard(1.0) == 0.0
+        assert model.mean_irt == math.inf
+
+
+class TestWeibull:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            WeibullHazard(0.0, 1.0)
+        with pytest.raises(ValueError):
+            WeibullHazard(1.0, -1.0)
+
+    def test_exponential_special_case(self):
+        # shape 1 is the exponential: constant hazard 1/scale.
+        model = WeibullHazard(1.0, 5.0)
+        assert model.hazard(0.1) == pytest.approx(0.2)
+        assert model.hazard(50.0) == pytest.approx(0.2)
+        assert model.mean_irt == pytest.approx(5.0)
+
+    def test_bursty_hazard_decreases(self):
+        model = WeibullHazard(0.5, 10.0)
+        assert model.hazard(1.0) > model.hazard(10.0) > model.hazard(100.0)
+
+    def test_regular_hazard_increases(self):
+        model = WeibullHazard(3.0, 10.0)
+        assert model.hazard(1.0) < model.hazard(5.0) < model.hazard(15.0)
+
+    def test_fit_recovers_shape(self):
+        rng = np.random.default_rng(1)
+        for true_shape in (0.6, 1.0, 2.5):
+            samples = rng.weibull(true_shape, 20_000) * 7.0
+            model = WeibullHazard.fit(samples)
+            assert model.shape == pytest.approx(true_shape, rel=0.15)
+            assert model.mean_irt == pytest.approx(float(samples.mean()), rel=0.05)
+
+    def test_fit_single_sample_falls_back_to_exponential(self):
+        model = WeibullHazard.fit([3.0])
+        assert model.shape == 1.0
+
+
+class TestHyperexponential:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HyperexponentialHazard(1.5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            HyperexponentialHazard(0.5, 0.0, 1.0)
+
+    def test_degenerates_to_exponential_for_low_cv(self):
+        rng = np.random.default_rng(2)
+        samples = rng.uniform(4.0, 6.0, 1000)  # CV < 1
+        model = HyperexponentialHazard.fit(samples)
+        assert model.rate1 == pytest.approx(model.rate2)
+        assert model.hazard(0.0) == pytest.approx(model.hazard(100.0))
+
+    def test_hazard_decreasing_for_heavy_tail(self):
+        model = HyperexponentialHazard(0.9, 1.0, 0.01)
+        assert model.hazard(0.0) > model.hazard(10.0) > model.hazard(1000.0)
+        # Asymptotically the slow phase dominates.
+        assert model.hazard(10_000.0) == pytest.approx(0.01, rel=0.05)
+
+    def test_fit_matches_mean(self):
+        rng = np.random.default_rng(3)
+        samples = np.concatenate(
+            [rng.exponential(1.0, 8000), rng.exponential(50.0, 2000)]
+        )
+        model = HyperexponentialHazard.fit(samples)
+        assert model.mean_irt == pytest.approx(float(samples.mean()), rel=0.05)
+        assert model.p < 1.0  # genuinely two-phase
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", HAZARD_MODELS)
+    def test_all_models_fit(self, name):
+        model = fit_hazard_model(name, [1.0, 2.0, 3.0, 10.0])
+        assert model.hazard(1.0) >= 0.0
+        assert model.mean_irt > 0.0
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError, match="unknown hazard model"):
+            fit_hazard_model("cauchy", [1.0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=1e-3, max_value=1e5, allow_nan=False),
+        min_size=2,
+        max_size=60,
+    )
+)
+def test_property_all_models_nonnegative_hazard(irts):
+    for name in HAZARD_MODELS:
+        model = fit_hazard_model(name, irts)
+        for age in (0.0, 0.5, 5.0, 500.0):
+            assert model.hazard(age) >= 0.0
+        assert model.mean_irt > 0.0

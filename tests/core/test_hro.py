@@ -1,0 +1,214 @@
+"""HRO: window mechanics, hazard ranking, upper-bound behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.hro import (
+    HroBound,
+    compute_top_set,
+    hro_bound,
+    marginal_hazard,
+    window_labels,
+)
+from repro.policies import make_policy
+from repro.traces.request import Request
+from repro.traces.synthetic import irm_trace
+
+
+def req(obj_id, time, size=10):
+    return Request(time=time, obj_id=obj_id, size=size)
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            HroBound(0)
+
+    def test_rejects_bad_window_multiple(self):
+        with pytest.raises(ValueError):
+            HroBound(100, window_multiple=0)
+
+    def test_window_bytes(self):
+        assert HroBound(100, window_multiple=4.0).window_bytes == 400
+
+
+class TestWindowMechanics:
+    def test_window_closes_on_unique_bytes(self):
+        bound = HroBound(10, window_multiple=2.0)  # closes at 20 unique bytes
+        for i in range(3):
+            bound.process(req(i, time=float(i), size=10))
+        assert len(bound.windows) == 1
+        assert bound.windows[0].num_requests == 2
+
+    def test_repeat_requests_do_not_advance_window(self):
+        bound = HroBound(10, window_multiple=2.0)
+        for t in range(10):
+            bound.process(req(1, time=float(t), size=10))
+        assert len(bound.windows) == 0  # only 10 unique bytes seen
+
+    def test_on_window_callback(self):
+        closed = []
+        bound = HroBound(10, window_multiple=1.0)
+        bound.on_window = closed.append
+        bound.process(req(1, time=0.0, size=10))
+        assert len(closed) == 1
+        assert closed[0].index == 0
+
+    def test_window_statistics(self):
+        bound = HroBound(10, window_multiple=3.0)
+        bound.process(req(1, time=0.0, size=10))
+        bound.process(req(1, time=1.0, size=10))
+        bound.process(req(2, time=2.0, size=10))
+        bound.process(req(3, time=3.0, size=10))
+        window = bound.windows[0]
+        assert window.counts == {1: 2, 2: 1, 3: 1}
+        assert window.unique_bytes == 30
+        assert window.duration == pytest.approx(3.0)
+
+    def test_hazard_rates_size_normalized(self):
+        bound = HroBound(100, window_multiple=1.0)
+        bound.process(req(1, time=0.0, size=10))
+        bound.process(req(2, time=1.0, size=100))
+        window = bound.windows[0]
+        rates = window.hazard_rates()
+        assert rates[1] == pytest.approx(10 * rates[2])
+
+
+class TestClassification:
+    def test_first_window_uses_infinite_cap_rule(self):
+        bound = HroBound(1000, window_multiple=100.0)
+        assert bound.process(req(1, time=0.0)) is False
+        assert bound.process(req(1, time=1.0)) is True  # seen before
+        assert bound.process(req(2, time=2.0)) is False
+
+    def test_cold_content_never_hits(self):
+        bound = HroBound(20, window_multiple=1.0)
+        for i in range(20):
+            assert bound.process(req(i, time=float(i), size=10)) is False
+
+    def test_popular_content_hits_after_threshold_set(self):
+        bound = HroBound(20, window_multiple=1.0)
+        # Content 1 requested often; fillers close windows.
+        filler = 100
+        hits = []
+        for t in range(40):
+            hits.append(bound.process(req(1, time=2.0 * t, size=10)))
+            bound.process(req(filler, time=2.0 * t + 1.0, size=10))
+            filler += 1
+        assert any(hits)
+        assert bound.hit_ratio > 0
+
+    def test_result_aggregates(self):
+        bound = HroBound(1000, window_multiple=10.0)
+        for t in range(5):
+            bound.process(req(1, time=float(t), size=10))
+        result = bound.result()
+        assert result.name == "hro"
+        assert result.requests == 5
+        assert result.hits == 4
+        assert result.total_bytes == 50
+
+
+class TestTopSet:
+    def test_compute_top_set_ranks_by_hazard_per_byte(self):
+        counts = {1: 10, 2: 10}
+        sizes = {1: 10, 2: 100}
+        top = compute_top_set(counts, sizes, duration=1.0, capacity=10)
+        assert 1 in top  # same rate, smaller size -> higher hazard
+
+    def test_empty_counts(self):
+        assert compute_top_set({}, {}, 1.0, 10) == frozenset()
+
+    def test_marginal_hazard_zero_when_everything_fits(self):
+        threshold = marginal_hazard({1: 5}, {1: 10}, 1.0, capacity=100)
+        assert threshold == 0.0
+
+    def test_marginal_hazard_positive_under_pressure(self):
+        counts = {i: 10 - i for i in range(10)}
+        sizes = {i: 10 for i in range(10)}
+        threshold = marginal_hazard(counts, sizes, 1.0, capacity=30)
+        assert threshold > 0.0
+
+
+class TestWindowLabels:
+    def test_labels_match_top_set(self):
+        bound = HroBound(10, window_multiple=2.0)
+        windows = []
+        bound.on_window = windows.append
+        stream = [req(1, 0.0, 10), req(1, 1.0, 10), req(2, 2.0, 10)]
+        for r in stream:
+            bound.process(r)
+        labels = window_labels(windows[0], stream)
+        assert labels.shape == (3,)
+        for label, r in zip(labels, stream):
+            assert label == (1.0 if r.obj_id in windows[0].top_set else 0.0)
+
+
+class TestBoundQuality:
+    def test_upper_bounds_online_policies_on_irm(self):
+        """On a stationary workload HRO should dominate online policies
+        (Proposition A.1)."""
+        trace = irm_trace(15_000, 200, alpha=0.9, mean_size=1 << 14, seed=8)
+        capacity = int(0.1 * trace.unique_bytes())
+        hro = hro_bound(trace, capacity)
+        for name in ("lru", "lfu-da", "gdsf", "w-tinylfu"):
+            policy = make_policy(name, capacity)
+            policy.process(trace)
+            assert hro.hits >= policy.hits, name
+
+    def test_below_infinite_cap(self, production_trace, production_capacity):
+        from repro.bounds import infinite_cap
+
+        hro = hro_bound(production_trace, production_capacity)
+        ceiling = infinite_cap(production_trace.requests)
+        assert hro.hits <= ceiling.hits
+
+    def test_larger_cache_raises_bound(self, production_trace):
+        small = hro_bound(production_trace, int(0.02 * production_trace.unique_bytes()))
+        large = hro_bound(production_trace, int(0.2 * production_trace.unique_bytes()))
+        assert large.hits >= small.hits
+
+
+class TestHazardModelIntegration:
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ValueError, match="hazard_model"):
+            HroBound(100, hazard_model="cauchy")
+
+    @pytest.mark.parametrize("model", ["weibull", "hyperexponential"])
+    def test_non_poisson_models_run(self, production_trace, production_capacity, model):
+        bound = hro_bound(
+            production_trace,
+            production_capacity,
+            min_window_requests=512,
+            hazard_model=model,
+        )
+        assert 0.0 < bound.hit_ratio < 1.0
+
+    def test_models_refit_at_window_close(self, production_trace, production_capacity):
+        bound = HroBound(
+            production_capacity, min_window_requests=512, hazard_model="weibull"
+        )
+        for request in production_trace:
+            bound.process(request)
+        assert len(bound.windows) >= 2
+        assert len(bound._models) > 0
+
+    def test_non_poisson_still_upper_bounds_policies(self):
+        from repro.policies import make_policy
+        from repro.traces.synthetic import irm_trace
+
+        trace = irm_trace(12_000, 200, alpha=0.9, mean_size=1 << 14, seed=17)
+        capacity = int(0.1 * trace.unique_bytes())
+        bound = hro_bound(
+            trace, capacity, min_window_requests=512, hazard_model="weibull"
+        )
+        for name in ("lru", "gdsf"):
+            policy = make_policy(name, capacity)
+            policy.process(trace)
+            assert bound.hits >= policy.hits, name
+
+    def test_poisson_path_keeps_no_irt_state(self, production_trace, production_capacity):
+        bound = HroBound(production_capacity, min_window_requests=512)
+        for request in production_trace[:1000]:
+            bound.process(request)
+        assert not bound._irts and not bound._models

@@ -1,0 +1,125 @@
+"""Model and LHR-state serialization round trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.gbm import GradientBoostingRegressor
+from repro.core.lhr import LhrCache
+from repro.core.serialization import (
+    gbm_from_dict,
+    gbm_to_dict,
+    lhr_checkpoint,
+    load_lhr_checkpoint,
+    load_model,
+    restore_lhr,
+    save_lhr_checkpoint,
+    save_model,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    rng = np.random.default_rng(0)
+    X = rng.random((800, 6))
+    y = (X[:, 0] > 0.5).astype(float) + 0.1 * X[:, 1]
+    return GradientBoostingRegressor(n_estimators=9, max_depth=3, seed=1).fit(X, y), X
+
+
+class TestGbmRoundTrip:
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError):
+            gbm_to_dict(GradientBoostingRegressor())
+
+    def test_dict_round_trip_predictions_identical(self, fitted_model):
+        model, X = fitted_model
+        clone = gbm_from_dict(gbm_to_dict(model))
+        assert np.allclose(clone.predict(X), model.predict(X))
+        assert clone.predict_one(X[0]) == pytest.approx(model.predict_one(X[0]))
+        assert clone.num_trees == model.num_trees
+
+    def test_json_serializable(self, fitted_model):
+        model, _ = fitted_model
+        json.dumps(gbm_to_dict(model))  # must not raise
+
+    def test_file_round_trip(self, fitted_model, tmp_path):
+        model, X = fitted_model
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        clone = load_model(path)
+        assert np.allclose(clone.predict(X[:20]), model.predict(X[:20]))
+
+    def test_version_check(self, fitted_model):
+        model, _ = fitted_model
+        payload = gbm_to_dict(model)
+        payload["format_version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            gbm_from_dict(payload)
+
+    def test_logistic_loss_preserved(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((400, 3))
+        y = (X[:, 0] > 0.5).astype(float)
+        model = GradientBoostingRegressor(
+            n_estimators=6, loss="logistic"
+        ).fit(X, y)
+        clone = gbm_from_dict(gbm_to_dict(model))
+        assert clone.loss == "logistic"
+        assert np.allclose(clone.predict(X[:10]), model.predict(X[:10]))
+
+
+class TestLhrCheckpoint:
+    @pytest.fixture(scope="class")
+    def trained(self, production_trace, production_capacity):
+        cache = LhrCache(production_capacity, seed=0)
+        cache.process(production_trace)
+        return cache
+
+    def test_checkpoint_contents(self, trained):
+        checkpoint = lhr_checkpoint(trained)
+        assert checkpoint["model"] is not None
+        assert checkpoint["delta"] == trained.delta
+        assert checkpoint["config"]["num_irts"] == trained.num_irts
+
+    def test_restore_transfers_learned_state(self, trained, production_capacity):
+        fresh = LhrCache(production_capacity, seed=0)
+        restore_lhr(fresh, lhr_checkpoint(trained))
+        assert fresh.model_ready
+        assert fresh.delta == trained.delta
+        # Warm model scores a row identically to the source model.
+        row = fresh.features.vector(123456, now=0.0, num_irts=fresh.num_irts)
+        assert fresh._model.predict_one(row) == pytest.approx(
+            trained._model.predict_one(row)
+        )
+
+    def test_restore_rejects_feature_mismatch(self, trained, production_capacity):
+        fresh = LhrCache(production_capacity, num_irts=10, seed=0)
+        with pytest.raises(ValueError, match="num_irts"):
+            restore_lhr(fresh, lhr_checkpoint(trained))
+
+    def test_file_round_trip(self, trained, production_capacity, tmp_path):
+        path = tmp_path / "lhr.json"
+        save_lhr_checkpoint(trained, path)
+        fresh = load_lhr_checkpoint(LhrCache(production_capacity, seed=0), path)
+        assert fresh.model_ready
+
+    def test_warm_start_skips_bootstrap(self, trained, production_trace, production_capacity):
+        """A restored cache applies its model from the first request (the
+        bootstrap admit-all phase is skipped)."""
+        warm = restore_lhr(
+            LhrCache(production_capacity, seed=0), lhr_checkpoint(trained)
+        )
+        cold = LhrCache(production_capacity, seed=0)
+        head = production_trace[:800]
+        warm.process(head)
+        cold.process(head)
+        # The cold cache admits everything pre-model; the warm one filters.
+        assert warm.admissions <= cold.admissions
+
+    def test_checkpoint_before_training(self, production_capacity):
+        cache = LhrCache(production_capacity, seed=0)
+        checkpoint = lhr_checkpoint(cache)
+        assert checkpoint["model"] is None
+        fresh = restore_lhr(LhrCache(production_capacity, seed=0), checkpoint)
+        assert not fresh.model_ready

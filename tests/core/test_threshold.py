@@ -1,0 +1,143 @@
+"""Auto-tuned threshold: candidate set, shadow replay, update guards."""
+
+import pytest
+
+from repro.core.threshold import STEP, ThresholdEstimator, WindowSample, shadow_hit_ratio
+
+
+def sample(obj_id, p, size=10, time=0.0):
+    return WindowSample(obj_id=obj_id, size=size, time=time, probability=p)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("delta", [-0.1, 1.1])
+    def test_rejects_bad_delta(self, delta):
+        with pytest.raises(ValueError):
+            ThresholdEstimator(initial_delta=delta)
+
+    def test_rejects_negative_beta(self):
+        with pytest.raises(ValueError):
+            ThresholdEstimator(beta=-0.1)
+
+    def test_rejects_bad_sample_fraction(self):
+        with pytest.raises(ValueError):
+            ThresholdEstimator(sample_fraction=0.0)
+
+
+class TestCandidates:
+    def test_paper_candidate_set(self):
+        estimator = ThresholdEstimator(initial_delta=0.5)
+        assert estimator.candidates() == [0.0, 0.4, 0.5, 0.6]
+
+    def test_clipped_at_boundaries(self):
+        low = ThresholdEstimator(initial_delta=0.0)
+        assert low.candidates() == [0.0, STEP, 0.5]
+        high = ThresholdEstimator(initial_delta=1.0)
+        assert high.candidates() == [0.0, 0.5, 0.9, 1.0]
+
+
+class TestShadowReplay:
+    def test_empty_samples(self):
+        assert shadow_hit_ratio([], 100, 0.5) == 0.0
+
+    def test_admit_all_counts_rerequests(self):
+        samples = [sample(1, 1.0, time=0.0), sample(1, 1.0, time=1.0)]
+        assert shadow_hit_ratio(samples, 100, 0.0) == pytest.approx(0.5)
+
+    def test_threshold_blocks_low_probability(self):
+        samples = [sample(1, 0.2, time=0.0), sample(1, 0.2, time=1.0)]
+        assert shadow_hit_ratio(samples, 100, 0.5) == 0.0
+
+    def test_oversized_object_never_cached(self):
+        samples = [sample(1, 1.0, size=500, time=0.0), sample(1, 1.0, size=500, time=1.0)]
+        assert shadow_hit_ratio(samples, 100, 0.0) == 0.0
+
+    def test_eviction_prefers_low_q(self):
+        # Capacity for one object: a high-p object should displace a
+        # low-p one and then hit.
+        samples = [
+            sample(1, 0.1, size=60, time=0.0),
+            sample(2, 0.9, size=60, time=1.0),  # evicts 1 (lower q)
+            sample(2, 0.9, size=60, time=2.0),  # hit
+        ]
+        assert shadow_hit_ratio(samples, 100, 0.0) == pytest.approx(1 / 3)
+
+
+class TestUpdateRules:
+    def _samples_favouring_admit_all(self):
+        # Mixed-probability re-request stream: admitting everything wins.
+        rows = []
+        t = 0.0
+        for obj_id, p in [(1, 0.3), (2, 0.4), (3, 0.3)]:
+            for _ in range(5):
+                rows.append(sample(obj_id, p, size=10, time=t))
+                t += 1.0
+        return rows
+
+    def test_moves_toward_better_threshold(self):
+        estimator = ThresholdEstimator(
+            initial_delta=0.5, beta=0.001, sample_fraction=1.0
+        )
+        estimator.update(self._samples_favouring_admit_all(), capacity=100)
+        assert estimator.delta < 0.5  # 0.0 beats 0.5 here
+
+    def test_beta_guard_blocks_marginal_wins(self):
+        estimator = ThresholdEstimator(
+            initial_delta=0.5, beta=1.0, sample_fraction=1.0
+        )
+        estimator.update(self._samples_favouring_admit_all(), capacity=100)
+        assert estimator.delta == 0.5  # improvement below beta: keep
+
+    def test_no_update_when_incumbent_best(self):
+        # All probabilities 1.0: every threshold <= 1 behaves identically,
+        # so the incumbent must be kept.
+        rows = [sample(1, 1.0, time=float(t)) for t in range(6)]
+        estimator = ThresholdEstimator(initial_delta=0.5, sample_fraction=1.0)
+        estimator.update(rows, capacity=100)
+        assert estimator.delta == 0.5
+
+    def test_history_tracks_updates(self):
+        estimator = ThresholdEstimator(initial_delta=0.5, sample_fraction=1.0)
+        estimator.update(self._samples_favouring_admit_all(), capacity=100)
+        assert len(estimator.history) == 2
+        assert estimator.history[0] == 0.5
+
+    def test_sampling_is_deterministic(self):
+        def run(seed):
+            estimator = ThresholdEstimator(
+                initial_delta=0.5, sample_fraction=0.5, seed=seed
+            )
+            estimator.update(self._samples_favouring_admit_all(), capacity=100)
+            return estimator.delta
+
+        assert run(3) == run(3)
+
+    def test_empty_window_is_noop(self):
+        estimator = ThresholdEstimator(initial_delta=0.5)
+        assert estimator.update([], capacity=100) == 0.5
+
+
+class TestByteObjective:
+    def test_rejects_unknown_objective(self):
+        with pytest.raises(ValueError):
+            ThresholdEstimator(objective="latency")
+
+    def test_byte_weighting_changes_score(self):
+        # One small popular object, one huge unpopular one: byte weighting
+        # values the huge object's single re-request more.
+        samples = [
+            sample(1, 1.0, size=10, time=0.0),
+            sample(2, 1.0, size=1000, time=1.0),
+            sample(1, 1.0, size=10, time=2.0),
+            sample(2, 1.0, size=1000, time=3.0),
+        ]
+        object_score = shadow_hit_ratio(samples, 5000, 0.0)
+        byte_score = shadow_hit_ratio(samples, 5000, 0.0, byte_weighted=True)
+        assert object_score == pytest.approx(0.5)
+        assert byte_score == pytest.approx(1010 / 2020)
+
+    def test_lhr_accepts_byte_objective(self, ):
+        from repro.core.lhr import LhrCache
+
+        cache = LhrCache(1000, threshold_objective="byte")
+        assert cache.estimator.objective == "byte"

@@ -1,0 +1,129 @@
+"""Failure injection: adversarial and degenerate workloads.
+
+Every policy (and LHR especially) must survive pathological inputs a
+production CDN node will eventually see: single-object floods, burst
+timestamps, working sets of giant objects, cache sizes of one byte, and
+traces shorter than a sliding window.
+"""
+
+import pytest
+
+from repro.core import LhrCache, hro_bound
+from repro.policies import POLICY_REGISTRY, make_policy
+from repro.sim import build_policy
+from repro.traces.request import Request, Trace
+
+ROBUST_POLICIES = sorted(set(POLICY_REGISTRY) - {"lrb", "lfo"})
+
+
+def trace_of(rows):
+    return Trace.from_tuples(rows, name="adversarial")
+
+
+@pytest.fixture(scope="module")
+def single_object_flood():
+    return trace_of([(float(i), 7, 1000) for i in range(500)])
+
+
+@pytest.fixture(scope="module")
+def burst_same_timestamp():
+    # 200 requests all at t=5.0 (zero inter-arrival times).
+    return trace_of([(5.0, i % 20, 100) for i in range(200)])
+
+
+@pytest.fixture(scope="module")
+def giant_objects():
+    # Every object bigger than the cache under test (capacity 1000).
+    return trace_of([(float(i), i % 5, 10_000) for i in range(100)])
+
+
+class TestAllPolicies:
+    @pytest.mark.parametrize("name", ROBUST_POLICIES)
+    def test_single_object_flood(self, name, single_object_flood):
+        policy = make_policy(name, 10_000)
+        policy.process(single_object_flood)
+        # no-cache never admits by design; adaptsize admits an object of
+        # size s with probability exp(-s/c), which can legitimately starve
+        # a single large object until its threshold retunes.
+        if name not in ("no-cache", "adaptsize"):
+            # After the first touch (or two, for second-request filters)
+            # everything should hit.
+            assert policy.hits >= len(single_object_flood) - 3
+
+    @pytest.mark.parametrize("name", ROBUST_POLICIES)
+    def test_burst_same_timestamp(self, name, burst_same_timestamp):
+        policy = make_policy(name, 1500)
+        policy.process(burst_same_timestamp)  # must not divide by zero
+        assert policy.hits + policy.misses == len(burst_same_timestamp)
+
+    @pytest.mark.parametrize("name", ROBUST_POLICIES)
+    def test_giant_objects_never_admitted(self, name, giant_objects):
+        policy = make_policy(name, 1000)
+        policy.process(giant_objects)
+        assert policy.num_objects == 0
+        assert policy.hits == 0
+
+    @pytest.mark.parametrize("name", ROBUST_POLICIES)
+    def test_one_byte_cache(self, name):
+        policy = make_policy(name, 1)
+        policy.process(trace_of([(float(i), i % 3, 1) for i in range(30)]))
+        assert policy.used_bytes <= 1
+
+
+class TestLhrPathologies:
+    def test_trace_shorter_than_window(self):
+        cache = LhrCache(1 << 20, seed=0)
+        cache.process(trace_of([(float(i), i, 100) for i in range(10)]))
+        assert cache.windows_processed == 0
+        assert not cache.model_ready  # graceful: stays in bootstrap mode
+
+    def test_zero_duration_window(self):
+        # All requests at the same instant; rates would divide by zero
+        # without the duration floor.
+        cache = LhrCache(500, window_multiple=1.0, min_window_requests=0, seed=0)
+        cache.process(trace_of([(1.0, i, 100) for i in range(50)]))
+        assert cache.windows_processed >= 1
+
+    def test_alternating_giant_and_tiny(self):
+        rows = []
+        for i in range(300):
+            rows.append((float(i), 1000 + i % 3, 1))
+            rows.append((float(i) + 0.5, 2000 + i % 3, 900))
+        cache = LhrCache(1000, min_window_requests=64, seed=0)
+        cache.process(trace_of(rows))
+        assert cache.used_bytes <= 1000
+
+    def test_hro_single_content(self):
+        bound = hro_bound(
+            trace_of([(float(i), 1, 100) for i in range(100)]), 1000
+        )
+        assert bound.hits == 99  # first request misses, rest hit
+
+    def test_learning_policies_survive_burst(self, burst_same_timestamp):
+        for name in ("lrb", "lfo"):
+            kwargs = (
+                {"training_batch": 64, "max_training_data": 256}
+                if name == "lrb"
+                else {"window_requests": 64}
+            )
+            policy = build_policy(name, 1500, **kwargs)
+            policy.process(burst_same_timestamp)
+            assert policy.hits + policy.misses == len(burst_same_timestamp)
+
+
+class TestEngineEdgeCases:
+    def test_empty_trace(self):
+        from repro.sim import simulate
+
+        result = simulate(make_policy("lru", 100), Trace([], name="empty"))
+        assert result.requests == 0
+        assert result.object_hit_ratio == 0.0
+
+    def test_single_request(self):
+        from repro.sim import simulate
+
+        result = simulate(
+            make_policy("lhd", 100), trace_of([(0.0, 1, 50)])
+        )
+        assert result.requests == 1
+        assert result.hits == 0

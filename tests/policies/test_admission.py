@@ -1,0 +1,200 @@
+"""Admission-focused policies: AdaptSize, B-LRU, TinyLFU, W-TinyLFU, ARC."""
+
+import pytest
+
+from repro.policies.adaptsize import AdaptSizeCache
+from repro.policies.arc import ArcCache
+from repro.policies.blru import BloomLruCache
+from repro.policies.tinylfu import TinyLfuCache, WTinyLfuCache
+from repro.traces.request import Request
+from repro.traces.synthetic import irm_trace
+
+
+def req(obj_id, size=10, time=0.0):
+    return Request(time=time, obj_id=obj_id, size=size)
+
+
+class TestAdaptSize:
+    def test_rejects_bad_tuning_interval(self):
+        with pytest.raises(ValueError):
+            AdaptSizeCache(100, tuning_requests=0)
+
+    def test_small_objects_favoured(self):
+        cache = AdaptSizeCache(10_000, seed=0)
+        small_admitted = sum(
+            1 for i in range(200) if cache.request(req(1000 + i, size=1)) or cache.contains(1000 + i)
+        )
+        large_admitted = sum(
+            1
+            for i in range(200)
+            if cache.request(req(5000 + i, size=9_000)) or cache.contains(5000 + i)
+        )
+        assert small_admitted > large_admitted
+
+    def test_threshold_tuning_runs(self):
+        trace = irm_trace(3000, 100, seed=1)
+        cache = AdaptSizeCache(
+            int(0.1 * trace.unique_bytes()), tuning_requests=1000, seed=1
+        )
+        initial = cache.threshold
+        cache.process(trace)
+        assert cache.threshold != initial
+
+    def test_eviction_is_lru(self):
+        cache = AdaptSizeCache(30, seed=0)
+        cache._threshold = 1e12  # effectively admit-all
+        cache.request(req(1, time=0))
+        cache.request(req(2, time=1))
+        cache.request(req(3, time=2))
+        cache.request(req(1, time=3))
+        cache.request(req(4, time=4))
+        assert cache.contains(1)
+        assert not cache.contains(2)
+
+
+class TestBloomLru:
+    def test_one_hit_wonder_rejected(self):
+        cache = BloomLruCache(100)
+        cache.request(req(1))
+        assert not cache.contains(1)
+
+    def test_second_request_admitted(self):
+        cache = BloomLruCache(100)
+        cache.request(req(1, time=0))
+        cache.request(req(1, time=1))
+        assert cache.contains(1)
+        assert cache.request(req(1, time=2)) is True
+
+    def test_rotation_forgets_distant_history(self):
+        cache = BloomLruCache(1000, rotation_items=10)
+        cache.request(req(1, time=0))
+        # Flood with enough distinct ids to rotate twice.
+        for i in range(100, 125):
+            cache.request(Request(time=float(i), obj_id=i, size=1))
+        # Content 1's record has been rotated out of both generations.
+        assert not cache._seen_before(1)
+
+    def test_rejects_bad_rotation(self):
+        with pytest.raises(ValueError):
+            BloomLruCache(10, rotation_items=0)
+
+    def test_metadata_includes_filters(self):
+        cache = BloomLruCache(100, rotation_items=1000)
+        assert cache.metadata_bytes() > 0
+
+
+class TestTinyLfu:
+    def test_admits_while_space_free(self):
+        cache = TinyLfuCache(100)
+        cache.request(req(1, size=40))
+        assert cache.contains(1)
+
+    def test_frequency_duel_blocks_cold_content(self):
+        cache = TinyLfuCache(30)
+        for t in range(5):
+            cache.request(req(1, time=float(t)))
+            cache.request(req(2, time=float(t) + 0.5))
+            cache.request(req(3, time=float(t) + 0.7))
+        # Cache full of warm objects; a cold newcomer loses the duel.
+        cache.request(req(9, time=100.0))
+        assert not cache.contains(9)
+        assert cache.contains(1)
+
+    def test_hot_newcomer_wins_duel(self):
+        cache = TinyLfuCache(30)
+        cache.request(req(1, time=0))
+        cache.request(req(2, time=1))
+        cache.request(req(3, time=2))
+        for t in range(6):
+            cache.request(req(9, time=10.0 + t))  # builds sketch frequency
+        assert cache.contains(9)
+
+
+class TestWTinyLfu:
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5])
+    def test_rejects_bad_window_fraction(self, fraction):
+        with pytest.raises(ValueError):
+            WTinyLfuCache(100, window_fraction=fraction)
+
+    def test_rejects_bad_protected_fraction(self):
+        with pytest.raises(ValueError):
+            WTinyLfuCache(100, protected_fraction=1.5)
+
+    def test_admits_into_window_when_space(self):
+        cache = WTinyLfuCache(1000)
+        cache.request(req(1, size=5))
+        assert cache.contains(1)
+
+    def test_probation_hit_promotes_to_protected(self):
+        cache = WTinyLfuCache(1000, window_fraction=0.01)
+        cache.request(req(1, size=300, time=0))
+        cache.request(req(2, size=300, time=1))  # spills 1 to probation
+        assert 1 in cache._probation
+        cache.request(req(1, size=300, time=2))
+        assert 1 in cache._protected
+
+    def test_capacity_never_exceeded(self, var_size_trace):
+        cache = WTinyLfuCache(1 << 20)
+        for request in var_size_trace:
+            cache.request(request)
+            assert cache.used_bytes <= cache.capacity
+
+    def test_beats_lru_on_zipf(self):
+        from repro.policies.classic import LruCache
+
+        trace = irm_trace(20_000, 500, alpha=1.0, mean_size=1 << 16, seed=4)
+        capacity = int(0.05 * trace.unique_bytes())
+        wtlfu = WTinyLfuCache(capacity)
+        lru = LruCache(capacity)
+        wtlfu.process(trace)
+        lru.process(trace)
+        assert wtlfu.object_hit_ratio > lru.object_hit_ratio
+
+
+class TestArc:
+    def test_t1_hit_promotes_to_t2(self):
+        cache = ArcCache(100)
+        cache.request(req(1, time=0))
+        assert 1 in cache._t1
+        cache.request(req(1, time=1))
+        assert 1 in cache._t2
+        assert 1 not in cache._t1
+
+    def test_ghost_hit_adapts_target(self):
+        cache = ArcCache(30)
+        cache.request(req(1, time=0))
+        cache.request(req(2, time=1))
+        cache.request(req(3, time=2))
+        cache.request(req(4, time=3))  # evicts 1 into B1
+        assert 1 in cache._b1
+        p_before = cache._p
+        cache.request(req(1, time=4))  # ghost hit in B1 grows p
+        assert cache._p > p_before
+
+    def test_capacity_respected(self, var_size_trace):
+        cache = ArcCache(1 << 20)
+        for request in var_size_trace:
+            cache.request(request)
+            assert cache.used_bytes <= cache.capacity
+
+    def test_scan_resistance_vs_lru(self):
+        from repro.policies.classic import LruCache
+
+        # A hot working set + one-off scan items: ARC should protect the
+        # hot set better than LRU.
+        requests = []
+        t = 0.0
+        scan_id = 1000
+        for round_index in range(300):
+            for hot in range(5):
+                requests.append(req(hot, size=10, time=t))
+                t += 1
+            requests.append(req(scan_id, size=10, time=t))
+            scan_id += 1
+            t += 1
+        arc = ArcCache(60)
+        lru = LruCache(60)
+        for r in requests:
+            arc.request(r)
+            lru.request(r)
+        assert arc.hits >= lru.hits

@@ -1,0 +1,150 @@
+"""Density/utility-based policies: LHD, Hyperbolic, SecondHit, GDS."""
+
+import pytest
+
+from repro.policies.classic import GdsCache, LruCache
+from repro.policies.hyperbolic import HyperbolicCache
+from repro.policies.lhd import LhdCache
+from repro.policies.secondhit import SecondHitCache
+from repro.traces.request import Request
+from repro.traces.synthetic import irm_trace
+
+
+def req(obj_id, time, size=10):
+    return Request(time=time, obj_id=obj_id, size=size)
+
+
+class TestLhd:
+    def test_basic_operation(self):
+        cache = LhdCache(100, seed=0)
+        assert cache.request(req(1, 0.0)) is False
+        assert cache.request(req(1, 1.0)) is True
+
+    def test_hit_density_decreases_with_size(self):
+        cache = LhdCache(10_000, seed=0)
+        cache.request(req(1, 0.0, size=10))
+        cache.request(req(2, 0.0, size=1000))
+        assert cache.hit_density(1, 5.0) > cache.hit_density(2, 5.0)
+
+    def test_class_learning_from_hits(self):
+        cache = LhdCache(10_000, seed=0)
+        for t in range(10):
+            cache.request(req(1, float(t)))
+        cls = cache._classes[cache._class_of(1)]
+        assert cls.hit_probability > 0.5
+        assert cls.expected_time == pytest.approx(1.0, rel=0.2)
+
+    def test_beats_lru_on_zipf(self):
+        trace = irm_trace(15_000, 300, alpha=1.0, mean_size=1 << 14, seed=41)
+        capacity = int(0.05 * trace.unique_bytes())
+        lhd = LhdCache(capacity, seed=1)
+        lru = LruCache(capacity)
+        lhd.process(trace)
+        lru.process(trace)
+        assert lhd.object_hit_ratio > lru.object_hit_ratio
+
+    def test_capacity_respected(self, var_size_trace):
+        cache = LhdCache(1 << 20, seed=2)
+        for request in var_size_trace:
+            cache.request(request)
+            assert cache.used_bytes <= cache.capacity
+
+
+class TestHyperbolic:
+    def test_priority_decays_with_residence(self):
+        cache = HyperbolicCache(1000, seed=0)
+        cache.request(req(1, 0.0))
+        early = cache.priority(1, 1.0)
+        late = cache.priority(1, 100.0)
+        assert late < early
+
+    def test_priority_grows_with_hits(self):
+        cache = HyperbolicCache(1000, seed=0)
+        cache.request(req(1, 0.0))
+        before = cache.priority(1, 10.0)
+        cache.request(req(1, 5.0))
+        after = cache.priority(1, 10.0)
+        assert after > before
+
+    def test_size_aware_flag(self):
+        aware = HyperbolicCache(10_000, size_aware=True, seed=0)
+        blind = HyperbolicCache(10_000, size_aware=False, seed=0)
+        for cache in (aware, blind):
+            cache.request(req(1, 0.0, size=100))
+        assert aware.priority(1, 1.0) == pytest.approx(
+            blind.priority(1, 1.0) / 100
+        )
+
+    def test_burst_protection_vs_lru(self):
+        # A burst-hit object should outlive a merely-recent one.
+        cache = HyperbolicCache(30, num_candidates=64, seed=0)
+        for t in range(5):
+            cache.request(req(1, float(t)))  # bursty
+        cache.request(req(2, 5.0))
+        cache.request(req(3, 6.0))
+        cache.request(req(4, 7.0))  # eviction needed
+        assert cache.contains(1)
+
+    def test_capacity_respected(self, var_size_trace):
+        cache = HyperbolicCache(1 << 20, seed=3)
+        for request in var_size_trace:
+            cache.request(request)
+            assert cache.used_bytes <= cache.capacity
+
+
+class TestSecondHit:
+    def test_rejects_bad_history(self):
+        with pytest.raises(ValueError):
+            SecondHitCache(100, history_items=0)
+
+    def test_first_request_not_admitted(self):
+        cache = SecondHitCache(100)
+        cache.request(req(1, 0.0))
+        assert not cache.contains(1)
+
+    def test_second_request_admitted(self):
+        cache = SecondHitCache(100)
+        cache.request(req(1, 0.0))
+        cache.request(req(1, 1.0))
+        assert cache.contains(1)
+
+    def test_horizon_expires_history(self):
+        cache = SecondHitCache(100, horizon_seconds=10.0)
+        cache.request(req(1, 0.0))
+        cache.request(req(1, 50.0))  # first sighting expired
+        assert not cache.contains(1)
+        cache.request(req(1, 55.0))  # within horizon of the 50.0 sighting
+        assert cache.contains(1)
+
+    def test_history_table_bounded(self):
+        cache = SecondHitCache(1000, history_items=5)
+        for i in range(20):
+            cache.request(req(i, float(i)))
+        assert len(cache._seen) <= 5
+
+    def test_filters_one_hit_wonders(self, production_trace, production_capacity):
+        filtered = SecondHitCache(production_capacity)
+        unfiltered = LruCache(production_capacity)
+        filtered.process(production_trace)
+        unfiltered.process(production_trace)
+        # Admitting only re-requested contents means far fewer admissions.
+        assert filtered.admissions < 0.7 * unfiltered.admissions
+
+
+class TestGds:
+    def test_size_drives_eviction(self):
+        cache = GdsCache(100)
+        cache.request(req(1, 0.0, size=80))
+        cache.request(req(2, 1.0, size=20))
+        cache.request(req(3, 2.0, size=50))  # must evict the big one
+        assert not cache.contains(1)
+        assert cache.contains(2)
+
+    def test_frequency_blind(self):
+        cache = GdsCache(100)
+        for t in range(10):
+            cache.request(req(1, float(t), size=80))  # popular but big
+        cache.request(req(2, 20.0, size=20))
+        cache.request(req(3, 21.0, size=50))
+        # Unlike GDSF, popularity does not save the large object.
+        assert not cache.contains(1)

@@ -1,0 +1,130 @@
+"""Cross-policy invariants, property-based.
+
+Every registered policy, whatever its internals, must maintain the same
+cache-state contract: capacity never exceeded, byte accounting exact,
+hit counters consistent, and a hit only ever served for a cached object.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies import POLICY_REGISTRY, make_policy
+from repro.traces.request import Request
+
+#: Policies cheap enough to run under hypothesis.
+FAST_POLICIES = [
+    "fifo",
+    "random",
+    "lru",
+    "lru-2",
+    "lru-4",
+    "lfu",
+    "lfu-da",
+    "gdsf",
+    "arc",
+    "adaptsize",
+    "b-lru",
+    "tinylfu",
+    "w-tinylfu",
+    "hawkeye",
+    "gds",
+    "s4lru",
+    "lhd",
+    "hyperbolic",
+    "secondhit",
+    "no-cache",
+]
+
+ALL_POLICIES = sorted(POLICY_REGISTRY)
+
+
+request_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=25),  # obj_id
+        st.integers(min_value=1, max_value=40),  # size
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def build_trace(rows):
+    # Sizes must be consistent per object: key size off the id.
+    sizes = {}
+    requests = []
+    for i, (obj_id, size) in enumerate(rows):
+        size = sizes.setdefault(obj_id, size)
+        requests.append(Request(time=float(i), obj_id=obj_id, size=size, index=i))
+    return requests
+
+
+@pytest.mark.parametrize("name", FAST_POLICIES)
+@settings(max_examples=25, deadline=None)
+@given(rows=request_lists, capacity=st.integers(min_value=10, max_value=200))
+def test_property_state_contract(name, rows, capacity):
+    policy = make_policy(name, capacity)
+    requests = build_trace(rows)
+    hits = 0
+    for request in requests:
+        was_cached = policy.contains(request.obj_id)
+        hit = policy.request(request)
+        assert hit == was_cached, "a hit must be served iff the object was cached"
+        hits += hit
+        assert policy.used_bytes <= capacity
+        assert policy.used_bytes == sum(policy.cached_objects().values())
+        for obj_id, size in policy.cached_objects().items():
+            assert size <= capacity
+    assert policy.hits == hits
+    assert policy.hits + policy.misses == len(requests)
+    assert policy.admissions - policy.evictions == policy.num_objects
+
+
+@pytest.mark.parametrize("name", ALL_POLICIES)
+def test_smoke_on_production_slice(name, production_trace, production_capacity):
+    """Every registered policy survives a real trace slice within budget."""
+    kwargs = {}
+    if name == "lrb":
+        kwargs = {"training_batch": 1500, "max_training_data": 4000}
+    if name == "lfo":
+        kwargs = {"window_requests": 1500}
+    policy = make_policy(name, production_capacity, **kwargs)
+    policy.process(production_trace[:2500])
+    assert policy.used_bytes <= production_capacity
+    assert 0.0 <= policy.object_hit_ratio <= 1.0
+    assert policy.metadata_bytes() >= 0
+
+
+@pytest.mark.parametrize("name", FAST_POLICIES)
+def test_metadata_overhead_small_vs_capacity(name, production_trace, production_capacity):
+    """Section 7.2: metadata should be a small fraction of cache size."""
+    policy = make_policy(name, production_capacity)
+    policy.process(production_trace[:2000])
+    assert policy.metadata_bytes() < 0.25 * production_capacity
+
+
+@pytest.mark.parametrize("name", ["lru", "lfu-da", "gdsf", "arc", "w-tinylfu"])
+def test_larger_cache_never_hurts_much(name, var_size_trace):
+    """Hit ratio should be (weakly) monotone in capacity on IRM traces."""
+    small = make_policy(name, 1 << 19)
+    large = make_policy(name, 1 << 22)
+    small.process(var_size_trace)
+    large.process(var_size_trace)
+    assert large.object_hit_ratio >= small.object_hit_ratio - 0.02
+
+
+def test_registry_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown policy"):
+        make_policy("nonexistent", 100)
+
+
+def test_registry_names_lowercase():
+    assert all(name == name.lower() for name in POLICY_REGISTRY)
+
+
+def test_sota_policies_all_registered():
+    from repro.policies import SOTA_POLICIES
+
+    assert set(SOTA_POLICIES) <= set(POLICY_REGISTRY)
+    assert len(SOTA_POLICIES) == 7  # the paper's seven best-performing

@@ -1,0 +1,158 @@
+"""Learning-based baselines: Hawkeye, LRB, LFO."""
+
+import pytest
+
+from repro.policies.hawkeye import HawkeyeCache, _OptGen
+from repro.policies.lfo import LfoCache
+from repro.policies.lrb import LrbCache
+from repro.traces.request import Request
+from repro.traces.synthetic import irm_trace
+
+
+def req(obj_id, size=10, time=0.0, index=-1):
+    return Request(time=time, obj_id=obj_id, size=size, index=index)
+
+
+class TestOptGen:
+    def test_first_request_has_no_verdict(self):
+        optgen = _OptGen(capacity=100, num_buckets=8, requests_per_bucket=1)
+        assert optgen.record(req(1, time=0)) is None
+
+    def test_reuse_within_capacity_is_opt_hit(self):
+        optgen = _OptGen(capacity=100, num_buckets=8, requests_per_bucket=1)
+        optgen.record(req(1, time=0))
+        assert optgen.record(req(1, time=1)) is True
+
+    def test_overflowing_interval_is_opt_miss(self):
+        optgen = _OptGen(capacity=25, num_buckets=8, requests_per_bucket=1)
+        optgen.record(req(1, size=10, time=0))
+        optgen.record(req(2, size=10, time=1))
+        optgen.record(req(3, size=10, time=2))
+        # All three intervals overlap; the third reuse cannot fit.
+        assert optgen.record(req(1, size=10, time=3)) is True
+        assert optgen.record(req(2, size=10, time=4)) is True
+        assert optgen.record(req(3, size=10, time=5)) is False
+
+    def test_reuse_beyond_history_has_no_verdict(self):
+        optgen = _OptGen(capacity=100, num_buckets=4, requests_per_bucket=1)
+        optgen.record(req(1, time=0))
+        for i in range(2, 8):
+            optgen.record(req(i, time=float(i)))
+        assert optgen.record(req(1, time=9)) is None
+
+    def test_prune_drops_stale_entries(self):
+        optgen = _OptGen(capacity=100, num_buckets=2, requests_per_bucket=1)
+        optgen.record(req(1, time=0))
+        for i in range(2, 40):
+            optgen.record(req(i, time=float(i)))
+        optgen.prune(horizon=2)
+        assert 1 not in optgen._last_bucket
+
+
+class TestHawkeye:
+    def test_averse_content_denied_admission(self):
+        cache = HawkeyeCache(100, num_buckets=8, requests_per_bucket=1)
+        slot = cache._slot(5)
+        cache._counters[slot] = 0  # force averse prediction
+        cache.request(req(5))
+        assert not cache.contains(5)
+
+    def test_friendly_by_default(self):
+        cache = HawkeyeCache(100)
+        cache.request(req(1))
+        assert cache.contains(1)
+
+    def test_averse_evicted_before_friendly(self):
+        cache = HawkeyeCache(30, num_buckets=8, requests_per_bucket=1)
+        cache.request(req(1, time=0))
+        cache.request(req(2, time=1))
+        cache.request(req(3, time=2))
+        # Make content 2 averse and re-place it.
+        cache._counters[cache._slot(2)] = 0
+        cache._place(2)
+        cache.request(req(4, time=3))
+        assert not cache.contains(2)
+        assert cache.contains(1) and cache.contains(3)
+
+    def test_training_moves_counters(self):
+        cache = HawkeyeCache(1000, num_buckets=16, requests_per_bucket=1)
+        start = cache._counters.get(cache._slot(1), cache._FRIENDLY_THRESHOLD)
+        for t in range(6):
+            cache.request(req(1, time=float(t)))
+        assert cache._counters[cache._slot(1)] > start
+
+    def test_runs_clean_on_real_trace(self, production_trace, production_capacity):
+        cache = HawkeyeCache(production_capacity)
+        cache.process(production_trace)
+        assert 0.0 < cache.object_hit_ratio < 1.0
+        assert cache.used_bytes <= cache.capacity
+
+
+class TestLrb:
+    def test_admits_everything_that_fits(self):
+        cache = LrbCache(100, seed=0)
+        cache.request(req(1, size=40))
+        assert cache.contains(1)
+
+    def test_pre_model_eviction_is_lru_like(self):
+        cache = LrbCache(30, seed=0)
+        cache.request(req(1, time=0, index=0))
+        cache.request(req(2, time=1, index=1))
+        cache.request(req(3, time=2, index=2))
+        cache.request(req(1, time=3, index=3))  # refresh 1
+        cache.request(req(4, time=4, index=4))  # evicts 2 (oldest access)
+        assert not cache.contains(2)
+        assert cache.contains(1)
+
+    def test_training_fires_after_batch(self):
+        trace = irm_trace(6000, 100, mean_size=1 << 14, seed=2)
+        cache = LrbCache(
+            int(0.2 * trace.unique_bytes()),
+            training_batch=1000,
+            max_training_data=4000,
+            seed=2,
+        )
+        cache.process(trace)
+        assert cache.trainings >= 1
+
+    def test_training_data_bounded(self):
+        trace = irm_trace(4000, 50, mean_size=1 << 14, seed=3)
+        cache = LrbCache(
+            int(0.2 * trace.unique_bytes()),
+            training_batch=500,
+            max_training_data=1000,
+            seed=3,
+        )
+        cache.process(trace)
+        assert len(cache._train_features) <= 1000
+
+    def test_capacity_respected_on_real_trace(self, production_trace):
+        capacity = int(0.03 * production_trace.unique_bytes())
+        cache = LrbCache(capacity, training_batch=2000, seed=1)
+        for request in production_trace:
+            cache.request(request)
+        assert cache.used_bytes <= capacity
+
+    def test_memory_window_override(self):
+        cache = LrbCache(100, memory_window=50.0)
+        assert cache._window(1e9) == 50.0
+
+
+class TestLfo:
+    def test_admit_all_before_first_model(self):
+        cache = LfoCache(100, window_requests=1000)
+        cache.request(req(1))
+        assert cache.contains(1)
+
+    def test_model_trained_after_window(self):
+        trace = irm_trace(3000, 80, mean_size=1 << 14, seed=4)
+        cache = LfoCache(
+            int(0.2 * trace.unique_bytes()), window_requests=1000, seed=4
+        )
+        cache.process(trace)
+        assert cache._model is not None
+
+    def test_metadata_accounting_positive(self):
+        cache = LfoCache(100)
+        cache.request(req(1))
+        assert cache.metadata_bytes() > 0

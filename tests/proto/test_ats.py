@@ -1,0 +1,200 @@
+"""ATS emulation: the Section 6.1 request path and Table 2 accounting."""
+
+import pytest
+
+from repro.core.lhr import LhrCache
+from repro.policies.classic import LruCache
+from repro.proto.ats import AtsServer, CostModel, make_ats_baseline, run_prototype
+from repro.proto.origin import OriginServer
+from repro.traces.request import Request
+
+
+def req(obj_id, time, size=100):
+    return Request(time=time, obj_id=obj_id, size=size)
+
+
+class TestRequestPath:
+    def test_miss_fetches_from_origin(self):
+        server = make_ats_baseline(10_000)
+        outcome = server.serve(req(1, time=0.0))
+        assert outcome.hit is False
+        assert outcome.wan_bytes == 100
+        assert server.origin.stats.fetches == 1
+
+    def test_fresh_hit_serves_locally(self):
+        server = make_ats_baseline(10_000)
+        server.serve(req(1, time=0.0))
+        outcome = server.serve(req(1, time=1.0))
+        assert outcome.hit is True
+        assert outcome.wan_bytes == 0
+
+    def test_hit_latency_below_miss_latency(self):
+        server = make_ats_baseline(10_000)
+        miss = server.serve(req(1, time=0.0))
+        hit = server.serve(req(1, time=1.0))
+        assert hit.latency_seconds < miss.latency_seconds
+
+    def test_stale_content_revalidated(self):
+        origin = OriginServer(update_probability=0.0, seed=0)
+        server = AtsServer(
+            LruCache(10_000), freshness_lifetime=10.0, origin=origin,
+            uses_learning=False,
+        )
+        server.serve(req(1, time=0.0))
+        outcome = server.serve(req(1, time=100.0))  # stale: 100 > 10
+        assert outcome.hit is True
+        assert origin.stats.revalidations == 1
+        assert outcome.wan_bytes == 0  # 304: still fresh
+
+    def test_changed_content_refetched(self):
+        origin = OriginServer(update_probability=1.0, seed=0)
+        server = AtsServer(
+            LruCache(10_000), freshness_lifetime=10.0, origin=origin,
+            uses_learning=False,
+        )
+        server.serve(req(1, time=0.0))
+        outcome = server.serve(req(1, time=100.0))
+        assert outcome.hit is True  # served after refetch
+        assert outcome.wan_bytes == 100
+        assert origin.stats.refetches == 1
+
+    def test_ram_cache_skips_device(self):
+        server = make_ats_baseline(10_000, ram_bytes=1000)
+        server.serve(req(1, time=0.0))
+        hit = server.serve(req(1, time=1.0))  # in RAM
+        assert hit.device_seconds == 0.0
+
+    def test_learning_detected_automatically(self):
+        assert AtsServer(LhrCache(1000)).uses_learning is True
+        assert AtsServer(LruCache(1000)).uses_learning is False
+
+    def test_learning_costs_more_cpu(self):
+        base_req = req(1, time=0.0, size=1 << 20)
+        lhr_server = AtsServer(LhrCache(10 << 20))
+        ats_server = make_ats_baseline(10 << 20)
+        lhr_cpu = lhr_server.serve(base_req).cpu_seconds
+        ats_cpu = ats_server.serve(base_req).cpu_seconds
+        assert lhr_cpu > 2 * ats_cpu
+
+
+class TestMemoryAccounting:
+    def test_memory_includes_policy_metadata(self):
+        server = make_ats_baseline(10_000)
+        base = server.memory_bytes()
+        for i in range(50):
+            server.serve(req(i, time=float(i)))
+        assert server.memory_bytes() > base
+
+
+class TestRunPrototype:
+    @pytest.fixture(scope="class")
+    def report_pair(self, production_trace, production_capacity):
+        ats = run_prototype(
+            make_ats_baseline(production_capacity),
+            production_trace,
+            "ats",
+            window_requests=500,
+        )
+        lhr = run_prototype(
+            AtsServer(LhrCache(production_capacity, seed=0)),
+            production_trace,
+            "lhr",
+            window_requests=500,
+        )
+        return ats, lhr
+
+    def test_lhr_beats_ats_hit_probability(self, report_pair):
+        ats, lhr = report_pair
+        assert lhr.content_hit_percent > ats.content_hit_percent
+
+    def test_lhr_costs_more_cpu(self, report_pair):
+        ats, lhr = report_pair
+        assert lhr.peak_cpu_percent > ats.peak_cpu_percent
+
+    def test_cpu_in_plausible_range(self, report_pair):
+        ats, lhr = report_pair
+        assert 0.0 < ats.peak_cpu_percent < 50.0
+        assert 0.0 < lhr.peak_cpu_percent < 80.0
+
+    def test_window_series_covers_trace(self, report_pair, production_trace):
+        ats, _ = report_pair
+        assert len(ats.window_hit_ratios) == pytest.approx(
+            len(production_trace) / 500, abs=1
+        )
+        assert all(0.0 <= ratio <= 1.0 for ratio in ats.window_hit_ratios)
+
+    def test_lhr_window_series_improves_over_time(self, report_pair):
+        _, lhr = report_pair
+        first = lhr.window_hit_ratios[0]
+        later = max(lhr.window_hit_ratios[2:])
+        assert later > first
+
+    def test_report_row_keys(self, report_pair):
+        row = report_pair[0].as_row()
+        assert set(row) >= {
+            "throughput_gbps",
+            "peak_cpu_percent",
+            "peak_mem_gb",
+            "p90_latency_ms",
+            "content_hit_percent",
+        }
+
+
+class TestRamCache:
+    def test_oversized_object_ignored(self):
+        from repro.proto.ats import _RamCache
+
+        ram = _RamCache(100)
+        ram.put(1, 500)
+        assert not ram.get(1)
+        assert ram.used_bytes == 0
+
+    def test_lru_eviction(self):
+        from repro.proto.ats import _RamCache
+
+        ram = _RamCache(30)
+        ram.put(1, 10)
+        ram.put(2, 10)
+        ram.put(3, 10)
+        ram.get(1)  # refresh
+        ram.put(4, 10)  # evicts 2
+        assert ram.get(1) and not ram.get(2)
+
+    def test_duplicate_put_refreshes(self):
+        from repro.proto.ats import _RamCache
+
+        ram = _RamCache(20)
+        ram.put(1, 10)
+        ram.put(2, 10)
+        ram.put(1, 10)  # refresh, no double count
+        assert ram.used_bytes == 20
+        ram.put(3, 10)  # evicts 2 (LRU after 1's refresh)
+        assert ram.get(1) and not ram.get(2)
+
+    def test_drop(self):
+        from repro.proto.ats import _RamCache
+
+        ram = _RamCache(20)
+        ram.put(1, 10)
+        ram.drop(1)
+        assert ram.used_bytes == 0
+        ram.drop(99)  # idempotent
+
+
+class TestCostModel:
+    def test_learning_multiplier_applied(self):
+        from repro.proto.ats import CostModel
+
+        costs = CostModel()
+        server_plain = make_ats_baseline(1 << 30, cost_model=costs)
+        request = req(1, time=0.0, size=1 << 20)
+        plain_cpu = server_plain._cpu_cost(request, hit=False)
+        learning = AtsServer(LhrCache(1 << 30), cost_model=costs)
+        learned_cpu = learning._cpu_cost(request, hit=False)
+        assert learned_cpu > plain_cpu + costs.learning_seconds_per_request / 2
+
+    def test_cpu_scales_with_size(self):
+        server = make_ats_baseline(1 << 30)
+        small = server._cpu_cost(req(1, time=0.0, size=1 << 10), hit=True)
+        large = server._cpu_cost(req(2, time=0.0, size=64 << 20), hit=True)
+        assert large > small

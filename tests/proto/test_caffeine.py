@@ -1,0 +1,68 @@
+"""Caffeine emulation (Appendix A.3): W-TinyLFU baseline vs LHR."""
+
+import pytest
+
+from repro.proto.caffeine import (
+    CaffeineServer,
+    make_caffeine_baseline,
+    make_caffeine_lhr,
+    run_caffeine,
+)
+from repro.policies.tinylfu import WTinyLfuCache
+from repro.core.lhr import LhrCache
+
+
+class TestFactories:
+    def test_baseline_uses_wtinylfu(self):
+        server = make_caffeine_baseline(10_000)
+        assert isinstance(server.policy, WTinyLfuCache)
+        assert server.uses_learning is False
+
+    def test_lhr_variant(self):
+        server = make_caffeine_lhr(10_000, lhr_kwargs={"num_irts": 10})
+        assert isinstance(server.policy, LhrCache)
+        assert server.policy.num_irts == 10
+        assert server.uses_learning is True
+
+
+class TestRunCaffeine:
+    @pytest.fixture(scope="class")
+    def report_pair(self, production_trace, production_capacity):
+        baseline = run_caffeine(
+            make_caffeine_baseline(production_capacity),
+            production_trace,
+            "caffeine",
+            window_requests=500,
+        )
+        lhr = run_caffeine(
+            make_caffeine_lhr(production_capacity, lhr_kwargs={"seed": 0}),
+            production_trace,
+            "lhr",
+            window_requests=500,
+        )
+        return baseline, lhr
+
+    def test_lhr_beats_caffeine_hit_probability(self, report_pair):
+        baseline, lhr = report_pair
+        assert lhr.content_hit_percent > baseline.content_hit_percent
+
+    def test_traffic_accounting(self, report_pair, production_trace):
+        baseline, _ = report_pair
+        assert baseline.traffic_gbps > 0
+        # All traffic must be bounded by total requested bytes / duration.
+        ceiling = production_trace.total_bytes() * 8 / production_trace.duration / 1e9
+        assert baseline.traffic_gbps <= ceiling
+
+    def test_latency_percentile_ordering(self, report_pair):
+        baseline, lhr = report_pair
+        for report in (baseline, lhr):
+            assert report.mean_latency_ms <= report.p99_latency_ms
+            assert report.p90_latency_ms <= report.p99_latency_ms
+
+    def test_memory_includes_java_heap_baseline(self, report_pair):
+        baseline, _ = report_pair
+        assert baseline.peak_mem_gb >= 3.0  # base process bytes
+
+    def test_window_series_present(self, report_pair):
+        baseline, _ = report_pair
+        assert len(baseline.window_hit_ratios) >= 5

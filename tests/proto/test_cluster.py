@@ -1,0 +1,160 @@
+"""Consistent-hash ring and CDN cluster."""
+
+import pytest
+
+from repro.proto.cluster import CdnCluster, ConsistentHashRing
+from repro.traces.request import Request
+from repro.traces.synthetic import irm_trace
+
+
+def req(obj_id, time=0.0, size=10):
+    return Request(time=time, obj_id=obj_id, size=size)
+
+
+class TestRing:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([])
+
+    def test_rejects_bad_virtual_nodes(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(["a"], virtual_nodes=0)
+
+    def test_rejects_duplicate_node(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+
+    def test_deterministic_assignment(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert ring.node_for(42) == ring.node_for(42)
+
+    def test_all_nodes_receive_keys(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"], virtual_nodes=128)
+        owners = {ring.node_for(key) for key in range(2000)}
+        assert owners == {"a", "b", "c", "d"}
+
+    def test_balance_with_virtual_nodes(self):
+        ring = ConsistentHashRing([f"n{i}" for i in range(8)], virtual_nodes=256)
+        counts = {}
+        for key in range(20_000):
+            counts[ring.node_for(key)] = counts.get(ring.node_for(key), 0) + 1
+        loads = list(counts.values())
+        assert max(loads) / (sum(loads) / len(loads)) < 1.6
+
+    def test_replica_sets_distinct(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        replicas = ring.nodes_for(7, 3)
+        assert len(replicas) == len(set(replicas)) == 3
+
+    def test_replica_count_clamped_to_nodes(self):
+        ring = ConsistentHashRing(["a", "b"])
+        assert len(ring.nodes_for(1, 5)) == 2
+
+    def test_remove_node_minimal_disruption(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"], virtual_nodes=128)
+        before = {key: ring.node_for(key) for key in range(3000)}
+        ring.remove_node("b")
+        moved = sum(
+            1 for key, owner in before.items()
+            if owner != "b" and ring.node_for(key) != owner
+        )
+        # Consistent hashing: keys not owned by the removed node stay put.
+        assert moved == 0
+
+    def test_remove_missing_raises(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(KeyError):
+            ring.remove_node("zzz")
+
+
+class TestCluster:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            CdnCluster(0, 100)
+        with pytest.raises(ValueError):
+            CdnCluster(2, 100, replication=0)
+
+    def test_request_routed_consistently(self):
+        cluster = CdnCluster(4, 1000, policy="lru")
+        cluster.serve(req(5))
+        owner = cluster.ring.node_for(5)
+        assert cluster.nodes[owner].contains(5)
+        for name, node in cluster.nodes.items():
+            if name != owner:
+                assert not node.contains(5)
+
+    def test_hit_after_admission(self):
+        cluster = CdnCluster(3, 1000)
+        assert cluster.serve(req(1, time=0.0)) is False
+        assert cluster.serve(req(1, time=1.0)) is True
+        assert cluster.hits == 1 and cluster.misses == 1
+
+    def test_aggregate_counters(self):
+        cluster = CdnCluster(4, 1 << 18)
+        trace = irm_trace(2000, 100, mean_size=1 << 10, seed=2)
+        cluster.process(trace)
+        assert cluster.hits + cluster.misses == len(trace)
+        assert 0.0 < cluster.object_hit_ratio < 1.0
+        assert sum(cluster.requests_per_node.values()) == len(trace)
+
+    def test_fewer_larger_nodes_hit_more(self):
+        """Classic sharding result: for a fixed byte budget, consolidation
+        beats fragmentation on hit ratio."""
+        trace = irm_trace(6000, 300, alpha=0.9, mean_size=1 << 12, seed=3)
+        budget = int(0.2 * trace.unique_bytes())
+        few = CdnCluster(2, budget // 2)
+        many = CdnCluster(16, budget // 16)
+        few.process(trace)
+        many.process(trace)
+        assert few.object_hit_ratio >= many.object_hit_ratio - 0.01
+
+    def test_node_failure_reroutes_and_cools(self):
+        trace = irm_trace(3000, 150, mean_size=1 << 10, seed=4)
+        cluster = CdnCluster(4, 1 << 19)
+        cluster.process(trace)
+        warm_ratio = cluster.object_hit_ratio
+        victim = next(iter(cluster.nodes))
+        cluster.fail_node(victim)
+        assert len(cluster.nodes) == 3
+        assert victim not in cluster.ring.nodes
+        # Keys previously on the victim now route to survivors (cold).
+        cluster.process(trace)
+        assert cluster.hits + cluster.misses == 2 * len(trace)
+
+    def test_add_node_scales_out(self):
+        cluster = CdnCluster(2, 1000)
+        cluster.add_node("node-99")
+        assert "node-99" in cluster.nodes
+        assert len(cluster.ring) == 3
+
+    def test_replication_serves_from_any_replica(self):
+        cluster = CdnCluster(4, 1000, replication=2)
+        cluster.serve(req(9, time=0.0))
+        primary, secondary = cluster.ring.nodes_for(9, 2)
+        assert cluster.nodes[primary].contains(9)
+        # Manually place a copy at the secondary; a primary failure then
+        # still serves the content.
+        cluster.nodes[secondary].request(req(9, time=1.0))
+        cluster.fail_node(primary)
+        assert cluster.serve(req(9, time=2.0)) is True
+
+    def test_report_and_imbalance(self):
+        cluster = CdnCluster(4, 1 << 18, virtual_nodes=256)
+        trace = irm_trace(4000, 400, mean_size=1 << 10, seed=5)
+        cluster.process(trace)
+        report = cluster.report()
+        assert report["nodes"] == 4
+        assert report["load_imbalance"] >= 1.0
+        assert report["load_imbalance"] < 2.5
+
+    def test_lhr_nodes_supported(self):
+        trace = irm_trace(3000, 150, mean_size=1 << 11, seed=6)
+        cluster = CdnCluster(
+            2,
+            int(0.1 * trace.unique_bytes()),
+            policy="lhr",
+            policy_kwargs={"min_window_requests": 256, "seed": 0},
+        )
+        cluster.process(trace)
+        assert 0.0 < cluster.object_hit_ratio < 1.0

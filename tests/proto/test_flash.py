@@ -1,0 +1,61 @@
+"""Emulated flash layer: IO accounting and service times."""
+
+import pytest
+
+from repro.proto.flash import FlashStore
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            FlashStore(0)
+
+
+class TestReadsWrites:
+    def test_read_before_write_raises(self):
+        flash = FlashStore(1000)
+        with pytest.raises(KeyError):
+            flash.read(1, 100)
+
+    def test_write_then_read(self):
+        flash = FlashStore(1000)
+        write_time = flash.write(1, 100)
+        assert 1 in flash
+        read_time = flash.read(1, 100)
+        assert write_time > 0 and read_time > 0
+        assert flash.stats.reads == 1
+        assert flash.stats.writes == 1
+        assert flash.stats.read_bytes == 100
+        assert flash.stats.write_bytes == 100
+
+    def test_read_time_affine_in_size(self):
+        flash = FlashStore(1 << 30, read_bandwidth=1e9, read_latency=1e-4)
+        flash.write(1, 1000)
+        flash.write(2, 2_000_000)
+        small = flash.read(1, 1000)
+        large = flash.read(2, 2_000_000)
+        assert large > small
+        assert small >= 1e-4  # fixed latency floor
+
+    def test_sequential_writes_amortize_fixed_cost(self):
+        segment = 1 << 20
+        flash = FlashStore(1 << 30, segment_bytes=segment, write_latency=1e-3)
+        # Many small writes within one segment: no fixed cost charged yet.
+        total_small = sum(flash.write(i, 1024) for i in range(10))
+        assert total_small < 1e-3
+        # Crossing the segment boundary pays the erase/flush cost.
+        big = flash.write(999, segment)
+        assert big >= 1e-3
+
+    def test_discard(self):
+        flash = FlashStore(1000)
+        flash.write(1, 10)
+        flash.discard(1)
+        assert 1 not in flash
+        flash.discard(404)  # idempotent
+
+    def test_write_head_wraps(self):
+        flash = FlashStore(100)
+        for i in range(10):
+            flash.write(i, 30)
+        assert flash.stats.writes == 10  # log wraps without error

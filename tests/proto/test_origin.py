@@ -1,0 +1,56 @@
+"""Origin server model: fetch and revalidation accounting."""
+
+import pytest
+
+from repro.proto.origin import OriginServer
+
+
+class TestConstruction:
+    def test_rejects_bad_update_probability(self):
+        with pytest.raises(ValueError):
+            OriginServer(update_probability=1.5)
+
+
+class TestFetch:
+    def test_fetch_accounting(self):
+        origin = OriginServer()
+        origin.fetch(1, 100)
+        origin.fetch(2, 50)
+        assert origin.stats.fetches == 2
+        assert origin.stats.fetch_bytes == 150
+        assert origin.stats.wan_bytes == 150
+
+    def test_fetch_returns_version(self):
+        origin = OriginServer()
+        assert origin.fetch(1, 10) == 0
+
+
+class TestRevalidation:
+    def test_immutable_content_always_fresh(self):
+        origin = OriginServer(update_probability=0.0, seed=0)
+        origin.fetch(1, 100)
+        assert origin.revalidate(1, cached_version=0, size=100) is True
+        assert origin.stats.revalidations == 1
+        assert origin.stats.refetches == 0
+        assert origin.stats.fetch_bytes == 100  # only the original fetch
+
+    def test_mutable_content_triggers_refetch(self):
+        origin = OriginServer(update_probability=1.0, seed=0)
+        origin.fetch(1, 100)
+        assert origin.revalidate(1, cached_version=0, size=100) is False
+        assert origin.stats.refetches == 1
+        assert origin.stats.fetch_bytes == 200  # original + refetch
+
+    def test_stale_version_detected_without_update(self):
+        origin = OriginServer(update_probability=0.0, seed=0)
+        origin._versions[1] = 3
+        assert origin.revalidate(1, cached_version=1, size=50) is False
+
+    def test_version_monotone(self):
+        origin = OriginServer(update_probability=1.0, seed=1)
+        versions = []
+        for _ in range(5):
+            origin.revalidate(7, cached_version=-1, size=10)
+            versions.append(origin.version(7))
+        assert versions == sorted(versions)
+        assert versions[-1] >= 5

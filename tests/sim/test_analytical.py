@@ -1,0 +1,87 @@
+"""Che's approximation: fixed point, limits, agreement with simulation."""
+
+import numpy as np
+import pytest
+
+from repro.policies.classic import LruCache
+from repro.sim.analytical import che_hit_ratio_curve, fit_che_model
+from repro.traces.synthetic import irm_trace
+from repro.util.sampling import zipf_weights
+
+
+class TestValidation:
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            fit_che_model(np.ones(3), np.ones(4), 10)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            fit_che_model(np.array([-1.0]), np.array([1.0]), 10)
+        with pytest.raises(ValueError):
+            fit_che_model(np.array([1.0]), np.array([0.0]), 10)
+        with pytest.raises(ValueError):
+            fit_che_model(np.array([1.0]), np.array([1.0]), 0)
+
+    def test_dict_inputs(self):
+        model = fit_che_model({1: 2.0, 2: 1.0}, {1: 10, 2: 10}, 10)
+        assert model.characteristic_time > 0
+
+    def test_dict_key_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_che_model({1: 2.0}, {2: 10}, 10)
+
+
+class TestFixedPoint:
+    def test_occupancy_equals_capacity(self):
+        rates = zipf_weights(100, 0.9) * 50
+        sizes = np.full(100, 10.0)
+        model = fit_che_model(rates, sizes, 300)
+        assert model.expected_occupancy == pytest.approx(300, rel=1e-3)
+
+    def test_everything_fits_limit(self):
+        model = fit_che_model(np.array([1.0, 2.0]), np.array([5.0, 5.0]), 100)
+        assert model.characteristic_time == float("inf")
+        assert model.object_hit_ratio == pytest.approx(1.0)
+
+    def test_popular_content_higher_hit_probability(self):
+        rates = np.array([10.0, 0.1])
+        sizes = np.array([10.0, 10.0])
+        model = fit_che_model(rates, sizes, 10)
+        assert model.hit_probability(0) > model.hit_probability(1)
+
+    def test_hit_ratio_monotone_in_capacity(self):
+        rates = zipf_weights(200, 1.0) * 100
+        sizes = np.full(200, 8.0)
+        curve = che_hit_ratio_curve(rates, sizes, [100, 400, 1200])
+        ratios = [ratio for _, ratio in curve]
+        assert ratios == sorted(ratios)
+
+
+class TestAgainstSimulation:
+    def test_matches_lru_simulation_on_irm(self):
+        num_contents = 250
+        alpha = 0.9
+        trace = irm_trace(
+            30_000, num_contents, alpha=alpha, equal_size=1 << 10, seed=9
+        )
+        capacity = 40 << 10
+        weights = zipf_weights(num_contents, alpha)
+        total_rate = len(trace) / trace.duration
+        model = fit_che_model(
+            weights * total_rate, np.full(num_contents, 1 << 10), capacity
+        )
+        lru = LruCache(capacity)
+        lru.process(trace)
+        # Che's approximation is famously accurate for IRM + LRU.
+        assert model.object_hit_ratio == pytest.approx(
+            lru.object_hit_ratio, abs=0.03
+        )
+
+    def test_byte_hit_with_variable_sizes(self):
+        rates = np.array([10.0, 0.1])
+        sizes = np.array([10.0, 2000.0])
+        model = fit_che_model(rates, sizes, 500)
+        # The hot small content has a near-1 hit probability, the cold
+        # big one near-0; byte weighting (rate*size) emphasizes the big
+        # one 2x, so the byte hit ratio must be lower.
+        assert model.byte_hit_ratio < model.object_hit_ratio - 0.05

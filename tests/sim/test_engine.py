@@ -1,0 +1,81 @@
+"""Simulation engine: aggregation, warmup, windows, resource probes."""
+
+import pytest
+
+from repro.policies.classic import LruCache
+from repro.sim.engine import simulate
+from repro.traces.request import Trace
+
+
+class TestAggregates:
+    def test_matches_policy_counters(self, tiny_trace):
+        policy = LruCache(1000)
+        result = simulate(policy, tiny_trace)
+        assert result.requests == len(tiny_trace)
+        assert result.hits == policy.hits
+        assert result.object_hit_ratio == policy.object_hit_ratio
+        assert result.evictions == policy.evictions
+        assert result.admissions == policy.admissions
+
+    def test_tiny_trace_exact_hits(self, tiny_trace):
+        # With ample capacity: hits at the three re-requests.
+        result = simulate(LruCache(1 << 20), tiny_trace)
+        assert result.hits == 3
+        assert result.total_bytes == 800
+        assert result.hit_bytes == 300
+
+    def test_wan_traffic_is_miss_bytes(self, tiny_trace):
+        result = simulate(LruCache(1 << 20), tiny_trace)
+        assert result.wan_traffic_bytes == 500
+        assert result.wan_traffic_ratio == pytest.approx(500 / 800)
+
+    def test_metadata_and_runtime_recorded(self, var_size_trace):
+        result = simulate(LruCache(1 << 21), var_size_trace)
+        assert result.runtime_seconds > 0
+        assert result.peak_metadata_bytes > 0
+
+    def test_result_row_shape(self, tiny_trace):
+        row = simulate(LruCache(1000), tiny_trace).as_row()
+        assert row["policy"] == "lru"
+        assert row["trace"] == "tiny"
+        assert 0 <= row["object_hit_ratio"] <= 1
+
+
+class TestWarmup:
+    def test_warmup_excluded_from_aggregates(self, tiny_trace):
+        result = simulate(LruCache(1 << 20), tiny_trace, warmup_requests=4)
+        assert result.requests == len(tiny_trace) - 4
+        # Hits after index 4: request 4 (obj 2, warm) is excluded... the
+        # remaining measured hits are at indices 4? no - indices 4..7:
+        # (2: hit), (4: miss), (1: hit), (5: miss) minus index 4 excluded
+        # -> measured window is indices 4..7 inclusive.
+        assert result.hits == 2
+
+    def test_rejects_negative_warmup(self, tiny_trace):
+        with pytest.raises(ValueError):
+            simulate(LruCache(10), tiny_trace, warmup_requests=-1)
+
+    def test_warmup_longer_than_trace(self, tiny_trace):
+        result = simulate(LruCache(1 << 20), tiny_trace, warmup_requests=100)
+        assert result.requests == 0
+        assert result.object_hit_ratio == 0.0
+
+
+class TestWindows:
+    def test_window_series_partition(self, var_size_trace):
+        result = simulate(LruCache(1 << 21), var_size_trace, window_requests=500)
+        assert sum(w.requests for w in result.windows) == len(var_size_trace)
+        assert len(result.windows) == 6  # 3000 requests / 500
+
+    def test_window_hits_sum_to_total(self, var_size_trace):
+        result = simulate(LruCache(1 << 21), var_size_trace, window_requests=250)
+        assert sum(w.hits for w in result.windows) == result.hits
+
+    def test_no_windows_by_default(self, tiny_trace):
+        assert simulate(LruCache(10), tiny_trace).windows == []
+
+    def test_window_ratio_bounds(self, var_size_trace):
+        result = simulate(LruCache(1 << 21), var_size_trace, window_requests=300)
+        for window in result.windows:
+            assert 0.0 <= window.hit_ratio <= 1.0
+            assert 0.0 <= window.byte_hit_ratio <= 1.0

@@ -1,0 +1,89 @@
+"""Two-level cache hierarchy."""
+
+import pytest
+
+from repro.policies import make_policy
+from repro.sim import TieredCache, simulate
+from repro.traces.request import Request
+from repro.traces.synthetic import irm_trace
+
+
+def req(obj_id, time, size=10):
+    return Request(time=time, obj_id=obj_id, size=size)
+
+
+@pytest.fixture()
+def tiered():
+    return TieredCache(make_policy("lru", 30), make_policy("lru", 300))
+
+
+class TestRequestPath:
+    def test_miss_populates_both_levels(self, tiered):
+        assert tiered.request(req(1, 0.0)) is False
+        assert tiered.l1.contains(1)
+        assert tiered.l2.contains(1)
+
+    def test_l1_hit_counted(self, tiered):
+        tiered.request(req(1, 0.0))
+        assert tiered.request(req(1, 1.0)) is True
+        assert tiered.l1_hits == 1
+        assert tiered.l2_hits == 0
+
+    def test_l2_hit_promotes(self, tiered):
+        tiered.request(req(1, 0.0))
+        # Push content 1 out of the small L1 (capacity 30 = 3 objects).
+        for i in range(2, 6):
+            tiered.request(req(i, float(i)))
+        assert not tiered.l1.contains(1)
+        assert tiered.l2.contains(1)
+        assert tiered.request(req(1, 10.0)) is True
+        assert tiered.l2_hits == 1
+        assert tiered.l1.contains(1)  # promoted
+
+    def test_name_and_capacity(self, tiered):
+        assert tiered.name == "tiered(lru/lru)"
+        assert tiered.capacity == 330
+
+    def test_contains_union(self, tiered):
+        tiered.request(req(1, 0.0))
+        assert tiered.contains(1)
+        assert not tiered.contains(2)
+
+
+class TestAccounting:
+    def test_counters_aggregate_levels(self, tiered):
+        for i in range(20):
+            tiered.request(req(i % 7, float(i)))
+        assert tiered.hits + tiered.misses == 20
+        assert tiered.used_bytes == tiered.l1.used_bytes + tiered.l2.used_bytes
+        assert tiered.evictions == tiered.l1.evictions + tiered.l2.evictions
+        report = tiered.level_report()
+        assert report["overall_hit_ratio"] == pytest.approx(
+            report["l1_hit_ratio"] + report["l2_hit_ratio"]
+        )
+
+    def test_metadata_aggregates(self, tiered):
+        tiered.request(req(1, 0.0))
+        assert tiered.metadata_bytes() >= 0
+
+
+class TestWithSimulator:
+    def test_simulate_accepts_tiered(self):
+        trace = irm_trace(2000, 80, mean_size=1 << 12, seed=13)
+        tiered = TieredCache(
+            make_policy("lru", 1 << 18), make_policy("gdsf", 1 << 21)
+        )
+        result = simulate(tiered, trace)
+        assert result.requests == len(trace)
+        assert result.hits == tiered.hits
+
+    def test_hierarchy_at_least_as_good_as_l2_alone(self):
+        trace = irm_trace(4000, 120, mean_size=1 << 12, seed=14)
+        l2_capacity = 1 << 21
+        alone = make_policy("lru", l2_capacity)
+        alone.process(trace)
+        tiered = TieredCache(make_policy("lru", 1 << 18), make_policy("lru", l2_capacity))
+        tiered.process(trace)
+        # The inclusive L1 only ever serves requests L2 would also serve,
+        # so the overall hit ratio is at least L2-alone's (same L2 state).
+        assert tiered.object_hit_ratio >= alone.object_hit_ratio - 0.01

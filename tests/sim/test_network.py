@@ -1,0 +1,67 @@
+"""Network/latency model (Table 3 machinery)."""
+
+import pytest
+
+from repro.policies.classic import LruCache
+from repro.policies.base import NoCache
+from repro.sim.network import LatencyReport, NetworkModel, measure_latency
+from repro.traces.synthetic import irm_trace
+
+
+class TestNetworkModel:
+    def test_hit_latency_components(self):
+        model = NetworkModel(link_rate_bps=8e9, edge_rtt_s=0.02)
+        # 1 MB at 8 Gbps = 1 MiB / 1e9 B/s.
+        size = 1 << 20
+        assert model.hit_latency(size) == pytest.approx(0.02 + size / 1e9)
+
+    def test_miss_latency_exceeds_hit(self):
+        model = NetworkModel()
+        assert model.miss_latency(1 << 20) > model.hit_latency(1 << 20)
+
+    def test_latency_monotone_in_size(self):
+        model = NetworkModel()
+        assert model.hit_latency(2 << 20) > model.hit_latency(1 << 20)
+        assert model.miss_latency(2 << 20) > model.miss_latency(1 << 20)
+
+
+class TestMeasureLatency:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return irm_trace(2000, 100, mean_size=1 << 20, seed=21)
+
+    def test_better_cache_lower_latency_higher_throughput(self, trace):
+        capacity = int(0.3 * trace.unique_bytes())
+        cached = measure_latency(LruCache(capacity), trace)
+        uncached = measure_latency(NoCache(capacity), trace)
+        assert cached.mean_latency_ms < uncached.mean_latency_ms
+        assert cached.throughput_gbps > uncached.throughput_gbps
+        assert cached.object_hit_ratio > uncached.object_hit_ratio
+
+    def test_percentile_ordering(self, trace):
+        report = measure_latency(LruCache(1 << 28), trace)
+        assert report.mean_latency_ms <= report.p99_latency_ms
+        assert report.p90_latency_ms <= report.p99_latency_ms
+
+    def test_compute_overhead_raises_latency(self, trace):
+        base = measure_latency(LruCache(1 << 28), trace)
+        loaded = measure_latency(
+            LruCache(1 << 28), trace, compute_overhead_s=0.050
+        )
+        assert loaded.mean_latency_ms == pytest.approx(
+            base.mean_latency_ms + 50.0, rel=0.05
+        )
+
+    def test_report_row(self, trace):
+        row = measure_latency(LruCache(1 << 28), trace).as_row()
+        assert set(row) >= {
+            "policy",
+            "mean_latency_ms",
+            "p90_latency_ms",
+            "p99_latency_ms",
+            "throughput_gbps",
+        }
+
+    def test_throughput_bounded_by_link_rate(self, trace):
+        report = measure_latency(LruCache(1 << 30), trace)
+        assert report.throughput_gbps <= 8.0 + 1e-9

@@ -1,0 +1,87 @@
+"""Seed-sweep replication harness."""
+
+import pytest
+
+from repro.sim.replication import ReplicatedResult, replicate_comparison
+
+
+class TestReplicatedResult:
+    def test_statistics(self):
+        result = ReplicatedResult(
+            policy="lru",
+            trace="cdn-a",
+            capacity=100,
+            seeds=(1, 2, 3),
+            object_hit_ratios=(0.2, 0.3, 0.4),
+            byte_hit_ratios=(0.1, 0.1, 0.1),
+        )
+        assert result.mean_object_hit == pytest.approx(0.3)
+        assert result.std_object_hit == pytest.approx(0.1)
+        assert result.std_byte_hit == pytest.approx(0.0)
+
+    def test_single_seed_zero_std(self):
+        result = ReplicatedResult(
+            policy="lru",
+            trace="cdn-a",
+            capacity=100,
+            seeds=(1,),
+            object_hit_ratios=(0.5,),
+            byte_hit_ratios=(0.4,),
+        )
+        assert result.std_object_hit == 0.0
+
+    def test_row_format(self):
+        result = ReplicatedResult(
+            policy="lru",
+            trace="cdn-a",
+            capacity=100,
+            seeds=(1, 2),
+            object_hit_ratios=(0.25, 0.35),
+            byte_hit_ratios=(0.2, 0.2),
+        )
+        row = result.as_row()
+        assert row["object_hit"] == "0.300±0.071"
+        assert row["seeds"] == 2
+
+
+class TestReplicateComparison:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            replicate_comparison("nope", ["lru"], 64, [1])
+        with pytest.raises(ValueError):
+            replicate_comparison("cdn-c", ["lru"], 64, [])
+
+    def test_sequential_sweep(self):
+        results = replicate_comparison(
+            "cdn-c", ["lru", "gdsf"], 128, seeds=[1, 2], scale=0.004
+        )
+        assert len(results) == 2
+        for result in results:
+            assert len(result.object_hit_ratios) == 2
+            assert result.seeds == (1, 2)
+            assert 0.0 <= result.mean_object_hit <= 1.0
+
+    def test_deterministic_per_seed(self):
+        a = replicate_comparison("cdn-c", ["lru"], 128, seeds=[3], scale=0.004)
+        b = replicate_comparison("cdn-c", ["lru"], 128, seeds=[3], scale=0.004)
+        assert a[0].object_hit_ratios == b[0].object_hit_ratios
+
+    def test_parallel_matches_sequential(self):
+        sequential = replicate_comparison(
+            "cdn-c", ["lru"], 128, seeds=[1, 2], scale=0.004, workers=0
+        )
+        parallel = replicate_comparison(
+            "cdn-c", ["lru"], 128, seeds=[1, 2], scale=0.004, workers=2
+        )
+        assert sequential[0].object_hit_ratios == parallel[0].object_hit_ratios
+
+    def test_policy_kwargs_forwarded(self):
+        results = replicate_comparison(
+            "cdn-c",
+            ["lru-4"],
+            128,
+            seeds=[1],
+            scale=0.004,
+            policy_kwargs={"lru-4": {"k": 2}},
+        )
+        assert results[0].policy == "lru-4"

@@ -1,0 +1,80 @@
+"""Sweep runner: registry resolution, comparisons, table formatting."""
+
+import pytest
+
+from repro.core.lhr import DLhrCache, LhrCache
+from repro.policies.classic import LruCache
+from repro.sim.runner import (
+    best_policy,
+    build_policy,
+    format_table,
+    known_policies,
+    run_comparison,
+)
+
+
+class TestBuildPolicy:
+    def test_resolves_sota(self):
+        assert isinstance(build_policy("lru", 100), LruCache)
+
+    def test_resolves_core(self):
+        assert isinstance(build_policy("lhr", 100), LhrCache)
+        assert isinstance(build_policy("d-lhr", 100), DLhrCache)
+
+    def test_case_insensitive(self):
+        assert isinstance(build_policy("LHR", 100), LhrCache)
+
+    def test_kwargs_forwarded(self):
+        policy = build_policy("lhr", 100, num_irts=10)
+        assert policy.num_irts == 10
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            build_policy("not-a-policy", 100)
+
+    def test_known_policies_superset(self):
+        names = known_policies()
+        assert {"lhr", "d-lhr", "n-lhr", "lru", "lrb"} <= set(names)
+
+
+class TestRunComparison:
+    def test_grid_shape(self, var_size_trace):
+        results = run_comparison(
+            var_size_trace, ["lru", "lfu-da"], [1 << 20, 1 << 21]
+        )
+        assert len(results) == 4
+        assert {r.policy for r in results} == {"lru", "lfu-da"}
+        assert {r.capacity for r in results} == {1 << 20, 1 << 21}
+
+    def test_policy_kwargs_forwarded(self, var_size_trace):
+        results = run_comparison(
+            var_size_trace,
+            ["lru-4"],
+            [1 << 20],
+            policy_kwargs={"lru-4": {"k": 4}},
+        )
+        assert results[0].policy == "lru-4"
+
+    def test_fresh_instance_per_cell(self, var_size_trace):
+        results = run_comparison(var_size_trace, ["lru"], [1 << 20, 1 << 20])
+        assert results[0].hits == results[1].hits  # independent, identical runs
+
+
+class TestSelectors:
+    def test_best_policy(self, var_size_trace):
+        results = run_comparison(
+            var_size_trace, ["lru", "gdsf", "no-cache"], [1 << 20]
+        )
+        best = best_policy(results)
+        assert best.object_hit_ratio == max(r.object_hit_ratio for r in results)
+
+    def test_best_policy_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_policy([])
+
+    def test_format_table(self, var_size_trace):
+        results = run_comparison(var_size_trace, ["lru"], [1 << 20])
+        table = format_table(results)
+        assert "object_hit_ratio" in table
+        assert "lru" in table
+        assert format_table([]) == "(no results)"

@@ -1,0 +1,123 @@
+"""Command-line interface: size parsing, trace IO, subcommand wiring."""
+
+import argparse
+
+import pytest
+
+from repro.cli import build_parser, load_any_trace, main, parse_size
+from repro.traces.loader import save_trace_csv, save_trace_webcachesim
+from repro.traces.synthetic import irm_trace
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1024", 1024),
+            ("1kb", 1 << 10),
+            ("512MB", 512 << 20),
+            ("4GB", 4 << 30),
+            ("1.5gb", int(1.5 * (1 << 30))),
+            ("1tb", 1 << 40),
+            ("100 b", 100),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["abc", "4XB", ""])
+    def test_invalid(self, text):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_size(text)
+
+    def test_minimum_one_byte(self):
+        assert parse_size("0") == 1
+
+
+class TestLoadAnyTrace:
+    def test_dispatch_by_extension(self, tmp_path):
+        trace = irm_trace(50, 10, seed=0)
+        csv_path = tmp_path / "t.csv"
+        wcs_path = tmp_path / "t.tr"
+        save_trace_csv(trace, csv_path)
+        save_trace_webcachesim(trace, wcs_path)
+        assert len(load_any_trace(str(csv_path))) == 50
+        assert len(load_any_trace(str(wcs_path))) == 50
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit, match="does not exist"):
+            load_any_trace("/nonexistent/file.csv")
+
+
+class TestSubcommands:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(irm_trace(400, 40, mean_size=1 << 12, seed=1), path)
+        return str(path)
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_trace_generate_and_summarize(self, tmp_path, capsys):
+        out = str(tmp_path / "gen.csv")
+        assert main(
+            ["trace", "generate", "--spec", "cdn-c", "--scale", "0.005",
+             "-o", out]
+        ) == 0
+        assert main(["trace", "summarize", out]) == 0
+        captured = capsys.readouterr().out
+        assert "Unique contents" in captured
+
+    def test_trace_convert(self, trace_file, tmp_path, capsys):
+        out = str(tmp_path / "out.tr")
+        assert main(["trace", "convert", trace_file, out]) == 0
+        assert "webcachesim" in capsys.readouterr().out
+
+    def test_simulate(self, trace_file, capsys):
+        assert main(
+            ["simulate", "--trace", trace_file, "--policy", "lru",
+             "--capacity", "1MB", "--window", "100"]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "object_hit_ratio" in captured
+        assert "per-window hit ratio" in captured
+
+    def test_compare(self, trace_file, capsys):
+        assert main(
+            ["compare", "--trace", trace_file, "--policies", "lru,gdsf",
+             "--capacities", "512KB", "1MB"]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "gdsf" in captured and "lru" in captured
+
+    def test_bounds(self, trace_file, capsys):
+        assert main(
+            ["bounds", "--trace", trace_file, "--capacity", "1MB"]
+        ) == 0
+        captured = capsys.readouterr().out
+        for name in ("infinite-cap", "pfoo-u", "hro", "belady-size", "pfoo-l"):
+            assert name in captured
+
+    def test_simulate_rejects_unknown_policy(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--trace", trace_file, "--policy", "bogus",
+                  "--capacity", "1MB"])
+
+    def test_prototype_caffeine(self, capsys):
+        assert main(
+            ["prototype", "--spec", "cdn-c", "--system", "caffeine",
+             "--scale", "0.003"]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "caffeine" in captured and "lhr" in captured
+
+    def test_curve(self, trace_file, capsys):
+        assert main(
+            ["curve", "--trace", trace_file, "--points", "6",
+             "--target", "0.2"]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "object hit" in captured
+        assert "target 20%" in captured

@@ -1,0 +1,84 @@
+"""Trace I/O: CSV and webcachesim round trips and error handling."""
+
+import pytest
+
+from repro.traces.loader import (
+    load_trace_csv,
+    load_trace_webcachesim,
+    save_trace_csv,
+    save_trace_webcachesim,
+)
+from repro.traces.request import Trace
+
+
+@pytest.fixture()
+def sample_trace():
+    return Trace.from_tuples(
+        [(0.5, 1, 100), (1.25, 2, 2048), (2.0, 1, 100)], name="sample"
+    )
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path, sample_trace):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(sample_trace, path)
+        loaded = load_trace_csv(path)
+        assert len(loaded) == len(sample_trace)
+        for original, restored in zip(sample_trace, loaded):
+            assert restored.obj_id == original.obj_id
+            assert restored.size == original.size
+            assert restored.time == pytest.approx(original.time, abs=1e-6)
+
+    def test_name_defaults_to_stem(self, tmp_path, sample_trace):
+        path = tmp_path / "mytrace.csv"
+        save_trace_csv(sample_trace, path)
+        assert load_trace_csv(path).name == "mytrace"
+
+    def test_explicit_name(self, tmp_path, sample_trace):
+        path = tmp_path / "x.csv"
+        save_trace_csv(sample_trace, path)
+        assert load_trace_csv(path, name="renamed").name == "renamed"
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace_csv(path)
+
+    def test_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            load_trace_csv(path)
+
+    def test_rejects_wrong_column_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,obj_id,size\n1.0,2\n")
+        with pytest.raises(ValueError, match="3 columns"):
+            load_trace_csv(path)
+
+
+class TestWebcachesim:
+    def test_round_trip(self, tmp_path, sample_trace):
+        path = tmp_path / "trace.tr"
+        save_trace_webcachesim(sample_trace, path)
+        loaded = load_trace_webcachesim(path)
+        assert [r.obj_id for r in loaded] == [r.obj_id for r in sample_trace]
+        assert [r.size for r in loaded] == [r.size for r in sample_trace]
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.tr"
+        path.write_text("1.0 1 100\n\n2.0 2 200\n")
+        assert len(load_trace_webcachesim(path)) == 2
+
+    def test_rejects_wrong_field_count(self, tmp_path):
+        path = tmp_path / "bad.tr"
+        path.write_text("1.0 1\n")
+        with pytest.raises(ValueError, match="3 fields"):
+            load_trace_webcachesim(path)
+
+    def test_indices_sequential(self, tmp_path, sample_trace):
+        path = tmp_path / "trace.tr"
+        save_trace_webcachesim(sample_trace, path)
+        loaded = load_trace_webcachesim(path)
+        assert [r.index for r in loaded] == [0, 1, 2]

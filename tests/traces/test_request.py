@@ -1,0 +1,74 @@
+"""Request and Trace records: validation, indexing, accounting."""
+
+import pytest
+
+from repro.traces.request import Request, Trace
+
+
+class TestRequest:
+    def test_fields(self):
+        req = Request(time=1.5, obj_id=7, size=100, index=3)
+        assert (req.time, req.obj_id, req.size, req.index) == (1.5, 7, 100, 3)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            Request(time=0.0, obj_id=1, size=0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            Request(time=-1.0, obj_id=1, size=1)
+
+    def test_immutability(self):
+        req = Request(time=0.0, obj_id=1, size=1)
+        with pytest.raises(AttributeError):
+            req.size = 2
+
+
+class TestTrace:
+    def test_from_tuples_assigns_indices(self):
+        trace = Trace.from_tuples([(0.0, 1, 10), (1.0, 2, 20)])
+        assert [req.index for req in trace] == [0, 1]
+
+    def test_constructor_reindexes(self):
+        reqs = [Request(0.0, 1, 10), Request(1.0, 2, 20)]
+        trace = Trace(reqs)
+        assert [req.index for req in trace] == [0, 1]
+
+    def test_len_and_getitem(self):
+        trace = Trace.from_tuples([(0.0, 1, 10), (1.0, 2, 20), (2.0, 1, 10)])
+        assert len(trace) == 3
+        assert trace[1].obj_id == 2
+
+    def test_slice_returns_trace(self):
+        trace = Trace.from_tuples([(float(i), i, 10) for i in range(5)], name="t")
+        head = trace[:2]
+        assert isinstance(head, Trace)
+        assert len(head) == 2
+        assert head.name == "t"
+
+    def test_duration(self):
+        trace = Trace.from_tuples([(1.0, 1, 10), (5.0, 2, 10)])
+        assert trace.duration == 4.0
+
+    def test_duration_degenerate(self):
+        assert Trace.from_tuples([(1.0, 1, 10)]).duration == 0.0
+        assert Trace([]).duration == 0.0
+
+    def test_unique_contents_and_bytes(self):
+        trace = Trace.from_tuples([(0.0, 1, 10), (1.0, 2, 20), (2.0, 1, 10)])
+        assert trace.unique_contents() == {1: 10, 2: 20}
+        assert trace.unique_bytes() == 30
+        assert trace.total_bytes() == 40
+
+    def test_validate_accepts_well_formed(self, tiny_trace):
+        tiny_trace.validate()
+
+    def test_validate_rejects_time_regression(self):
+        trace = Trace.from_tuples([(2.0, 1, 10), (1.0, 2, 10)])
+        with pytest.raises(ValueError, match="regress"):
+            trace.validate()
+
+    def test_validate_rejects_size_change(self):
+        trace = Trace.from_tuples([(0.0, 1, 10), (1.0, 1, 20)])
+        with pytest.raises(ValueError, match="size"):
+            trace.validate()

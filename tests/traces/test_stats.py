@@ -1,0 +1,107 @@
+"""Trace characterization: Table 1 columns and Figure 1 distributions."""
+
+import numpy as np
+import pytest
+
+from repro.traces.request import Trace
+from repro.traces.stats import (
+    active_bytes_profile,
+    interarrival_distribution,
+    popularity_distribution,
+    summarize_trace,
+)
+from repro.traces.synthetic import irm_trace
+
+
+class TestSummary:
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ValueError):
+            summarize_trace(Trace([]))
+
+    def test_counts(self, tiny_trace):
+        summary = summarize_trace(tiny_trace)
+        assert summary.total_requests == 8
+        assert summary.unique_contents == 5
+        assert summary.duration_hours == pytest.approx(7.0 / 3600)
+
+    def test_byte_accounting(self, tiny_trace):
+        summary = summarize_trace(tiny_trace)
+        assert summary.total_bytes_tb == pytest.approx(800 / (1 << 40))
+        assert summary.unique_bytes_gb == pytest.approx(500 / (1 << 30))
+
+    def test_one_hit_fraction(self, tiny_trace):
+        # Contents 3, 4, 5 are requested once; 1 and 2 repeat.
+        summary = summarize_trace(tiny_trace)
+        assert summary.one_hit_fraction == pytest.approx(3 / 5)
+
+    def test_size_extremes(self):
+        trace = Trace.from_tuples([(0.0, 1, 100), (1.0, 2, 900)])
+        summary = summarize_trace(trace)
+        assert summary.mean_size_mb == pytest.approx(500 / (1 << 20))
+        assert summary.max_size_mb == pytest.approx(900 / (1 << 20))
+
+    def test_table_row_keys_match_table1(self, tiny_trace):
+        row = summarize_trace(tiny_trace).as_table_row()
+        assert "Active bytes (GB)" in row
+        assert "Unique bytes requested (GB)" in row
+        assert row["Dataset"] == "tiny"
+
+
+class TestActiveBytes:
+    def test_single_request_content_momentarily_active(self):
+        trace = Trace.from_tuples([(0.0, 1, 100)])
+        times, levels = active_bytes_profile(trace)
+        assert levels.max() == 100
+        assert levels[-1] == 0  # deactivates after its last (only) request
+
+    def test_overlapping_contents_sum(self):
+        trace = Trace.from_tuples(
+            [(0.0, 1, 100), (1.0, 2, 50), (2.0, 1, 100), (3.0, 2, 50)]
+        )
+        times, levels = active_bytes_profile(trace)
+        # Both active in (1.0, 2.0): 150 bytes.
+        assert levels.max() == 150
+
+    def test_peak_bounded_by_unique_bytes(self, production_trace):
+        summary = summarize_trace(production_trace)
+        assert summary.peak_active_bytes_gb <= summary.unique_bytes_gb + 1e-9
+        assert summary.mean_active_bytes_gb <= summary.peak_active_bytes_gb + 1e-9
+        assert summary.peak_active_bytes_gb > 0
+
+
+class TestDistributions:
+    def test_popularity_sorted_descending(self):
+        trace = irm_trace(5000, 50, alpha=1.0, seed=0)
+        ranks, counts = popularity_distribution(trace)
+        assert (np.diff(counts) <= 0).all()
+        assert ranks[0] == 1
+        assert counts.sum() == len(trace)
+
+    def test_popularity_zipf_shape(self):
+        trace = irm_trace(50_000, 100, alpha=1.0, seed=1)
+        ranks, counts = popularity_distribution(trace)
+        # log-log slope of the head should be near -1.
+        head = slice(0, 30)
+        slope = np.polyfit(np.log(ranks[head]), np.log(counts[head]), 1)[0]
+        assert slope == pytest.approx(-1.0, abs=0.3)
+
+    def test_interarrival_ccdf_monotone(self):
+        trace = irm_trace(5000, 50, seed=2)
+        grid, ccdf = interarrival_distribution(trace)
+        assert (np.diff(ccdf) <= 1e-12).all()
+        assert 0.0 <= ccdf[-1] <= ccdf[0] <= 1.0
+
+    def test_interarrival_requires_repeats(self):
+        trace = Trace.from_tuples([(0.0, 1, 10), (1.0, 2, 10)])
+        with pytest.raises(ValueError, match="repeated"):
+            interarrival_distribution(trace)
+
+    def test_interarrival_exponential_mean(self):
+        # Single content with Poisson arrivals: CCDF(t) ~ exp(-rate t).
+        rng = np.random.default_rng(3)
+        gaps = rng.exponential(2.0, 2000)
+        times = np.cumsum(gaps)
+        trace = Trace.from_tuples([(float(t), 1, 10) for t in times])
+        grid, ccdf = interarrival_distribution(trace, num_points=50)
+        idx = np.searchsorted(grid, 2.0)
+        assert ccdf[idx] == pytest.approx(np.exp(-1.0), abs=0.08)

@@ -1,0 +1,102 @@
+"""Bloom filter: correctness, false-positive behaviour and sizing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.bloom import BloomFilter
+
+
+class TestConstruction:
+    def test_rejects_non_positive_expected_items(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+
+    @pytest.mark.parametrize("fpr", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_bad_false_positive_rate(self, fpr):
+        with pytest.raises(ValueError):
+            BloomFilter(100, fpr)
+
+    def test_sizing_grows_with_capacity(self):
+        small = BloomFilter(100)
+        large = BloomFilter(10_000)
+        assert large.num_bits > small.num_bits
+
+    def test_sizing_grows_with_precision(self):
+        loose = BloomFilter(1000, 0.1)
+        tight = BloomFilter(1000, 0.001)
+        assert tight.num_bits > loose.num_bits
+        assert tight.num_hashes >= loose.num_hashes
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(1000)
+        keys = list(range(0, 2000, 2))
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(100)
+        assert all(key not in bloom for key in range(50))
+
+    def test_add_reports_prior_presence(self):
+        bloom = BloomFilter(1000)
+        assert bloom.add(7) is False
+        assert bloom.add(7) is True
+
+    def test_len_counts_distinct_inserts(self):
+        bloom = BloomFilter(1000)
+        for key in [1, 2, 3, 2, 1]:
+            bloom.add(key)
+        assert len(bloom) == 3
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter(2000, false_positive_rate=0.01)
+        for key in range(2000):
+            bloom.add(key)
+        probes = range(10_000, 30_000)
+        false_positives = sum(1 for key in probes if key in bloom)
+        # Allow generous slack over the 1% target.
+        assert false_positives / 20_000 < 0.05
+
+    def test_negative_and_huge_keys(self):
+        bloom = BloomFilter(100)
+        for key in (-1, -(10**18), 2**63, 2**64 + 17):
+            bloom.add(key)
+            assert key in bloom
+
+
+class TestMaintenance:
+    def test_clear_resets_state(self):
+        bloom = BloomFilter(100)
+        bloom.add(5)
+        bloom.clear()
+        assert 5 not in bloom
+        assert len(bloom) == 0
+        assert bloom.fill_ratio() == 0.0
+
+    def test_fill_ratio_monotone(self):
+        bloom = BloomFilter(500)
+        previous = 0.0
+        for key in range(0, 500, 50):
+            bloom.add(key)
+            ratio = bloom.fill_ratio()
+            assert ratio >= previous
+            previous = ratio
+        assert 0.0 < bloom.fill_ratio() < 1.0
+
+    def test_metadata_bytes_matches_bit_array(self):
+        bloom = BloomFilter(1000)
+        assert bloom.metadata_bytes() == pytest.approx(bloom.num_bits / 8, rel=0.2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=200))
+def test_property_no_false_negatives(keys):
+    bloom = BloomFilter(max(len(keys), 1) * 4 + 8)
+    for key in keys:
+        bloom.add(key)
+    assert all(key in bloom for key in keys)

@@ -1,0 +1,77 @@
+"""Least-squares Zipf fitting (the LSM detector's estimator)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.fitting import fit_zipf, fit_zipf_from_requests
+from repro.util.sampling import ZipfSampler, zipf_weights
+
+
+class TestFitZipf:
+    def test_recovers_exact_zipf(self):
+        for alpha in (0.5, 0.8, 1.0, 1.3):
+            counts = zipf_weights(500, alpha) * 1e6
+            fit = fit_zipf(counts)
+            assert fit.alpha == pytest.approx(alpha, abs=1e-6)
+            assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_recovers_alpha_from_samples(self):
+        rng = np.random.default_rng(0)
+        sampler = ZipfSampler(200, 0.9, rng=rng)
+        ids = sampler.sample(100_000)
+        counts = np.bincount(ids, minlength=200)
+        fit = fit_zipf(counts.astype(float))
+        assert fit.alpha == pytest.approx(0.9, abs=0.15)
+
+    def test_order_invariant(self):
+        counts = np.array([50.0, 10.0, 100.0, 25.0, 5.0])
+        shuffled = counts[::-1]
+        assert fit_zipf(counts).alpha == pytest.approx(fit_zipf(shuffled).alpha)
+
+    def test_drops_zero_entries(self):
+        counts = np.array([100.0, 0.0, 50.0, 0.0, 33.0])
+        fit = fit_zipf(counts)
+        assert fit.num_contents == 3
+
+    def test_uniform_counts_give_alpha_zero(self):
+        fit = fit_zipf(np.full(100, 10.0))
+        assert fit.alpha == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_fewer_than_two_contents(self):
+        with pytest.raises(ValueError):
+            fit_zipf(np.array([5.0]))
+        with pytest.raises(ValueError):
+            fit_zipf(np.array([0.0, 0.0]))
+
+    def test_intercept_consistent_with_normalization(self):
+        counts = zipf_weights(100, 0.7) * 1e5
+        fit = fit_zipf(counts)
+        # p_1 = exp(log_amplitude) should match the top probability.
+        assert np.exp(fit.log_amplitude) == pytest.approx(
+            counts[0] / counts.sum(), rel=1e-6
+        )
+
+
+class TestFitFromRequests:
+    def test_counts_request_stream(self):
+        stream = [1, 1, 1, 2, 2, 3]
+        fit = fit_zipf_from_requests(stream)
+        assert fit.num_contents == 3
+        assert fit.alpha > 0
+
+    def test_rejects_empty_stream(self):
+        with pytest.raises(ValueError):
+            fit_zipf_from_requests([])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=0.1, max_value=1.8),
+    st.integers(min_value=10, max_value=300),
+)
+def test_property_exact_recovery(alpha, n):
+    counts = zipf_weights(n, alpha) * 1e9
+    fit = fit_zipf(counts)
+    assert fit.alpha == pytest.approx(alpha, abs=1e-4)

@@ -1,0 +1,124 @@
+"""LazyHeap: ordering, updates, lazy deletion and compaction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.heap import LazyHeap
+
+
+class TestBasics:
+    def test_empty_heap(self):
+        heap = LazyHeap()
+        assert len(heap) == 0
+        with pytest.raises(IndexError):
+            heap.pop()
+        with pytest.raises(IndexError):
+            heap.peek()
+
+    def test_push_pop_single(self):
+        heap = LazyHeap()
+        heap.push(1, 2.5)
+        assert heap.peek() == (1, 2.5)
+        assert heap.pop() == (1, 2.5)
+        assert len(heap) == 0
+
+    def test_pops_in_priority_order(self):
+        heap = LazyHeap()
+        for key, priority in [(1, 3.0), (2, 1.0), (3, 2.0)]:
+            heap.push(key, priority)
+        assert [heap.pop()[0] for _ in range(3)] == [2, 3, 1]
+
+    def test_update_changes_order(self):
+        heap = LazyHeap()
+        heap.push(1, 1.0)
+        heap.push(2, 2.0)
+        heap.push(1, 3.0)  # update key 1 upward
+        assert heap.pop() == (2, 2.0)
+        assert heap.pop() == (1, 3.0)
+
+    def test_fifo_tie_break(self):
+        heap = LazyHeap()
+        heap.push(10, 1.0)
+        heap.push(20, 1.0)
+        heap.push(30, 1.0)
+        assert [heap.pop()[0] for _ in range(3)] == [10, 20, 30]
+
+    def test_contains_and_priority(self):
+        heap = LazyHeap()
+        heap.push(5, 7.0)
+        assert 5 in heap
+        assert heap.priority(5) == 7.0
+        assert 6 not in heap
+
+    def test_remove(self):
+        heap = LazyHeap()
+        heap.push(1, 1.0)
+        heap.push(2, 2.0)
+        heap.remove(1)
+        assert 1 not in heap
+        assert heap.pop() == (2, 2.0)
+
+    def test_remove_missing_raises(self):
+        heap = LazyHeap()
+        with pytest.raises(KeyError):
+            heap.remove(404)
+
+    def test_clear(self):
+        heap = LazyHeap()
+        heap.push(1, 1.0)
+        heap.clear()
+        assert len(heap) == 0
+
+    def test_peek_skips_stale_entries(self):
+        heap = LazyHeap()
+        heap.push(1, 1.0)
+        heap.push(1, 5.0)  # stale (1, 1.0) remains inside
+        heap.push(2, 3.0)
+        assert heap.peek() == (2, 3.0)
+
+    def test_iteration_yields_live_keys(self):
+        heap = LazyHeap()
+        heap.push(1, 1.0)
+        heap.push(2, 2.0)
+        heap.remove(1)
+        assert set(heap) == {2}
+
+
+class TestCompaction:
+    def test_many_updates_stay_correct(self):
+        heap = LazyHeap()
+        for round_index in range(50):
+            for key in range(20):
+                heap.push(key, float((key * 31 + round_index) % 17))
+        # After heavy churn the heap still orders correctly.
+        drained = [heap.pop() for _ in range(20)]
+        priorities = [priority for _, priority in drained]
+        assert priorities == sorted(priorities)
+        assert len(heap) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=30),
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        ),
+        max_size=120,
+    )
+)
+def test_property_pop_order_matches_final_priorities(operations):
+    heap = LazyHeap()
+    final: dict[int, float] = {}
+    for key, priority in operations:
+        heap.push(key, priority)
+        final[key] = priority
+    drained = []
+    while len(heap):
+        drained.append(heap.pop())
+    assert {key for key, _ in drained} == set(final)
+    priorities = [priority for _, priority in drained]
+    assert priorities == sorted(priorities)
+    for key, priority in drained:
+        assert final[key] == priority

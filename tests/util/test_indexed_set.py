@@ -1,0 +1,102 @@
+"""IndexedSet: O(1) set with uniform sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.indexed_set import IndexedSet
+
+
+class TestBasics:
+    def test_add_contains_len(self):
+        s = IndexedSet()
+        s.add(1)
+        s.add(2)
+        s.add(1)  # duplicate is a no-op
+        assert len(s) == 2
+        assert 1 in s and 2 in s and 3 not in s
+
+    def test_remove(self):
+        s = IndexedSet()
+        for key in (1, 2, 3):
+            s.add(key)
+        s.remove(2)
+        assert 2 not in s
+        assert len(s) == 2
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            IndexedSet().remove(9)
+
+    def test_discard_missing_is_noop(self):
+        s = IndexedSet()
+        s.discard(9)
+        assert len(s) == 0
+
+    def test_remove_last_element(self):
+        s = IndexedSet()
+        s.add(7)
+        s.remove(7)
+        assert len(s) == 0
+
+    def test_iteration(self):
+        s = IndexedSet()
+        for key in (5, 6, 7):
+            s.add(key)
+        assert set(s) == {5, 6, 7}
+
+    def test_clear(self):
+        s = IndexedSet()
+        s.add(1)
+        s.clear()
+        assert len(s) == 0 and 1 not in s
+
+
+class TestSampling:
+    def test_sample_all_when_count_exceeds_size(self):
+        s = IndexedSet()
+        for key in range(5):
+            s.add(key)
+        sample = s.sample(100, np.random.default_rng(0))
+        assert sorted(sample) == list(range(5))
+
+    def test_sample_distinct(self):
+        s = IndexedSet()
+        for key in range(100):
+            s.add(key)
+        sample = s.sample(30, np.random.default_rng(1))
+        assert len(sample) == 30
+        assert len(set(sample)) == 30
+        assert all(key in s for key in sample)
+
+    def test_sample_roughly_uniform(self):
+        s = IndexedSet()
+        for key in range(10):
+            s.add(key)
+        rng = np.random.default_rng(2)
+        counts = np.zeros(10)
+        for _ in range(2000):
+            for key in s.sample(3, rng):
+                counts[key] += 1
+        assert counts.min() > 0.5 * counts.max()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=40)), max_size=150
+    )
+)
+def test_property_matches_builtin_set(operations):
+    indexed = IndexedSet()
+    reference: set[int] = set()
+    for is_add, key in operations:
+        if is_add:
+            indexed.add(key)
+            reference.add(key)
+        else:
+            indexed.discard(key)
+            reference.discard(key)
+        assert len(indexed) == len(reference)
+    assert set(indexed) == reference

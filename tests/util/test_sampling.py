@@ -1,0 +1,107 @@
+"""Zipf sampling and heavy-tailed size generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.sampling import ZipfSampler, lognormal_sizes, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(100, 0.9)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 1.1)
+        assert (np.diff(weights) < 0).all()
+
+    def test_alpha_zero_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_higher_alpha_more_skewed(self):
+        flat = zipf_weights(100, 0.5)
+        steep = zipf_weights(100, 1.5)
+        assert steep[0] > flat[0]
+        assert steep[-1] < flat[-1]
+
+    @pytest.mark.parametrize("n,alpha", [(0, 1.0), (-5, 1.0), (10, -0.1)])
+    def test_rejects_bad_arguments(self, n, alpha):
+        with pytest.raises(ValueError):
+            zipf_weights(n, alpha)
+
+
+class TestZipfSampler:
+    def test_sample_range(self):
+        sampler = ZipfSampler(20, 0.8, rng=np.random.default_rng(0))
+        ids = sampler.sample(1000)
+        assert ids.min() >= 0
+        assert ids.max() < 20
+
+    def test_empirical_frequencies_follow_weights(self):
+        rng = np.random.default_rng(1)
+        sampler = ZipfSampler(10, 1.0, rng=rng)
+        ids = sampler.sample(200_000)
+        counts = np.bincount(ids, minlength=10) / ids.size
+        assert np.allclose(counts, sampler.weights, atol=0.01)
+
+    def test_reverse_flips_popularity(self):
+        rng = np.random.default_rng(2)
+        forward = ZipfSampler(100, 1.0, rng=rng)
+        backward = ZipfSampler(100, 1.0, reverse=True, rng=rng)
+        assert forward.probability(0) == pytest.approx(backward.probability(99))
+        assert forward.probability(0) > forward.probability(99)
+        assert backward.probability(99) > backward.probability(0)
+
+    def test_deterministic_given_seed(self):
+        a = ZipfSampler(50, 0.9, rng=np.random.default_rng(7)).sample(100)
+        b = ZipfSampler(50, 0.9, rng=np.random.default_rng(7)).sample(100)
+        assert (a == b).all()
+
+    def test_rejects_non_positive_count(self):
+        sampler = ZipfSampler(10, 1.0)
+        with pytest.raises(ValueError):
+            sampler.sample(0)
+
+
+class TestLognormalSizes:
+    def test_bounds_respected(self):
+        rng = np.random.default_rng(3)
+        sizes = lognormal_sizes(5000, 1e6, 1.5, 1e8, min_bytes=1024, rng=rng)
+        assert sizes.min() >= 1024
+        assert sizes.max() <= 1e8
+
+    def test_mean_approximately_matches(self):
+        rng = np.random.default_rng(4)
+        sizes = lognormal_sizes(20_000, 1e6, 1.2, 1e9, rng=rng)
+        assert sizes.mean() == pytest.approx(1e6, rel=0.15)
+
+    def test_heavy_tail_present(self):
+        rng = np.random.default_rng(5)
+        sizes = lognormal_sizes(20_000, 1e6, 2.0, 1e10, rng=rng)
+        assert sizes.max() > 20 * sizes.mean()
+
+    def test_integer_output(self):
+        sizes = lognormal_sizes(10, 1e6, 1.0, 1e8, rng=np.random.default_rng(6))
+        assert sizes.dtype == np.int64
+
+    @pytest.mark.parametrize(
+        "count,mean,maximum", [(0, 1e6, 1e8), (10, 0, 1e8), (10, 1e6, 1e3)]
+    )
+    def test_rejects_bad_arguments(self, count, mean, maximum):
+        with pytest.raises(ValueError):
+            lognormal_sizes(count, mean, 1.0, maximum)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=500),
+    st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+)
+def test_property_weights_valid_distribution(n, alpha):
+    weights = zipf_weights(n, alpha)
+    assert weights.shape == (n,)
+    assert (weights > 0).all()
+    assert weights.sum() == pytest.approx(1.0)

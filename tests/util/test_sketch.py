@@ -1,0 +1,98 @@
+"""Count-min sketch: estimates, saturation, aging and error bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.sketch import CountMinSketch
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("width,depth", [(0, 4), (16, 0), (-1, 2)])
+    def test_rejects_bad_dimensions(self, width, depth):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=width, depth=depth)
+
+    def test_rejects_bad_max_count(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(max_count=0)
+
+    def test_width_rounded_to_power_of_two(self):
+        sketch = CountMinSketch(width=1000)
+        assert sketch.width == 1024
+
+
+class TestEstimation:
+    def test_unseen_key_estimates_zero(self):
+        sketch = CountMinSketch(width=256)
+        assert sketch.estimate(12345) == 0
+
+    def test_estimate_never_underestimates(self):
+        sketch = CountMinSketch(width=4096, depth=4, max_count=1000)
+        truth: dict[int, int] = {}
+        for key in range(200):
+            count = (key % 7) + 1
+            truth[key] = count
+            for _ in range(count):
+                sketch.add(key)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_estimate_exact_when_sparse(self):
+        sketch = CountMinSketch(width=4096, depth=4, max_count=100)
+        sketch.add(1, count=3)
+        sketch.add(2, count=5)
+        assert sketch.estimate(1) == 3
+        assert sketch.estimate(2) == 5
+
+    def test_rejects_non_positive_count(self):
+        sketch = CountMinSketch()
+        with pytest.raises(ValueError):
+            sketch.add(1, count=0)
+
+    def test_counter_saturation(self):
+        sketch = CountMinSketch(width=256, max_count=15)
+        for _ in range(100):
+            sketch.add(9)
+        assert sketch.estimate(9) == 15
+
+
+class TestAging:
+    def test_aging_halves_counters(self):
+        sketch = CountMinSketch(width=256, sample_size=0, max_count=100)
+        for _ in range(8):
+            sketch.add(1)
+        sketch._age()
+        assert sketch.estimate(1) == 4
+
+    def test_automatic_aging_bounds_estimates(self):
+        sketch = CountMinSketch(width=256, sample_size=16, max_count=100)
+        for _ in range(64):
+            sketch.add(2)
+        # With aging every 16 increments the counter cannot reach 64.
+        assert sketch.estimate(2) < 40
+
+    def test_clear(self):
+        sketch = CountMinSketch(width=256)
+        sketch.add(3, count=5)
+        sketch.clear()
+        assert sketch.estimate(3) == 0
+
+    def test_metadata_bytes_positive(self):
+        assert CountMinSketch(width=1024, depth=4).metadata_bytes() == 1024 * 4 * 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=10),
+        max_size=50,
+    )
+)
+def test_property_overestimate_only(truth):
+    sketch = CountMinSketch(width=2048, depth=4, max_count=1 << 20)
+    for key, count in truth.items():
+        sketch.add(key, count=count)
+    for key, count in truth.items():
+        assert sketch.estimate(key) >= count
