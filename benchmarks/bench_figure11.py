@@ -6,11 +6,8 @@ Paper finding: LHR beats every SOTA on both hit probability and traffic;
 the best SOTA differs between the two workloads.
 """
 
-import os
-
-from benchmarks.common import SCALE, emit, format_rows, policy_kwargs
+from benchmarks.common import SCALE, compare, emit, format_rows, policy_kwargs
 from repro.policies import SOTA_POLICIES
-from repro.sim import run_comparison
 from repro.traces import syn_one_trace, syn_two_trace
 
 GB = 1 << 30
@@ -39,7 +36,7 @@ def build_figure11():
     }
     for workload_name, t in workloads.items():
         capacity = int(0.1 * t.unique_bytes())
-        results = run_comparison(
+        results = compare(
             t, ["lhr", *SOTA_POLICIES], [capacity], policy_kwargs=policy_kwargs()
         )
         for result in results:

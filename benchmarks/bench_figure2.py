@@ -8,6 +8,7 @@ every online policy; LHR closes part of the SOTA-to-bound gap.
 from benchmarks.common import (
     TRACE_NAMES,
     cache_bytes,
+    compare,
     emit,
     format_rows,
     paper_cache_sizes,
@@ -17,7 +18,7 @@ from benchmarks.common import (
 from repro.bounds import belady_size, pfoo_upper
 from repro.core import hro_bound
 from repro.policies import SOTA_POLICIES
-from repro.sim import best_policy, run_comparison
+from repro.sim import best_policy
 
 
 def build_figure2():
@@ -26,9 +27,9 @@ def build_figure2():
         t = trace(name)
         capacity = cache_bytes(name, paper_cache_sizes(name)[1])
         sota = best_policy(
-            run_comparison(t, SOTA_POLICIES, [capacity], policy_kwargs=policy_kwargs())
+            compare(t, SOTA_POLICIES, [capacity], policy_kwargs=policy_kwargs())
         )
-        lhr = run_comparison(t, ["lhr"], [capacity])[0]
+        lhr = compare(t, ["lhr"], [capacity])[0]
         rows.append(
             {
                 "trace": name,

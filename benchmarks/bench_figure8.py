@@ -8,6 +8,7 @@ Paper finding: LHR consistently tops the SOTA pool on hit probability
 from benchmarks.common import (
     TRACE_NAMES,
     cache_bytes,
+    compare,
     emit,
     format_rows,
     paper_cache_sizes,
@@ -15,7 +16,6 @@ from benchmarks.common import (
     trace,
 )
 from repro.policies import SOTA_POLICIES
-from repro.sim import run_comparison
 
 GB = 1 << 30
 
@@ -26,7 +26,7 @@ def build_figure8():
         t = trace(name)
         for cache_gb in paper_cache_sizes(name):
             capacity = cache_bytes(name, cache_gb)
-            results = run_comparison(
+            results = compare(
                 t,
                 ["lhr", *SOTA_POLICIES],
                 [capacity],

@@ -7,10 +7,13 @@ cost of the learning-based designs).  Uses pytest-benchmark's normal
 multi-round timing, unlike the experiment benchmarks which run once.
 """
 
+import os
+import time
+
 import pytest
 
 from benchmarks.common import cache_bytes, trace
-from repro.sim import build_policy
+from repro.sim import build_policy, run_comparison
 
 #: (policy, constructor overrides) — a cheap classic, a heap-based
 #: classic, a sketch-based filter, the paper's LHR and the heavyweight LRB.
@@ -47,3 +50,53 @@ def test_policy_throughput(benchmark, workload, name, kwargs):
         len(workload) / benchmark.stats.stats.mean
     )
     benchmark.extra_info["object_hit_ratio"] = round(policy.object_hit_ratio, 3)
+
+
+#: ≥4-cell grid of compute-heavy cells for the parallel-sweep speedup
+#: demonstration (cheap cells would measure pool overhead, not fan-out).
+SWEEP_POLICIES = ["lru", "gdsf", "lhd", "s4lru"]
+
+
+def test_parallel_sweep_speedup(benchmark):
+    """Parallel `run_comparison` vs serial on the same grid.
+
+    Asserts bit-identical results always; asserts the ≥2× speedup only
+    on machines with ≥4 cores (set REPRO_ASSERT_SPEEDUP=0 to waive it on
+    loaded CI runners).
+    """
+    t = trace("cdn-a")
+    capacities = [cache_bytes("cdn-a", gb) for gb in (256, 1024)]
+    jobs = min(4, os.cpu_count() or 1)
+
+    serial_start = time.perf_counter()
+    serial = run_comparison(t, SWEEP_POLICIES, capacities)
+    serial_seconds = time.perf_counter() - serial_start
+
+    parallel = benchmark.pedantic(
+        lambda: run_comparison(t, SWEEP_POLICIES, capacities, parallel=jobs),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_seconds = benchmark.stats.stats.mean
+
+    assert [
+        (r.policy, r.capacity, r.counters()) for r in serial
+    ] == [(r.policy, r.capacity, r.counters()) for r in parallel]
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    benchmark.extra_info.update(
+        jobs=jobs,
+        grid_cells=len(serial),
+        serial_seconds=round(serial_seconds, 3),
+        parallel_seconds=round(parallel_seconds, 3),
+        speedup=round(speedup, 2),
+    )
+    print(
+        f"\nparallel sweep: {len(serial)} cells, jobs={jobs}, "
+        f"serial {serial_seconds:.2f}s -> parallel {parallel_seconds:.2f}s "
+        f"({speedup:.2f}x)"
+    )
+    if jobs >= 4 and os.environ.get("REPRO_ASSERT_SPEEDUP", "1") != "0":
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup with {jobs} workers, got {speedup:.2f}x"
+        )

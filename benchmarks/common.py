@@ -15,6 +15,7 @@ import os
 from functools import lru_cache
 from pathlib import Path
 
+from repro.sim import run_comparison
 from repro.traces import Trace, generate_production_trace
 from repro.traces.production import PRODUCTION_SPECS
 
@@ -23,6 +24,10 @@ SCALE = float(os.environ.get("REPRO_SCALE", "0.01"))
 
 #: Deterministic seed for every generated workload.
 SEED = int(os.environ.get("REPRO_SEED", "1"))
+
+#: Worker processes for every sweep benchmark (0/1 = serial).  Parallel
+#: sweeps are bit-identical to serial ones, so this only changes speed.
+JOBS = int(os.environ.get("REPRO_JOBS", "0"))
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -53,6 +58,12 @@ def paper_cache_sizes(name: str) -> tuple[int, ...]:
 
 def policy_kwargs() -> dict[str, dict]:
     return {"lrb": dict(LRB_KWARGS), "lfo": dict(LFO_KWARGS)}
+
+
+def compare(t: Trace, policy_names, capacities, **kwargs):
+    """``run_comparison`` honouring the ``REPRO_JOBS`` fan-out setting."""
+    kwargs.setdefault("parallel", JOBS)
+    return run_comparison(t, policy_names, capacities, **kwargs)
 
 
 def emit(experiment: str, text: str) -> None:

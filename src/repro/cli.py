@@ -135,7 +135,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     """Run several policies across several capacities."""
     trace = load_any_trace(args.trace)
     names = [name.strip() for name in args.policies.split(",") if name.strip()]
-    results = run_comparison(trace, names, args.capacities)
+    results = run_comparison(trace, names, args.capacities, parallel=args.jobs)
     print(format_table(results))
     return 0
 
@@ -250,6 +250,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     comp.add_argument(
         "--capacities", type=parse_size, nargs="+", required=True
+    )
+    comp.add_argument(
+        "--jobs", "-j", type=int, default=0,
+        help="worker processes for the sweep (0/1 = serial; results are "
+        "bit-identical either way)",
     )
     comp.set_defaults(func=cmd_compare)
 

@@ -11,30 +11,51 @@ from repro.sim.hitrate_curve import (
     ReuseDistanceAnalyzer,
     lru_hit_rate_curve,
 )
-from repro.sim.metrics import SimulationResult, WindowMetrics
+from repro.sim.metrics import (
+    SimulationResult,
+    WindowMetrics,
+    grid_order,
+    merge_sweeps,
+)
 from repro.sim.network import LatencyReport, NetworkModel, measure_latency
+from repro.sim.parallel import (
+    CellFailure,
+    CellSpec,
+    PackedTrace,
+    SweepCellError,
+    run_sweep,
+)
 from repro.sim.replication import ReplicatedResult, replicate_comparison
 from repro.sim.runner import (
     best_policy,
     build_policy,
     format_table,
+    is_known_policy,
     known_policies,
     run_comparison,
+    sweep_specs,
 )
 
 __all__ = [
+    "CellFailure",
+    "CellSpec",
     "CheModel",
     "HitRateCurve",
     "InstrumentedPolicy",
     "LatencyReport",
     "NetworkModel",
+    "PackedTrace",
     "ReplicatedResult",
     "ReuseDistanceAnalyzer",
     "SimulationResult",
+    "SweepCellError",
     "TieredCache",
     "che_hit_ratio_curve",
     "fit_che_model",
+    "grid_order",
+    "is_known_policy",
     "lru_hit_rate_curve",
+    "merge_sweeps",
     "WindowMetrics",
     "best_policy",
     "build_policy",
@@ -43,5 +64,7 @@ __all__ = [
     "measure_latency",
     "replicate_comparison",
     "run_comparison",
+    "run_sweep",
     "simulate",
+    "sweep_specs",
 ]

@@ -4,6 +4,12 @@
 per-window metrics plus resource proxies (runtime, peak metadata).  The
 engine owns nothing policy-specific: any :class:`CachePolicy` works,
 including LHR and the prototype emulations.
+
+The function is worker-safe: it holds no module-level mutable state and
+touches nothing but its arguments, so :mod:`repro.sim.parallel` can call
+it from forked or spawned processes.  The replay loop itself lives in
+``replay_into`` so callers that manage their own ``SimulationResult``
+(resumable runs, shared-result accumulation) can reuse it.
 """
 
 from __future__ import annotations
@@ -36,15 +42,49 @@ def simulate(
     warmup_requests:
         Requests processed but excluded from aggregate metrics (classic
         cache-simulation warmup; the per-window series still covers them).
+        Must leave at least one measured request: a warmup at or beyond
+        the trace length would silently produce empty aggregates, so it
+        raises ``ValueError`` instead.
     metadata_probe_interval:
         How often (in requests) to sample ``policy.metadata_bytes()`` for
         the peak-memory statistic.
     """
     if warmup_requests < 0:
         raise ValueError("warmup_requests must be non-negative")
+    if window_requests < 0:
+        raise ValueError("window_requests must be non-negative")
+    if warmup_requests and warmup_requests >= len(trace):
+        raise ValueError(
+            f"warmup_requests ({warmup_requests}) must be smaller than the "
+            f"trace ({len(trace)} requests); nothing would be measured"
+        )
     result = SimulationResult(
         policy=policy.name, trace=trace.name, capacity=policy.capacity
     )
+    replay_into(
+        policy,
+        trace,
+        result,
+        window_requests=window_requests,
+        warmup_requests=warmup_requests,
+        metadata_probe_interval=metadata_probe_interval,
+    )
+    return result
+
+
+def replay_into(
+    policy: CachePolicy,
+    trace: Trace,
+    result: SimulationResult,
+    window_requests: int = 0,
+    warmup_requests: int = 0,
+    metadata_probe_interval: int = 1000,
+) -> SimulationResult:
+    """The inner replay loop: feed ``trace`` through ``policy`` and
+    accumulate into ``result``.
+
+    Assumes arguments were validated by the caller (``simulate`` does).
+    """
     window: WindowMetrics | None = None
     start = time.perf_counter()
     peak_metadata = 0

@@ -9,6 +9,7 @@ series (Figure 7), runtime and metadata overhead (Figure 9).
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 
@@ -48,6 +49,10 @@ class SimulationResult:
     peak_metadata_bytes: int = 0
     windows: list[WindowMetrics] = field(default_factory=list)
     extra: dict = field(default_factory=dict)
+    #: Position of this result in its sweep grid (-1 outside a sweep).
+    #: Parallel execution completes cells out of order; this is the key
+    #: that restores the caller's (capacity, policy) grid order.
+    cell_index: int = -1
 
     @property
     def object_hit_ratio(self) -> float:
@@ -71,6 +76,23 @@ class SimulationResult:
         """WAN bytes as a fraction of total requested bytes."""
         return self.miss_bytes / self.total_bytes if self.total_bytes else 0.0
 
+    def counters(self) -> dict:
+        """The integer counters that determinism tests compare exactly."""
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "hit_bytes": self.hit_bytes,
+            "total_bytes": self.total_bytes,
+            "evictions": self.evictions,
+            "admissions": self.admissions,
+        }
+
+    def window_series(self) -> list[tuple[int, int, int, int]]:
+        """Per-window ``(requests, hits, hit_bytes, total_bytes)`` tuples."""
+        return [
+            (w.requests, w.hits, w.hit_bytes, w.total_bytes) for w in self.windows
+        ]
+
     def as_row(self) -> dict:
         """Flat dict for result tables."""
         return {
@@ -86,3 +108,26 @@ class SimulationResult:
             "peak_metadata_mb": round(self.peak_metadata_bytes / (1 << 20), 3),
             **self.extra,
         }
+
+
+def grid_order(results: Iterable[SimulationResult]) -> list[SimulationResult]:
+    """Sort sweep results back into grid order by ``cell_index``.
+
+    Results that never went through a sweep (``cell_index == -1``) keep
+    their relative order and sort ahead of indexed ones only if every
+    index is -1 (plain sorted() is stable, so a fully-unindexed list is
+    returned unchanged).
+    """
+    return sorted(results, key=lambda result: result.cell_index)
+
+
+def merge_sweeps(
+    *sweeps: Sequence[SimulationResult],
+) -> list[SimulationResult]:
+    """Concatenate several sweeps, reindexing cells into one global grid."""
+    merged: list[SimulationResult] = []
+    for sweep in sweeps:
+        for result in grid_order(sweep):
+            result.cell_index = len(merged)
+            merged.append(result)
+    return merged

@@ -1,0 +1,303 @@
+"""Parallel sweep execution over a process pool.
+
+Every headline experiment is a grid of independent (policy, capacity)
+simulations over one shared trace; this module fans those cells out to
+worker processes.  Design constraints, in order:
+
+* **Determinism** — results are bit-identical to a serial sweep and come
+  back in grid order (the order of the input specs) regardless of which
+  worker finishes first.  Policies are constructed *inside* the worker
+  from a picklable :class:`CellSpec`, so every cell starts from the same
+  seeded state it would have serially.
+* **Cheap trace sharing** — the trace is columnarized into three NumPy
+  arrays (:class:`PackedTrace`) and shipped once per worker via the pool
+  initializer, not once per cell; workers rebuild the ``Trace`` a single
+  time and reuse it for all their cells.
+* **Failure containment** — a cell that raises is captured in the worker
+  (policy name, capacity and full traceback) and reported after every
+  sibling cell has finished; one bad cell never hangs the pool or
+  corrupts the others' results.
+"""
+
+from __future__ import annotations
+
+import traceback
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.sim.engine import simulate
+from repro.sim.metrics import SimulationResult, grid_order
+from repro.traces.request import Request, Trace
+
+
+@dataclass(frozen=True)
+class PackedTrace:
+    """Columnar trace representation that pickles cheaply.
+
+    A ``Trace`` is a list of ``Request`` dataclass instances; pickling it
+    costs per-object overhead that dwarfs the payload.  Three primitive
+    arrays carry the same information in a few contiguous buffers.
+    """
+
+    times: np.ndarray
+    obj_ids: np.ndarray
+    sizes: np.ndarray
+    name: str
+    metadata: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "PackedTrace":
+        count = len(trace)
+        times = np.empty(count, dtype=np.float64)
+        obj_ids = np.empty(count, dtype=np.int64)
+        sizes = np.empty(count, dtype=np.int64)
+        for i, req in enumerate(trace):
+            times[i] = req.time
+            obj_ids[i] = req.obj_id
+            sizes[i] = req.size
+        return cls(times, obj_ids, sizes, trace.name, dict(trace.metadata))
+
+    def unpack(self) -> Trace:
+        """Rebuild the full ``Trace`` (done once per worker process)."""
+        requests = [
+            Request(time=t, obj_id=o, size=s, index=i)
+            for i, (t, o, s) in enumerate(
+                zip(self.times.tolist(), self.obj_ids.tolist(), self.sizes.tolist())
+            )
+        ]
+        return Trace(requests, name=self.name, metadata=dict(self.metadata))
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One sweep cell: which policy to build, at what capacity, and how.
+
+    ``kwargs`` is stored as a sorted item tuple so specs pickle
+    deterministically and never depend on dict insertion order.
+    ``index`` is the cell's position in the grid; results are returned
+    sorted by it.
+    """
+
+    policy: str
+    capacity: int
+    kwargs: tuple[tuple[str, object], ...] = ()
+    index: int = -1
+
+    @classmethod
+    def make(
+        cls,
+        policy: str,
+        capacity: int,
+        kwargs: dict | None = None,
+        index: int = -1,
+    ) -> "CellSpec":
+        items = tuple(sorted((kwargs or {}).items()))
+        return cls(policy=policy, capacity=int(capacity), kwargs=items, index=index)
+
+    def build(self):
+        """Instantiate the policy (runs inside the worker)."""
+        from repro.sim.runner import build_policy
+
+        return build_policy(self.policy, self.capacity, **dict(self.kwargs))
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A captured worker-side exception for one cell."""
+
+    index: int
+    policy: str
+    capacity: int
+    error: str
+    traceback: str
+
+    def describe(self) -> str:
+        return (
+            f"cell ({self.policy!r}, capacity={self.capacity}) failed: "
+            f"{self.error}\n{self.traceback}"
+        )
+
+
+class SweepCellError(RuntimeError):
+    """One or more sweep cells raised.
+
+    Raised only after every sibling cell has run to completion;
+    ``results`` holds the surviving cells' results (``None`` at the
+    failed indices) and ``failures`` the captured errors.
+    """
+
+    def __init__(
+        self,
+        failures: Sequence[CellFailure],
+        results: Sequence[SimulationResult | None] = (),
+    ):
+        self.failures = list(failures)
+        self.results = list(results)
+        summary = "; ".join(
+            f"({f.policy!r}, capacity={f.capacity}): {f.error}" for f in self.failures
+        )
+        details = "\n\n".join(f.describe() for f in self.failures)
+        super().__init__(
+            f"{len(self.failures)} sweep cell(s) failed — {summary}\n\n{details}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: The shared trace, installed once per worker by the pool initializer
+#: (or pointed at the caller's trace directly for in-process execution).
+_WORKER_TRACE: Trace | None = None
+
+
+def _init_worker(packed: PackedTrace) -> None:
+    global _WORKER_TRACE
+    _WORKER_TRACE = packed.unpack()
+
+
+def _run_cell(
+    spec: CellSpec, window_requests: int, warmup_requests: int
+) -> tuple[int, SimulationResult | None, CellFailure | None]:
+    """Simulate one cell against the worker's shared trace.
+
+    Never raises: failures come back as data so one exploding policy
+    cannot poison the pool or its sibling cells.
+    """
+    try:
+        policy = spec.build()
+        result = simulate(
+            policy,
+            _WORKER_TRACE,
+            window_requests=window_requests,
+            warmup_requests=warmup_requests,
+        )
+        result.cell_index = spec.index
+        return spec.index, result, None
+    except BaseException as exc:  # noqa: BLE001 — must cross the pipe as data
+        failure = CellFailure(
+            index=spec.index,
+            policy=spec.policy,
+            capacity=spec.capacity,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+        )
+        return spec.index, None, failure
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+
+
+def run_sweep(
+    trace: Trace,
+    specs: Sequence[CellSpec],
+    window_requests: int = 0,
+    warmup_requests: int = 0,
+    jobs: int = 0,
+    mp_context=None,
+) -> list[SimulationResult]:
+    """Run every cell of ``specs`` over ``trace``; return grid-ordered results.
+
+    ``jobs <= 1`` executes in-process (no pickling, no pool) with the
+    exact same failure-capture semantics; ``jobs > 1`` fans out over a
+    ``ProcessPoolExecutor``.  Either way the returned list is ordered by
+    ``CellSpec.index`` and each cell's outcome is independent of how the
+    others fared.
+    """
+    specs = [
+        spec if spec.index >= 0 else replace(spec, index=i)
+        for i, spec in enumerate(specs)
+    ]
+    indices = [spec.index for spec in specs]
+    if len(set(indices)) != len(indices):
+        raise ValueError(f"duplicate cell indices in sweep specs: {indices}")
+    if not specs:
+        return []
+
+    if jobs and jobs > 1:
+        outcomes = _run_pooled(
+            trace, specs, window_requests, warmup_requests, jobs, mp_context
+        )
+    else:
+        outcomes = _run_inline(trace, specs, window_requests, warmup_requests)
+
+    by_index = {index: (result, failure) for index, result, failure in outcomes}
+    ordered = [by_index[spec.index] for spec in specs]
+    failures = [failure for _, failure in ordered if failure is not None]
+    results = [result for result, _ in ordered]
+    if failures:
+        raise SweepCellError(failures, results)
+    return grid_order(results)
+
+
+def _run_inline(
+    trace: Trace,
+    specs: Sequence[CellSpec],
+    window_requests: int,
+    warmup_requests: int,
+) -> list[tuple[int, SimulationResult | None, CellFailure | None]]:
+    """Serial execution sharing the worker code path (and its capture)."""
+    global _WORKER_TRACE
+    previous = _WORKER_TRACE
+    _WORKER_TRACE = trace
+    try:
+        return [
+            _run_cell(spec, window_requests, warmup_requests) for spec in specs
+        ]
+    finally:
+        _WORKER_TRACE = previous
+
+
+def _run_pooled(
+    trace: Trace,
+    specs: Sequence[CellSpec],
+    window_requests: int,
+    warmup_requests: int,
+    jobs: int,
+    mp_context,
+) -> list[tuple[int, SimulationResult | None, CellFailure | None]]:
+    """Fan cells out over worker processes; the trace ships once per worker."""
+    packed = PackedTrace.from_trace(trace)
+    workers = min(jobs, len(specs))
+    outcomes: list[tuple[int, SimulationResult | None, CellFailure | None]] = []
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=(packed,),
+        ) as pool:
+            futures = {
+                pool.submit(_run_cell, spec, window_requests, warmup_requests): spec
+                for spec in specs
+            }
+            for future in as_completed(futures):
+                outcomes.append(future.result())
+    except BrokenProcessPool as exc:
+        done = {index for index, _, _ in outcomes}
+        missing = [spec for spec in specs if spec.index not in done]
+        failures = [
+            CellFailure(
+                index=spec.index,
+                policy=spec.policy,
+                capacity=spec.capacity,
+                error=f"worker process died: {exc}",
+                traceback="".join(traceback.format_exception(exc)),
+            )
+            for spec in missing
+        ]
+        results: list[SimulationResult | None] = [None] * len(specs)
+        by_index = {spec.index: pos for pos, spec in enumerate(specs)}
+        for index, result, _ in outcomes:
+            results[by_index[index]] = result
+        raise SweepCellError(failures, results) from exc
+    return outcomes

@@ -14,8 +14,8 @@ from collections.abc import Iterable, Sequence
 from repro.core.lhr import DLhrCache, LhrCache, NLhrCache
 from repro.policies import POLICY_REGISTRY, make_policy
 from repro.policies.base import CachePolicy
-from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult
+from repro.sim.parallel import CellSpec, run_sweep
 from repro.traces.request import Trace
 
 _CORE_REGISTRY = {
@@ -38,6 +38,41 @@ def known_policies() -> list[str]:
     return sorted(set(POLICY_REGISTRY) | set(_CORE_REGISTRY))
 
 
+def is_known_policy(name: str) -> bool:
+    """Whether ``name`` resolves in either registry."""
+    key = name.lower()
+    return key in _CORE_REGISTRY or key in POLICY_REGISTRY
+
+
+def sweep_specs(
+    policy_names: Sequence[str],
+    capacities: Iterable[int],
+    policy_kwargs: dict[str, dict] | None = None,
+) -> list[CellSpec]:
+    """The (capacity-major) cell grid ``run_comparison`` executes.
+
+    Unknown policy names are rejected here, in the driver process, so a
+    typo fails fast instead of surfacing as worker failures.
+    """
+    unknown = sorted({n for n in policy_names if not is_known_policy(n)})
+    if unknown:
+        known = ", ".join(known_policies())
+        raise ValueError(f"unknown policies {unknown}; known: {known}")
+    overrides = policy_kwargs or {}
+    specs: list[CellSpec] = []
+    for capacity in capacities:
+        for name in policy_names:
+            specs.append(
+                CellSpec.make(
+                    name,
+                    capacity,
+                    overrides.get(name, {}),
+                    index=len(specs),
+                )
+            )
+    return specs
+
+
 def run_comparison(
     trace: Trace,
     policy_names: Sequence[str],
@@ -45,26 +80,28 @@ def run_comparison(
     window_requests: int = 0,
     warmup_requests: int = 0,
     policy_kwargs: dict[str, dict] | None = None,
+    parallel: int = 0,
+    mp_context=None,
 ) -> list[SimulationResult]:
     """Run every (policy, capacity) combination over ``trace``.
 
     ``policy_kwargs`` maps policy name -> constructor overrides.  Each
-    combination gets a fresh policy instance.
+    combination gets a fresh policy instance — constructed inside the
+    worker when ``parallel > 1`` fans the grid out over that many
+    processes.  Results come back in grid order (capacity-major, then
+    the order of ``policy_names``) and are bit-identical to a serial
+    run; a failing cell raises :class:`~repro.sim.parallel.SweepCellError`
+    naming the (policy, capacity) pair once every sibling has finished.
     """
-    overrides = policy_kwargs or {}
-    results: list[SimulationResult] = []
-    for capacity in capacities:
-        for name in policy_names:
-            policy = build_policy(name, capacity, **overrides.get(name, {}))
-            results.append(
-                simulate(
-                    policy,
-                    trace,
-                    window_requests=window_requests,
-                    warmup_requests=warmup_requests,
-                )
-            )
-    return results
+    specs = sweep_specs(policy_names, capacities, policy_kwargs)
+    return run_sweep(
+        trace,
+        specs,
+        window_requests=window_requests,
+        warmup_requests=warmup_requests,
+        jobs=parallel,
+        mp_context=mp_context,
+    )
 
 
 def best_policy(results: Sequence[SimulationResult]) -> SimulationResult:

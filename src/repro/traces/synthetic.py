@@ -100,6 +100,7 @@ class MarkovModulatedGenerator:
         transitions: np.ndarray | None = None,
         cycle: Sequence[int] | None = None,
         rng: np.random.Generator | None = None,
+        seed: int = 0,
     ):
         if not samplers:
             raise ValueError("need at least one per-state sampler")
@@ -109,7 +110,7 @@ class MarkovModulatedGenerator:
             raise ValueError("provide exactly one of transitions or cycle")
         self._samplers = list(samplers)
         self._requests_per_state = requests_per_state
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
         self._cycle = list(cycle) if cycle is not None else None
         if transitions is not None:
             matrix = np.asarray(transitions, dtype=np.float64)

@@ -38,7 +38,12 @@ class ZipfSampler:
         becomes the most popular (``p_j = A/(N-j+1)^alpha``) — the second
         state of the "Syn One" Markov chain in Section 7.6.
     rng:
-        NumPy random generator; pass one to make draws reproducible.
+        NumPy random generator; pass one to share a stream with other
+        samplers.  When omitted, a generator seeded with ``seed`` is
+        created — draws are reproducible either way (nothing in this
+        package consumes OS entropy).
+    seed:
+        Seed for the internally created generator when ``rng`` is None.
     """
 
     def __init__(
@@ -47,6 +52,7 @@ class ZipfSampler:
         alpha: float,
         reverse: bool = False,
         rng: np.random.Generator | None = None,
+        seed: int = 0,
     ):
         self.num_contents = num_contents
         self.alpha = alpha
@@ -57,7 +63,7 @@ class ZipfSampler:
         self._weights = weights
         self._cdf = np.cumsum(weights)
         self._cdf[-1] = 1.0
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     @property
     def weights(self) -> np.ndarray:
@@ -82,6 +88,7 @@ def lognormal_sizes(
     max_bytes: float,
     min_bytes: float = 1024.0,
     rng: np.random.Generator | None = None,
+    seed: int = 0,
 ) -> np.ndarray:
     """Heavy-tailed content sizes matching production CDN characteristics.
 
@@ -94,7 +101,7 @@ def lognormal_sizes(
         raise ValueError("count must be positive")
     if mean_bytes <= 0 or max_bytes < mean_bytes:
         raise ValueError("need 0 < mean_bytes <= max_bytes")
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = rng if rng is not None else np.random.default_rng(seed)
     mu = np.log(mean_bytes) - sigma**2 / 2.0
     sizes = generator.lognormal(mean=mu, sigma=sigma, size=count)
     sizes = np.clip(sizes, min_bytes, max_bytes)

@@ -55,10 +55,19 @@ class TestWarmup:
         with pytest.raises(ValueError):
             simulate(LruCache(10), tiny_trace, warmup_requests=-1)
 
-    def test_warmup_longer_than_trace(self, tiny_trace):
-        result = simulate(LruCache(1 << 20), tiny_trace, warmup_requests=100)
-        assert result.requests == 0
-        assert result.object_hit_ratio == 0.0
+    def test_rejects_warmup_at_or_beyond_trace(self, tiny_trace):
+        # A warmup covering the whole trace would yield empty aggregates
+        # (0/0 ratios) that silently poison downstream comparisons.
+        with pytest.raises(ValueError, match="warmup_requests"):
+            simulate(LruCache(1 << 20), tiny_trace, warmup_requests=100)
+        with pytest.raises(ValueError, match="warmup_requests"):
+            simulate(LruCache(1 << 20), tiny_trace, warmup_requests=len(tiny_trace))
+
+    def test_warmup_up_to_last_request_allowed(self, tiny_trace):
+        result = simulate(
+            LruCache(1 << 20), tiny_trace, warmup_requests=len(tiny_trace) - 1
+        )
+        assert result.requests == 1
 
 
 class TestWindows:
@@ -73,6 +82,10 @@ class TestWindows:
 
     def test_no_windows_by_default(self, tiny_trace):
         assert simulate(LruCache(10), tiny_trace).windows == []
+
+    def test_rejects_negative_window(self, tiny_trace):
+        with pytest.raises(ValueError, match="window_requests"):
+            simulate(LruCache(10), tiny_trace, window_requests=-1)
 
     def test_window_ratio_bounds(self, var_size_trace):
         result = simulate(LruCache(1 << 21), var_size_trace, window_requests=300)

@@ -1,0 +1,269 @@
+"""Parallel sweep executor: serial/parallel equivalence, grid ordering,
+failure containment, and policy determinism.
+
+The equivalence tests are the load-bearing part of the parallel engine:
+process-pool execution must be *bit-identical* to serial execution for
+every registered policy, or every speedup silently changes the science.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.policies import POLICY_REGISTRY
+from repro.policies.classic import LruCache
+from repro.sim import (
+    CellSpec,
+    PackedTrace,
+    SweepCellError,
+    known_policies,
+    run_comparison,
+    run_sweep,
+)
+from repro.traces.request import Request
+from repro.traces.synthetic import irm_trace
+
+#: Trimmed learner settings so the heavyweight policies train at this
+#: trace size without dominating suite wall time.
+SWEEP_KWARGS = {
+    "lrb": {"training_batch": 256, "max_training_data": 1024},
+    "lfo": {"window_requests": 200},
+}
+
+requires_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="needs the fork start method to inherit test-local policies",
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_trace():
+    return irm_trace(
+        600, 60, alpha=0.9, mean_size=1 << 10, size_sigma=1.0, seed=5, name="sweep"
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_capacity(sweep_trace):
+    return max(int(0.2 * sweep_trace.unique_bytes()), 1)
+
+
+def result_key(result):
+    """Everything equivalence must preserve, ratios included."""
+    return (
+        result.policy,
+        result.capacity,
+        result.counters(),
+        result.object_hit_ratio,
+        result.byte_hit_ratio,
+        result.window_series(),
+    )
+
+
+class TestPackedTrace:
+    def test_roundtrip(self, sweep_trace):
+        packed = PackedTrace.from_trace(sweep_trace)
+        assert len(packed) == len(sweep_trace)
+        rebuilt = packed.unpack()
+        assert rebuilt.name == sweep_trace.name
+        assert rebuilt.metadata == sweep_trace.metadata
+        assert rebuilt.requests == sweep_trace.requests
+
+    def test_roundtrip_preserves_indices(self, sweep_trace):
+        rebuilt = PackedTrace.from_trace(sweep_trace).unpack()
+        assert [req.index for req in rebuilt] == list(range(len(sweep_trace)))
+
+
+class TestEquivalence:
+    def test_every_policy_serial_vs_parallel(self, sweep_trace, sweep_capacity):
+        """The headline guarantee: parallel == serial for ALL policies,
+        down to per-window hit series and ratio bits."""
+        names = known_policies()
+        serial = run_comparison(
+            sweep_trace,
+            names,
+            [sweep_capacity],
+            window_requests=100,
+            policy_kwargs=SWEEP_KWARGS,
+        )
+        parallel = run_comparison(
+            sweep_trace,
+            names,
+            [sweep_capacity],
+            window_requests=100,
+            policy_kwargs=SWEEP_KWARGS,
+            parallel=2,
+        )
+        assert [result_key(r) for r in serial] == [result_key(r) for r in parallel]
+
+    def test_multi_capacity_grid_with_warmup(self, sweep_trace, sweep_capacity):
+        names = ["lru", "lhd", "adaptsize", "w-tinylfu"]
+        kwargs = dict(
+            window_requests=150, warmup_requests=100, policy_kwargs=SWEEP_KWARGS
+        )
+        serial = run_comparison(
+            sweep_trace, names, [sweep_capacity, 2 * sweep_capacity], **kwargs
+        )
+        parallel = run_comparison(
+            sweep_trace,
+            names,
+            [sweep_capacity, 2 * sweep_capacity],
+            parallel=3,
+            **kwargs,
+        )
+        assert [result_key(r) for r in serial] == [result_key(r) for r in parallel]
+
+
+class TestGridOrder:
+    def test_results_in_capacity_major_grid_order(self, sweep_trace, sweep_capacity):
+        names = ["gdsf", "lru", "lfu"]
+        capacities = [2 * sweep_capacity, sweep_capacity]
+        results = run_comparison(sweep_trace, names, capacities, parallel=2)
+        expected = [(c, n) for c in capacities for n in names]
+        assert [(r.capacity, r.policy) for r in results] == expected
+        assert [r.cell_index for r in results] == list(range(len(expected)))
+
+    def test_explicit_spec_indices_win(self, sweep_trace, sweep_capacity):
+        # Reversed submission order still comes back sorted by index.
+        specs = [
+            CellSpec.make("lfu", sweep_capacity, index=1),
+            CellSpec.make("lru", sweep_capacity, index=0),
+        ]
+        results = run_sweep(sweep_trace, specs, jobs=2)
+        assert [r.policy for r in results] == ["lru", "lfu"]
+
+    def test_duplicate_indices_rejected(self, sweep_trace, sweep_capacity):
+        specs = [
+            CellSpec.make("lru", sweep_capacity, index=0),
+            CellSpec.make("lfu", sweep_capacity, index=0),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            run_sweep(sweep_trace, specs, jobs=2)
+
+    def test_empty_grid(self, sweep_trace):
+        assert run_sweep(sweep_trace, [], jobs=2) == []
+
+
+class _ExplodingCache(LruCache):
+    """LRU that detonates mid-simulation after a fixed request count."""
+
+    name = "exploding"
+
+    def __init__(self, capacity: int, fail_after: int = 20):
+        super().__init__(capacity)
+        self._fail_after = fail_after
+        self._seen = 0
+
+    def request(self, req: Request) -> bool:
+        self._seen += 1
+        if self._seen > self._fail_after:
+            raise RuntimeError(f"synthetic mid-simulation failure at {self._seen}")
+        return super().request(req)
+
+
+@pytest.fixture()
+def exploding_policy():
+    POLICY_REGISTRY["exploding"] = _ExplodingCache
+    try:
+        yield "exploding"
+    finally:
+        POLICY_REGISTRY.pop("exploding", None)
+
+
+class TestFailureContainment:
+    def test_worker_constructor_error_names_cell(self, sweep_trace, sweep_capacity):
+        with pytest.raises(SweepCellError) as excinfo:
+            run_comparison(
+                sweep_trace,
+                ["lru", "lfu"],
+                [sweep_capacity],
+                policy_kwargs={"lru": {"bogus_kwarg": 1}},
+                parallel=2,
+            )
+        error = excinfo.value
+        assert len(error.failures) == 1
+        failure = error.failures[0]
+        assert failure.policy == "lru"
+        assert failure.capacity == sweep_capacity
+        assert "bogus_kwarg" in failure.traceback
+        # The sibling cell completed and its result survived.
+        surviving = [r for r in error.results if r is not None]
+        assert [r.policy for r in surviving] == ["lfu"]
+        assert surviving[0].requests == len(sweep_trace)
+
+    @requires_fork
+    def test_mid_simulation_error_does_not_poison_siblings(
+        self, sweep_trace, sweep_capacity, exploding_policy
+    ):
+        # fork inherits the test-registered policy; both exploding cells
+        # fail, all four sibling cells still produce full results.
+        fork = multiprocessing.get_context("fork")
+        capacities = [sweep_capacity, 2 * sweep_capacity]
+        with pytest.raises(SweepCellError) as excinfo:
+            run_comparison(
+                sweep_trace,
+                ["lru", exploding_policy, "lfu"],
+                capacities,
+                parallel=2,
+                mp_context=fork,
+            )
+        error = excinfo.value
+        assert sorted(f.policy for f in error.failures) == ["exploding", "exploding"]
+        assert sorted(f.capacity for f in error.failures) == sorted(capacities)
+        assert all("synthetic mid-simulation failure" in f.traceback
+                   for f in error.failures)
+        surviving = [r for r in error.results if r is not None]
+        assert len(surviving) == 4
+        assert all(r.requests == len(sweep_trace) for r in surviving)
+
+    def test_serial_mode_same_error_contract(
+        self, sweep_trace, sweep_capacity, exploding_policy
+    ):
+        with pytest.raises(SweepCellError) as excinfo:
+            run_comparison(
+                sweep_trace, [exploding_policy, "lru"], [sweep_capacity]
+            )
+        error = excinfo.value
+        assert error.failures[0].policy == "exploding"
+        assert str(sweep_capacity) in str(error)
+        assert [r.policy for r in error.results if r is not None] == ["lru"]
+
+    def test_unknown_policy_fails_fast_in_driver(self, sweep_trace, sweep_capacity):
+        with pytest.raises(ValueError, match="unknown policies"):
+            run_comparison(sweep_trace, ["lru", "nope"], [sweep_capacity], parallel=2)
+
+
+class TestDeterminism:
+    """Two runs of the same seeded policy must agree bit-for-bit —
+    the precondition for any serial/parallel equivalence claim."""
+
+    RNG_POLICIES = ["random", "lhd", "hyperbolic", "adaptsize", "lrb", "lhr"]
+
+    @pytest.mark.parametrize("name", RNG_POLICIES)
+    def test_repeated_runs_identical(self, sweep_trace, sweep_capacity, name):
+        runs = [
+            run_comparison(
+                sweep_trace,
+                [name],
+                [sweep_capacity],
+                window_requests=100,
+                policy_kwargs=SWEEP_KWARGS,
+            )[0]
+            for _ in range(2)
+        ]
+        assert result_key(runs[0]) == result_key(runs[1])
+
+    def test_repeated_parallel_runs_identical(self, sweep_trace, sweep_capacity):
+        runs = [
+            run_comparison(
+                sweep_trace,
+                self.RNG_POLICIES,
+                [sweep_capacity],
+                policy_kwargs=SWEEP_KWARGS,
+                parallel=2,
+            )
+            for _ in range(2)
+        ]
+        assert [result_key(r) for r in runs[0]] == [result_key(r) for r in runs[1]]

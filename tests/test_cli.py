@@ -92,6 +92,20 @@ class TestSubcommands:
         captured = capsys.readouterr().out
         assert "gdsf" in captured and "lru" in captured
 
+    def test_compare_parallel_jobs_matches_serial(self, trace_file, capsys):
+        args = ["compare", "--trace", trace_file, "--policies", "lru,gdsf",
+                "--capacities", "512KB", "1MB"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main([*args, "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # Identical tables modulo the wall-clock runtime column.
+        strip = lambda text: [
+            [c for i, c in enumerate(line.split()) if i != 8]
+            for line in text.splitlines() if line
+        ]
+        assert strip(serial_out) == strip(parallel_out)
+
     def test_bounds(self, trace_file, capsys):
         assert main(
             ["bounds", "--trace", trace_file, "--capacity", "1MB"]

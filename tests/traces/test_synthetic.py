@@ -112,6 +112,20 @@ class TestMarkovModulated:
         for req in trace:
             assert req.size == sizes[req.obj_id]
 
+    def test_deterministic_without_explicit_rng(self):
+        # Seeded fallback generator: two default-constructed chains must
+        # emit identical traces (whole-package determinism guarantee).
+        def build():
+            sizes = lognormal_sizes(50, 1e6, 1.0, 1e8)
+            generator = MarkovModulatedGenerator(
+                [ZipfSampler(50, 0.9), ZipfSampler(50, 0.9, reverse=True)],
+                50,
+                cycle=[0, 1],
+            )
+            return generator.generate(300, sizes)
+
+        assert build().requests == build().requests
+
 
 class TestSynTraces:
     def test_syn_one_popularity_flip(self):

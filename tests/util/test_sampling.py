@@ -60,6 +60,15 @@ class TestZipfSampler:
         b = ZipfSampler(50, 0.9, rng=np.random.default_rng(7)).sample(100)
         assert (a == b).all()
 
+    def test_deterministic_without_explicit_rng(self):
+        # The no-argument path must be seeded too: an unseeded fallback
+        # here would silently break whole-package reproducibility.
+        a = ZipfSampler(50, 0.9).sample(100)
+        b = ZipfSampler(50, 0.9).sample(100)
+        assert (a == b).all()
+        c = ZipfSampler(50, 0.9, seed=1).sample(100)
+        assert not (a == c).all()
+
     def test_rejects_non_positive_count(self):
         sampler = ZipfSampler(10, 1.0)
         with pytest.raises(ValueError):
@@ -86,6 +95,13 @@ class TestLognormalSizes:
     def test_integer_output(self):
         sizes = lognormal_sizes(10, 1e6, 1.0, 1e8, rng=np.random.default_rng(6))
         assert sizes.dtype == np.int64
+
+    def test_deterministic_without_explicit_rng(self):
+        a = lognormal_sizes(500, 1e6, 1.2, 1e8)
+        b = lognormal_sizes(500, 1e6, 1.2, 1e8)
+        assert (a == b).all()
+        c = lognormal_sizes(500, 1e6, 1.2, 1e8, seed=9)
+        assert not (a == c).all()
 
     @pytest.mark.parametrize(
         "count,mean,maximum", [(0, 1e6, 1e8), (10, 0, 1e8), (10, 1e6, 1e3)]
