@@ -16,6 +16,8 @@ they are evaluated on:
 * :mod:`repro.sim` — the trace-driven simulator, metrics and the
   network/latency model.
 * :mod:`repro.proto` — emulated ATS and Caffeine prototype deployments.
+* :mod:`repro.obs` — the observability substrate: structured events,
+  metrics registry and profiling timers (``docs/OBSERVABILITY.md``).
 
 Quickstart::
 
@@ -28,6 +30,7 @@ Quickstart::
 """
 
 from repro.core import GradientBoostingRegressor, HroBound, LhrCache, hro_bound
+from repro.obs import NULL_OBS, MetricsRegistry, Observation
 from repro.policies import SOTA_POLICIES, make_policy
 from repro.sim import build_policy, measure_latency, run_comparison, simulate
 from repro.traces import (
@@ -47,6 +50,9 @@ __all__ = [
     "GradientBoostingRegressor",
     "HroBound",
     "LhrCache",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "Observation",
     "PRODUCTION_SPECS",
     "Request",
     "SOTA_POLICIES",

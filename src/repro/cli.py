@@ -25,6 +25,13 @@ from pathlib import Path
 from repro.bounds import belady_size, infinite_cap, pfoo_lower, pfoo_upper
 from repro.core import hro_bound
 from repro.core.lhr import LhrCache
+from repro.obs import (
+    NULL_OBS,
+    FanoutRecorder,
+    JsonlRecorder,
+    Observation,
+    TextRecorder,
+)
 from repro.proto import (
     AtsServer,
     make_ats_baseline,
@@ -54,19 +61,32 @@ _SIZE_SUFFIXES = {
 
 
 def parse_size(text: str) -> int:
-    """Parse ``"4GB"``/``"512mb"``/``"1048576"`` into bytes."""
+    """Parse ``"4GB"``/``"512mb"``/``"1048576"`` into bytes.
+
+    Non-positive sizes are rejected rather than silently clamped: a
+    ``"-1GB"`` cache is a typo, not a one-byte cache.
+    """
     raw = text.strip().lower()
+    value: float | None = None
     for suffix, multiplier in _SIZE_SUFFIXES.items():
         if raw.endswith(suffix):
             number = raw[: -len(suffix)].strip()
             try:
-                return max(int(float(number) * multiplier), 1)
+                value = float(number) * multiplier
             except ValueError:
-                break
-    try:
-        return max(int(raw), 1)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"cannot parse size {text!r}") from None
+                value = None
+            break
+    if value is None:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"cannot parse size {text!r}"
+            ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"size must be positive, got {text!r}")
+    # Sub-byte fractions like "0.5b" round up to the 1-byte minimum.
+    return max(int(value), 1)
 
 
 def load_any_trace(path: str) -> Trace:
@@ -84,6 +104,61 @@ def _save_any_trace(trace: Trace, path: str, fmt: str) -> None:
         save_trace_csv(trace, path)
     else:
         save_trace_webcachesim(trace, path)
+
+
+# ----------------------------------------------------------------------
+# Observability plumbing (--log-json / --metrics-out / --verbose)
+# ----------------------------------------------------------------------
+
+
+def _build_observation(args: argparse.Namespace) -> Observation:
+    """Assemble the observation handle the flags ask for.
+
+    Returns :data:`NULL_OBS` (the zero-overhead disabled handle) when no
+    observability flag is set.
+    """
+    recorders = []
+    if getattr(args, "log_json", None):
+        recorders.append(JsonlRecorder(args.log_json))
+    if getattr(args, "verbose", False):
+        recorders.append(TextRecorder(sys.stderr))
+    if not recorders and not getattr(args, "metrics_out", None):
+        return NULL_OBS
+    recorder = None
+    if len(recorders) == 1:
+        recorder = recorders[0]
+    elif recorders:
+        recorder = FanoutRecorder(*recorders)
+    return Observation(recorder=recorder)
+
+
+def _finish_observation(obs: Observation, args: argparse.Namespace) -> None:
+    """Flush/close the recorder and write the metrics snapshot, if any."""
+    if not obs.enabled:
+        return
+    obs.close()
+    if getattr(args, "log_json", None):
+        print(f"wrote event log to {args.log_json}")
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        obs.registry.write(metrics_out)
+        print(f"wrote metrics snapshot to {metrics_out}")
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-json", metavar="PATH", default=None,
+        help="write structured JSONL events (sim.window, lhr.*, sweep.*) here",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a metrics-registry snapshot here (.prom/.txt = "
+        "Prometheus text, anything else = JSON)",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="print each structured event to stderr as it happens",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -123,7 +198,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     """Run one policy over a trace and print the result row."""
     trace = load_any_trace(args.trace)
     policy = build_policy(args.policy, args.capacity)
-    result = simulate(policy, trace, window_requests=args.window)
+    obs = _build_observation(args)
+    try:
+        result = simulate(
+            policy,
+            trace,
+            window_requests=args.window,
+            warmup_requests=args.warmup,
+            obs=obs,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    finally:
+        _finish_observation(obs, args)
     print(format_table([result]))
     if args.window and result.windows:
         series = "  ".join(f"{w.hit_ratio:.3f}" for w in result.windows)
@@ -135,7 +222,21 @@ def cmd_compare(args: argparse.Namespace) -> int:
     """Run several policies across several capacities."""
     trace = load_any_trace(args.trace)
     names = [name.strip() for name in args.policies.split(",") if name.strip()]
-    results = run_comparison(trace, names, args.capacities, parallel=args.jobs)
+    obs = _build_observation(args)
+    try:
+        results = run_comparison(
+            trace,
+            names,
+            args.capacities,
+            window_requests=args.window,
+            warmup_requests=args.warmup,
+            parallel=args.jobs,
+            obs=obs,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    finally:
+        _finish_observation(obs, args)
     print(format_table(results))
     return 0
 
@@ -181,18 +282,32 @@ def cmd_prototype(args: argparse.Namespace) -> int:
     """Replay a stand-in trace through the emulated ATS or Caffeine node."""
     spec = PRODUCTION_SPECS[args.spec]
     trace = generate_production_trace(spec, scale=args.scale, seed=args.seed)
-    if args.system == "ats":
-        capacity = spec.scaled_cache_bytes(spec.prototype_cache_gb, args.scale)
-        reports = [
-            run_prototype(AtsServer(LhrCache(capacity, seed=0)), trace, "lhr"),
-            run_prototype(make_ats_baseline(capacity), trace, "ats"),
-        ]
-    else:
-        capacity = spec.scaled_cache_bytes(spec.caffeine_cache_gb, args.scale)
-        reports = [
-            run_caffeine(make_caffeine_lhr(capacity), trace, "lhr"),
-            run_caffeine(make_caffeine_baseline(capacity), trace, "caffeine"),
-        ]
+    obs = _build_observation(args)
+    try:
+        if args.system == "ats":
+            capacity = spec.scaled_cache_bytes(spec.prototype_cache_gb, args.scale)
+            lhr_server = AtsServer(LhrCache(capacity, seed=0))
+            baseline = make_ats_baseline(capacity)
+            if obs.enabled:
+                lhr_server.policy.attach_observation(obs)
+                baseline.policy.attach_observation(obs)
+            reports = [
+                run_prototype(lhr_server, trace, "lhr"),
+                run_prototype(baseline, trace, "ats"),
+            ]
+        else:
+            capacity = spec.scaled_cache_bytes(spec.caffeine_cache_gb, args.scale)
+            lhr_server = make_caffeine_lhr(capacity)
+            baseline = make_caffeine_baseline(capacity)
+            if obs.enabled:
+                lhr_server.policy.attach_observation(obs)
+                baseline.policy.attach_observation(obs)
+            reports = [
+                run_caffeine(lhr_server, trace, "lhr"),
+                run_caffeine(baseline, trace, "caffeine"),
+            ]
+    finally:
+        _finish_observation(obs, args)
     rows = [report.as_row() for report in reports]
     columns = list(rows[0])
     widths = {c: max(len(c), *(len(str(r[c])) for r in rows)) for c in columns}
@@ -241,6 +356,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--policy", choices=known_policies(), default="lhr")
     sim.add_argument("--capacity", type=parse_size, required=True)
     sim.add_argument("--window", type=int, default=0, help="per-window series")
+    sim.add_argument(
+        "--warmup", type=int, default=0,
+        help="requests replayed before metrics start counting",
+    )
+    _add_observability_flags(sim)
     sim.set_defaults(func=cmd_simulate)
 
     comp = sub.add_parser("compare", help="sweep policies x cache sizes")
@@ -256,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep (0/1 = serial; results are "
         "bit-identical either way)",
     )
+    comp.add_argument("--window", type=int, default=0, help="sliding window size")
+    comp.add_argument(
+        "--warmup", type=int, default=0,
+        help="requests replayed before metrics start counting",
+    )
+    _add_observability_flags(comp)
     comp.set_defaults(func=cmd_compare)
 
     bounds = sub.add_parser("bounds", help="offline/online bounds for a trace")
@@ -275,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
     proto.add_argument("--system", choices=("ats", "caffeine"), default="ats")
     proto.add_argument("--scale", type=float, default=0.01)
     proto.add_argument("--seed", type=int, default=0)
+    _add_observability_flags(proto)
     proto.set_defaults(func=cmd_prototype)
 
     return parser

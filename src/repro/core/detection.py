@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import NULL_OBS
 from repro.util.fitting import ZipfFit, fit_zipf
 
 
@@ -45,6 +46,8 @@ class DriftDetector:
         self.epsilon = epsilon
         self._previous_alpha: float | None = None
         self.records: list[DetectionRecord] = []
+        #: Observation handle (:mod:`repro.obs`); LHR attaches its own.
+        self.obs = NULL_OBS
 
     @property
     def current_alpha(self) -> float | None:
@@ -71,19 +74,47 @@ class DriftDetector:
                 fit=ZipfFit(0.0, 0.0, 0.0, 0),
             )
             self.records.append(record)
+            self._emit(record, degenerate=True)
             return True
         drifted = previous is None or abs(fit.alpha - previous) >= self.epsilon
-        self.records.append(
-            DetectionRecord(
-                window_index=len(self.records),
-                alpha=fit.alpha,
-                previous_alpha=previous,
-                drifted=drifted,
-                fit=fit,
-            )
+        record = DetectionRecord(
+            window_index=len(self.records),
+            alpha=fit.alpha,
+            previous_alpha=previous,
+            drifted=drifted,
+            fit=fit,
         )
+        self.records.append(record)
+        self._emit(record, degenerate=False)
         self._previous_alpha = fit.alpha
         return drifted
+
+    def _emit(self, record: DetectionRecord, degenerate: bool) -> None:
+        if not self.obs.enabled:
+            return
+        self.obs.registry.counter(
+            "lhr_drift_windows_total", help="windows inspected by the detector"
+        ).inc()
+        if record.drifted:
+            self.obs.registry.counter(
+                "lhr_drift_detections_total", help="windows flagged as drifted"
+            ).inc()
+        self.obs.registry.gauge(
+            "lhr_zipf_alpha", help="latest per-window Zipf-alpha estimate"
+        ).set(record.alpha)
+        self.obs.emit(
+            "lhr.drift",
+            window=record.window_index,
+            alpha=round(record.alpha, 6),
+            previous_alpha=(
+                round(record.previous_alpha, 6)
+                if record.previous_alpha is not None
+                else None
+            ),
+            drifted=record.drifted,
+            degenerate=degenerate,
+            epsilon=self.epsilon,
+        )
 
     @property
     def num_detections(self) -> int:

@@ -33,6 +33,7 @@ from collections import deque
 from repro.bounds.belady import BoundResult
 from repro.bounds.hazard import hazard_top_set
 from repro.core.hazard_models import HAZARD_MODELS, fit_hazard_model
+from repro.obs import NULL_OBS
 from repro.traces.request import Request, Trace
 
 
@@ -146,6 +147,9 @@ class HroBound:
         self._models: dict = {}
         self.windows: list[HroWindow] = []
         self.on_window = None
+        #: Observation handle (:mod:`repro.obs`): window closes time the
+        #: hazard re-ranking into the ``hro_rank_seconds`` histogram.
+        self.obs = NULL_OBS
         self.hits = 0
         self.hit_bytes = 0
         self.requests = 0
@@ -204,6 +208,17 @@ class HroBound:
         return hit
 
     def _close_window(self) -> None:
+        # Time only the hazard re-ranking; the on_window callback (LHR's
+        # detection/training pipeline) reports through its own metrics.
+        with self.obs.timer(
+            "hro_rank_seconds",
+            help="hazard-rate re-ranking at each sliding-window close",
+        ):
+            window = self._rank_and_rotate()
+        if self.on_window is not None:
+            self.on_window(window)
+
+    def _rank_and_rotate(self) -> HroWindow:
         acc = self._accumulator
         window = HroWindow(
             index=len(self.windows),
@@ -235,8 +250,7 @@ class HroBound:
         self._prev_duration = acc.duration
         self._combined_sizes = dict(acc.sizes)
         self._accumulator = _WindowAccumulator()
-        if self.on_window is not None:
-            self.on_window(window)
+        return window
 
     def _refit_models(
         self,

@@ -33,6 +33,7 @@ from repro.core.features import FeatureStore, feature_dim
 from repro.core.gbm import GradientBoostingRegressor
 from repro.core.hro import HroBound, HroWindow, window_labels
 from repro.core.threshold import ThresholdEstimator, WindowSample
+from repro.obs import Observation
 from repro.policies.base import CachePolicy
 from repro.traces.request import Request
 from repro.util.indexed_set import IndexedSet
@@ -145,6 +146,29 @@ class LhrCache(CachePolicy):
         self.trainings = 0
         self.training_seconds = 0.0
         self.windows_processed = 0
+        self._predict_histogram = None
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def attach_observation(self, obs: Observation) -> None:
+        """Propagate the handle into the window pipeline components so
+        drift/threshold/ranking activity reports through one sink."""
+        super().attach_observation(obs)
+        self.detector.obs = obs
+        self.estimator.obs = obs
+        self.hro.obs = obs
+        # Cache the per-request predict histogram: scoring runs on every
+        # request, so skip the registry lookup on the hot path.
+        self._predict_histogram = (
+            obs.registry.histogram(
+                "lhr_predict_seconds",
+                help="per-request GBM admission-probability inference",
+            )
+            if obs.enabled
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -170,7 +194,12 @@ class LhrCache(CachePolicy):
     def _on_access(self, req: Request) -> None:
         row = self.features.vector(req.obj_id, req.time, self.num_irts)
         if self._model is not None:
-            p = min(max(self._model.predict_one(row), 0.0), 1.0)
+            if self._predict_histogram is not None:
+                start = time.perf_counter()
+                p = min(max(self._model.predict_one(row), 0.0), 1.0)
+                self._predict_histogram.observe(time.perf_counter() - start)
+            else:
+                p = min(max(self._model.predict_one(row), 0.0), 1.0)
         else:
             # Bootstrap (first window): behave as admit-all with p = 1.
             p = 1.0
@@ -262,8 +291,24 @@ class LhrCache(CachePolicy):
         start = time.perf_counter()
         model = GradientBoostingRegressor(**self._gbm_params)
         self._model = model.fit(rows, labels)
-        self.training_seconds += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.training_seconds += elapsed
         self.trainings += 1
+        if self.obs.enabled:
+            self.obs.registry.histogram(
+                "lhr_train_seconds", help="wall-clock seconds per GBM fit"
+            ).observe(elapsed)
+            self.obs.registry.counter(
+                "lhr_trainings_total", help="GBM (re)trainings performed"
+            ).inc()
+            self.obs.emit(
+                "lhr.retrain",
+                window=window.index,
+                rows=int(rows.shape[0]),
+                trees=self._model.num_trees,
+                trainings=self.trainings,
+                training_seconds=round(elapsed, 6),
+            )
 
     # ------------------------------------------------------------------
     # Resource accounting

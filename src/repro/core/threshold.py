@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import NULL_OBS
+
 #: Threshold adjustment step (the paper's 0.1 grid).
 STEP = 0.1
 
@@ -113,6 +115,8 @@ class ThresholdEstimator:
         self.objective = objective
         self._rng = np.random.default_rng(seed)
         self.history: list[float] = [initial_delta]
+        #: Observation handle (:mod:`repro.obs`); LHR attaches its own.
+        self.obs = NULL_OBS
 
     def candidates(self) -> list[float]:
         """The paper's candidate set, clipped to [0, 1] and deduplicated."""
@@ -147,7 +151,32 @@ class ThresholdEstimator:
                 best_delta = candidate
         # Both update guards (Section 5.2.3): strictly better AND by more
         # than beta; otherwise keep the incumbent.
+        previous = self.delta
         if best_delta != self.delta and best_ratio - incumbent_ratio > self.beta:
             self.delta = best_delta
         self.history.append(self.delta)
+        if self.obs.enabled:
+            adopted = self.delta != previous
+            self.obs.registry.counter(
+                "lhr_threshold_estimations_total",
+                help="per-window threshold re-estimations",
+            ).inc()
+            if adopted:
+                self.obs.registry.counter(
+                    "lhr_threshold_adoptions_total",
+                    help="re-estimations that changed the threshold",
+                ).inc()
+            self.obs.registry.gauge(
+                "lhr_threshold_delta", help="current admission threshold"
+            ).set(self.delta)
+            self.obs.emit(
+                "lhr.threshold_update",
+                before=previous,
+                after=self.delta,
+                adopted=adopted,
+                incumbent_ratio=round(incumbent_ratio, 6),
+                best_ratio=round(best_ratio, 6),
+                best_candidate=best_delta,
+                samples=len(samples),
+            )
         return self.delta

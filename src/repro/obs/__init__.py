@@ -1,0 +1,43 @@
+"""Observability substrate: metrics registry, structured events, timers.
+
+See ``docs/OBSERVABILITY.md`` for the event catalog, metric naming and
+CLI usage (``--log-json``, ``--metrics-out``, ``--verbose``).
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    FanoutRecorder,
+    JsonlRecorder,
+    MemoryRecorder,
+    NullRecorder,
+    TextRecorder,
+    register_event_type,
+)
+from repro.obs.observation import NULL_OBS, Observation
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.timers import NULL_TIMER, ScopedTimer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "EVENT_TYPES",
+    "FanoutRecorder",
+    "Gauge",
+    "Histogram",
+    "JsonlRecorder",
+    "MemoryRecorder",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_TIMER",
+    "NullRecorder",
+    "Observation",
+    "ScopedTimer",
+    "TextRecorder",
+    "register_event_type",
+]

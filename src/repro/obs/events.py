@@ -1,0 +1,152 @@
+"""Structured event log: typed JSONL events with a no-op fast path.
+
+Events are flat dicts with an ``event`` type drawn from a registered
+catalog (:data:`EVENT_TYPES`), a monotonically increasing ``seq`` number
+assigned by the recorder, and event-specific fields.  Recorders never
+stamp wall-clock time — emitters pass simulation time when it matters —
+so event streams from repeated runs of a seeded simulation are
+byte-identical, which is what the parallel/serial equivalence tests pin.
+
+The catalog (see ``docs/OBSERVABILITY.md`` for field-level details):
+
+* ``sim.window`` — one reporting window of the replay loop closed.
+* ``lhr.retrain`` — the LHR admission model was (re)trained.
+* ``lhr.drift`` — the Zipf-alpha drift detector inspected a window.
+* ``lhr.threshold_update`` — the admission threshold was re-estimated.
+* ``sweep.cell_start`` / ``sweep.cell_done`` / ``sweep.cell_failed`` —
+  lifecycle of one (policy, capacity) sweep cell.
+* ``policy.eviction_pressure`` — a single admission forced an unusually
+  long eviction burst.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+#: The known event catalog.  ``register_event_type`` extends it (e.g. a
+#: later subsystem adding its own lifecycle events).
+EVENT_TYPES: set[str] = {
+    "sim.window",
+    "lhr.retrain",
+    "lhr.drift",
+    "lhr.threshold_update",
+    "sweep.cell_start",
+    "sweep.cell_done",
+    "sweep.cell_failed",
+    "policy.eviction_pressure",
+}
+
+
+def register_event_type(name: str) -> str:
+    """Add a new event type to the catalog; returns the name."""
+    if not name or "." not in name:
+        raise ValueError(
+            f"event type must look like 'subsystem.event', got {name!r}"
+        )
+    EVENT_TYPES.add(name)
+    return name
+
+
+class NullRecorder:
+    """The disabled recorder: every emit is a no-op.
+
+    ``enabled`` is False so instrumentation sites can skip building the
+    event payload entirely — the disabled path costs one attribute check.
+    """
+
+    enabled = False
+
+    def emit(self, event: str, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemoryRecorder(NullRecorder):
+    """Collects events in memory — tests, and the worker side of a
+    parallel sweep (events ship back to the parent with the result)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: str, **fields) -> None:
+        if event not in EVENT_TYPES:
+            raise ValueError(f"unknown event type {event!r}; register it first")
+        self.events.append({"event": event, "seq": len(self.events), **fields})
+
+    def by_type(self, event: str) -> list[dict]:
+        return [e for e in self.events if e["event"] == event]
+
+
+class JsonlRecorder(NullRecorder):
+    """Appends one JSON object per event to a file (JSON Lines)."""
+
+    enabled = True
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._file: IO[str] | None = self.path.open("w")
+        self._seq = 0
+
+    def emit(self, event: str, **fields) -> None:
+        if event not in EVENT_TYPES:
+            raise ValueError(f"unknown event type {event!r}; register it first")
+        if self._file is None:
+            raise RuntimeError("recorder is closed")
+        record = {"event": event, "seq": self._seq, **fields}
+        self._seq += 1
+        self._file.write(json.dumps(record, sort_keys=False) + "\n")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TextRecorder(NullRecorder):
+    """Human-readable one-line-per-event output (the CLI's ``--verbose``)."""
+
+    enabled = True
+
+    def __init__(self, stream: IO[str]):
+        self._stream = stream
+
+    def emit(self, event: str, **fields) -> None:
+        if event not in EVENT_TYPES:
+            raise ValueError(f"unknown event type {event!r}; register it first")
+        parts = " ".join(f"{k}={_compact(v)}" for k, v in fields.items())
+        self._stream.write(f"[{event}] {parts}\n")
+
+
+def _compact(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class FanoutRecorder(NullRecorder):
+    """Broadcasts each event to several recorders (e.g. JSONL + verbose)."""
+
+    enabled = True
+
+    def __init__(self, *recorders):
+        self.recorders = [r for r in recorders if r is not None]
+
+    def emit(self, event: str, **fields) -> None:
+        for recorder in self.recorders:
+            recorder.emit(event, **fields)
+
+    def close(self) -> None:
+        for recorder in self.recorders:
+            recorder.close()

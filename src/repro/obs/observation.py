@@ -1,0 +1,74 @@
+"""The observation handle threaded through the simulator and policies.
+
+An :class:`Observation` bundles the two sinks instrumentation writes to —
+a structured-event recorder and a metrics registry — behind one object
+that is cheap to carry and cheap to ignore:
+
+* ``obs.emit("lhr.retrain", ...)`` records a structured event,
+* ``obs.timer("lhr_train_seconds")`` returns a scoped timer whose
+  duration aggregates into a registry histogram,
+* ``obs.registry.counter(...)`` etc. for direct metric access.
+
+The module-level :data:`NULL_OBS` singleton is the disabled handle:
+``enabled`` is False, ``emit`` does nothing and ``timer`` returns a
+shared no-op, so code holding it pays one attribute check per
+instrumentation site.  Everything defaults to :data:`NULL_OBS`;
+observation is strictly opt-in.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import NullRecorder
+from repro.obs.registry import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from repro.obs.timers import NULL_TIMER, ScopedTimer
+
+
+class Observation:
+    """Live observation: events go to ``recorder``, metrics to ``registry``.
+
+    ``recorder`` may stay a :class:`NullRecorder` when only metrics are
+    wanted (the CLI's ``--metrics-out`` without ``--log-json``).
+    """
+
+    enabled = True
+
+    def __init__(self, recorder=None, registry: MetricsRegistry | None = None):
+        self.recorder = recorder if recorder is not None else NullRecorder()
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def emit(self, event: str, **fields) -> None:
+        self.recorder.emit(event, **fields)
+
+    def timer(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> ScopedTimer:
+        """A scoped timer aggregating into histogram ``name``."""
+        return ScopedTimer(self.registry.histogram(name, help=help, buckets=buckets))
+
+    def close(self) -> None:
+        self.recorder.close()
+
+
+class _NullObservation(Observation):
+    """The disabled handle — safe to share, impossible to observe with."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def emit(self, event: str, **fields) -> None:
+        pass
+
+    def timer(self, name, help="", buckets=DEFAULT_TIME_BUCKETS):
+        return NULL_TIMER
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared disabled observation; the default everywhere.
+NULL_OBS = _NullObservation()

@@ -1,0 +1,289 @@
+"""Metrics registry: counters, gauges and histograms.
+
+The registry is the aggregation point for everything the simulator and
+the LHR internals measure about themselves — request totals, retraining
+counts, scoped-timer durations.  Three design rules keep it cheap and
+mergeable:
+
+* **Flat names** — metrics are identified by a dotted/underscored name
+  (``lhr_train_seconds``), no label dimensions; a sweep cell's context is
+  carried by merging per-cell registries, not by label cardinality.
+* **Streaming only** — histograms combine fixed buckets (Prometheus
+  style) with the streaming estimators from :mod:`repro.util.stats`, so
+  memory stays constant over arbitrarily long runs.
+* **Mergeable** — :meth:`MetricsRegistry.merge` folds a worker process's
+  registry into the parent's, which is how parallel sweeps stay
+  observable (see :mod:`repro.sim.parallel`).
+
+Snapshots export as JSON (:meth:`MetricsRegistry.as_dict`) or as
+Prometheus text exposition format (:meth:`MetricsRegistry.to_prometheus`).
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from pathlib import Path
+
+from repro.util.stats import PercentileTracker, RunningStats
+
+#: Default histogram buckets for durations in seconds: ~5 decades around
+#: the microsecond-to-second range the replay/train/predict paths span.
+DEFAULT_TIME_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def merge(self, other: "Counter") -> None:
+        self._value += other._value
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """Last-written value (e.g. current threshold, peak memory)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def max(self, value: float) -> None:
+        """Keep the running maximum (peak-style gauges)."""
+        if value > self._value:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def merge(self, other: "Gauge") -> None:
+        # Without timestamps "last write" is meaningless across registries;
+        # peak semantics are the useful cross-process reduction.
+        self.max(other._value)
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket histogram plus streaming moments and percentiles.
+
+    Buckets follow the Prometheus convention: ``bucket_counts[i]`` counts
+    observations ``<= buckets[i]``, with an implicit ``+Inf`` bucket at
+    the end.  Exact mean/min/max come from Welford moments; arbitrary
+    percentiles from a bounded reservoir (both from :mod:`repro.util.stats`).
+    """
+
+    __slots__ = ("name", "help", "buckets", "bucket_counts", "stats", "reservoir")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ):
+        if list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # + the +Inf bucket
+        self.stats = RunningStats()
+        self.reservoir = PercentileTracker(capacity=4096, seed=0)
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.stats.add(value)
+        self.reservoir.add(value)
+
+    @property
+    def count(self) -> int:
+        return self.stats.count
+
+    @property
+    def sum(self) -> float:
+        return self.stats.mean * self.stats.count
+
+    def percentile(self, q: float) -> float:
+        return self.reservoir.percentile(q)
+
+    def merge(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket layouts differ"
+            )
+        for i, count in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += count
+        self.stats.merge(other.stats)
+        self.reservoir.merge(other.reservoir)
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.stats.count,
+            "sum": self.sum,
+            "mean": self.stats.mean,
+            "min": self.stats.minimum,
+            "max": self.stats.maximum,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "buckets": {
+                _le(upper): count
+                for upper, count in zip(
+                    (*self.buckets, float("inf")), self.bucket_counts
+                )
+            },
+        }
+
+
+def _le(upper: float) -> str:
+    return "+Inf" if upper == float("inf") else repr(upper)
+
+
+class MetricsRegistry:
+    """Named collection of counters, gauges and histograms.
+
+    Accessors are get-or-create, so instrumentation sites never need to
+    pre-declare metrics; asking for an existing name with a conflicting
+    kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind: type, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, help=help, buckets=buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (sum counters, max gauges,
+        merge histogram buckets/moments/reservoirs)."""
+        for name in sorted(other._metrics):
+            theirs = other._metrics[name]
+            mine = self._metrics.get(name)
+            if mine is None:
+                kwargs = {"help": theirs.help}
+                if isinstance(theirs, Histogram):
+                    kwargs["buckets"] = theirs.buckets
+                mine = type(theirs)(name, **kwargs)
+                self._metrics[name] = mine
+            elif type(mine) is not type(theirs):
+                raise TypeError(
+                    f"cannot merge metric {name!r}: "
+                    f"{type(mine).__name__} vs {type(theirs).__name__}"
+                )
+            mine.merge(theirs)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-able snapshot of every metric, sorted by name."""
+        return {name: self._metrics[name].as_dict() for name in self.names()}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {metric.value}")
+            else:
+                lines.append(f"# TYPE {name} histogram")
+                cumulative = 0
+                for upper, count in zip(
+                    (*metric.buckets, float("inf")), metric.bucket_counts
+                ):
+                    cumulative += count
+                    lines.append(
+                        f'{name}_bucket{{le="{_le(upper)}"}} {cumulative}'
+                    )
+                lines.append(f"{name}_sum {metric.sum}")
+                lines.append(f"{name}_count {metric.count}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str | Path) -> None:
+        """Write a snapshot to ``path``.
+
+        ``.prom``/``.txt`` suffixes select the Prometheus text format;
+        anything else writes JSON.
+        """
+        path = Path(path)
+        if path.suffix.lower() in (".prom", ".txt"):
+            path.write_text(self.to_prometheus())
+        else:
+            path.write_text(self.to_json() + "\n")

@@ -23,7 +23,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from repro.obs import NULL_OBS, Observation
 from repro.traces.request import Request
+
+#: Evictions a single admission must force before the policy emits a
+#: ``policy.eviction_pressure`` event (bursts below this stay aggregate).
+EVICTION_PRESSURE_BURST = 8
 
 
 class CachePolicy(ABC):
@@ -44,6 +49,8 @@ class CachePolicy(ABC):
         self.miss_bytes = 0
         self.admissions = 0
         self.evictions = 0
+        #: Observation handle; disabled by default (one attribute check).
+        self.obs: Observation = NULL_OBS
 
     # ------------------------------------------------------------------
     # Public interface
@@ -102,6 +109,15 @@ class CachePolicy(ABC):
         """
         return 64 * len(self._sizes)
 
+    def attach_observation(self, obs: Observation) -> None:
+        """Point this policy's instrumentation at ``obs``.
+
+        Subclasses with internal components that observe (LHR's detector,
+        threshold estimator, HRO bound) override this to propagate the
+        handle; they must call ``super().attach_observation(obs)``.
+        """
+        self.obs = obs
+
     # ------------------------------------------------------------------
     # Subclass hooks
     # ------------------------------------------------------------------
@@ -139,6 +155,7 @@ class CachePolicy(ABC):
     # ------------------------------------------------------------------
 
     def _admit(self, req: Request) -> None:
+        victims = 0
         while self._used + req.size > self.capacity:
             victim = self._select_victim(req)
             if victim not in self._sizes:
@@ -146,9 +163,27 @@ class CachePolicy(ABC):
                     f"{self.name}: victim {victim} is not cached"
                 )
             self._remove(victim)
+            victims += 1
         self._sizes[req.obj_id] = req.size
         self._used += req.size
         self.admissions += 1
+        if victims and self.obs.enabled:
+            self.obs.registry.histogram(
+                "policy_evictions_per_admission",
+                help="evictions forced by each admission that evicted",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            ).observe(victims)
+            if victims >= EVICTION_PRESSURE_BURST:
+                self.obs.emit(
+                    "policy.eviction_pressure",
+                    policy=self.name,
+                    time=req.time,
+                    obj_id=req.obj_id,
+                    size=req.size,
+                    victims=victims,
+                    used_bytes=self._used,
+                    capacity=self.capacity,
+                )
         self._on_admit(req)
 
     def _remove(self, obj_id: int) -> None:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 
+from repro.obs import NULL_OBS, Observation
 from repro.policies.base import CachePolicy
 from repro.sim.metrics import SimulationResult, WindowMetrics
 from repro.traces.request import Trace
@@ -27,6 +28,7 @@ def simulate(
     window_requests: int = 0,
     warmup_requests: int = 0,
     metadata_probe_interval: int = 1000,
+    obs: Observation = NULL_OBS,
 ) -> SimulationResult:
     """Run ``policy`` over ``trace``.
 
@@ -48,6 +50,13 @@ def simulate(
     metadata_probe_interval:
         How often (in requests) to sample ``policy.metadata_bytes()`` for
         the peak-memory statistic.
+    obs:
+        Observation handle (:mod:`repro.obs`).  When enabled, the engine
+        emits one ``sim.window`` event per closed reporting window, times
+        the replay into the ``sim_replay_seconds`` histogram, attaches
+        the handle to the policy (so LHR's lifecycle events flow), and
+        records aggregate request/hit counters.  The default
+        :data:`~repro.obs.NULL_OBS` disables all of it.
     """
     if warmup_requests < 0:
         raise ValueError("warmup_requests must be non-negative")
@@ -68,8 +77,21 @@ def simulate(
         window_requests=window_requests,
         warmup_requests=warmup_requests,
         metadata_probe_interval=metadata_probe_interval,
+        obs=obs,
     )
     return result
+
+
+def _emit_window(obs: Observation, window: WindowMetrics) -> None:
+    obs.emit(
+        "sim.window",
+        index=window.index,
+        requests=window.requests,
+        hits=window.hits,
+        hit_bytes=window.hit_bytes,
+        total_bytes=window.total_bytes,
+        hit_ratio=round(window.hit_ratio, 6),
+    )
 
 
 def replay_into(
@@ -79,17 +101,26 @@ def replay_into(
     window_requests: int = 0,
     warmup_requests: int = 0,
     metadata_probe_interval: int = 1000,
+    obs: Observation = NULL_OBS,
 ) -> SimulationResult:
     """The inner replay loop: feed ``trace`` through ``policy`` and
     accumulate into ``result``.
 
     Assumes arguments were validated by the caller (``simulate`` does).
+    The per-request loop carries zero instrumentation overhead when
+    ``obs`` is disabled: window events ride the existing window-rollover
+    branch and everything else happens once, outside the loop.
     """
+    observing = obs.enabled
+    if observing:
+        policy.attach_observation(obs)
     window: WindowMetrics | None = None
     start = time.perf_counter()
     peak_metadata = 0
     for i, req in enumerate(trace):
         if window_requests and (window is None or window.requests >= window_requests):
+            if observing and window is not None:
+                _emit_window(obs, window)
             window = WindowMetrics(index=len(result.windows))
             result.windows.append(window)
         hit = policy.request(req)
@@ -111,4 +142,26 @@ def replay_into(
     result.peak_metadata_bytes = max(peak_metadata, policy.metadata_bytes())
     result.evictions = policy.evictions
     result.admissions = policy.admissions
+    if observing:
+        if window is not None and window.requests:
+            _emit_window(obs, window)
+        registry = obs.registry
+        registry.histogram(
+            "sim_replay_seconds", help="wall-clock seconds per replay loop"
+        ).observe(result.runtime_seconds)
+        registry.counter(
+            "sim_requests_total", help="measured (post-warmup) requests replayed"
+        ).inc(result.requests)
+        registry.counter("sim_hits_total", help="measured cache hits").inc(
+            result.hits
+        )
+        registry.counter("sim_evictions_total", help="evictions performed").inc(
+            result.evictions
+        )
+        registry.counter("sim_admissions_total", help="objects admitted").inc(
+            result.admissions
+        )
+        registry.gauge(
+            "sim_peak_metadata_bytes", help="peak sampled policy metadata"
+        ).max(result.peak_metadata_bytes)
     return result

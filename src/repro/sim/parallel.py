@@ -29,6 +29,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.obs import NULL_OBS, MemoryRecorder, MetricsRegistry, Observation
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult, grid_order
 from repro.traces.request import Request, Trace
@@ -163,14 +164,33 @@ def _init_worker(packed: PackedTrace) -> None:
     _WORKER_TRACE = packed.unpack()
 
 
+#: One worker cell's outcome: ``(index, result, failure, events, registry)``.
+#: ``events``/``registry`` are None unless the sweep runs observed.
+CellOutcome = tuple[
+    int,
+    SimulationResult | None,
+    "CellFailure | None",
+    "list[dict] | None",
+    "MetricsRegistry | None",
+]
+
+
 def _run_cell(
-    spec: CellSpec, window_requests: int, warmup_requests: int
-) -> tuple[int, SimulationResult | None, CellFailure | None]:
+    spec: CellSpec, window_requests: int, warmup_requests: int, observe: bool
+) -> CellOutcome:
     """Simulate one cell against the worker's shared trace.
 
     Never raises: failures come back as data so one exploding policy
-    cannot poison the pool or its sibling cells.
+    cannot poison the pool or its sibling cells.  When ``observe`` is
+    set, the cell runs with a worker-local recorder and registry whose
+    contents ship back with the result for the driver to merge — that is
+    what keeps parallel runs as observable as serial ones.
     """
+    cell_obs = (
+        Observation(recorder=MemoryRecorder(), registry=MetricsRegistry())
+        if observe
+        else NULL_OBS
+    )
     try:
         policy = spec.build()
         result = simulate(
@@ -178,9 +198,12 @@ def _run_cell(
             _WORKER_TRACE,
             window_requests=window_requests,
             warmup_requests=warmup_requests,
+            obs=cell_obs,
         )
         result.cell_index = spec.index
-        return spec.index, result, None
+        events = cell_obs.recorder.events if observe else None
+        registry = cell_obs.registry if observe else None
+        return spec.index, result, None, events, registry
     except BaseException as exc:  # noqa: BLE001 — must cross the pipe as data
         failure = CellFailure(
             index=spec.index,
@@ -189,7 +212,9 @@ def _run_cell(
             error=f"{type(exc).__name__}: {exc}",
             traceback=traceback.format_exc(),
         )
-        return spec.index, None, failure
+        events = cell_obs.recorder.events if observe else None
+        registry = cell_obs.registry if observe else None
+        return spec.index, None, failure, events, registry
 
 
 # ----------------------------------------------------------------------
@@ -204,6 +229,7 @@ def run_sweep(
     warmup_requests: int = 0,
     jobs: int = 0,
     mp_context=None,
+    obs: Observation = NULL_OBS,
 ) -> list[SimulationResult]:
     """Run every cell of ``specs`` over ``trace``; return grid-ordered results.
 
@@ -212,6 +238,13 @@ def run_sweep(
     ``ProcessPoolExecutor``.  Either way the returned list is ordered by
     ``CellSpec.index`` and each cell's outcome is independent of how the
     others fared.
+
+    When ``obs`` is enabled the sweep emits ``sweep.cell_start`` per cell
+    up front, runs every cell under a cell-local recorder/registry, then
+    replays the per-cell events and merges the per-cell registries into
+    ``obs`` **in grid order** — so the observed stream is identical for
+    serial and parallel execution — and finishes each cell with
+    ``sweep.cell_done`` or ``sweep.cell_failed``.
     """
     specs = [
         spec if spec.index >= 0 else replace(spec, index=i)
@@ -223,20 +256,71 @@ def run_sweep(
     if not specs:
         return []
 
+    observing = obs.enabled
+    if observing:
+        for spec in sorted(specs, key=lambda s: s.index):
+            obs.emit(
+                "sweep.cell_start",
+                cell=spec.index,
+                policy=spec.policy,
+                capacity=spec.capacity,
+            )
+
     if jobs and jobs > 1:
         outcomes = _run_pooled(
-            trace, specs, window_requests, warmup_requests, jobs, mp_context
+            trace, specs, window_requests, warmup_requests, jobs, mp_context,
+            observing,
         )
     else:
-        outcomes = _run_inline(trace, specs, window_requests, warmup_requests)
+        outcomes = _run_inline(
+            trace, specs, window_requests, warmup_requests, observing
+        )
 
-    by_index = {index: (result, failure) for index, result, failure in outcomes}
+    by_index = {outcome[0]: outcome for outcome in outcomes}
     ordered = [by_index[spec.index] for spec in specs]
-    failures = [failure for _, failure in ordered if failure is not None]
-    results = [result for result, _ in ordered]
+    if observing:
+        _merge_observations(obs, specs, by_index)
+    failures = [outcome[2] for outcome in ordered if outcome[2] is not None]
+    results = [outcome[1] for outcome in ordered]
     if failures:
         raise SweepCellError(failures, results)
     return grid_order(results)
+
+
+def _merge_observations(
+    obs: Observation,
+    specs: Sequence[CellSpec],
+    by_index: dict[int, CellOutcome],
+) -> None:
+    """Fold per-cell events and registries into the parent, grid-ordered."""
+    for spec in sorted(specs, key=lambda s: s.index):
+        index, result, failure, events, registry = by_index[spec.index]
+        for event in events or ():
+            fields = {
+                k: v for k, v in event.items() if k not in ("event", "seq")
+            }
+            obs.emit(event["event"], cell=index, **fields)
+        if registry is not None:
+            obs.registry.merge(registry)
+        if failure is not None:
+            obs.emit(
+                "sweep.cell_failed",
+                cell=index,
+                policy=spec.policy,
+                capacity=spec.capacity,
+                error=failure.error,
+            )
+        elif result is not None:
+            obs.emit(
+                "sweep.cell_done",
+                cell=index,
+                policy=spec.policy,
+                capacity=spec.capacity,
+                requests=result.requests,
+                hits=result.hits,
+                hit_ratio=round(result.object_hit_ratio, 6),
+                runtime_seconds=round(result.runtime_seconds, 6),
+            )
 
 
 def _run_inline(
@@ -244,14 +328,16 @@ def _run_inline(
     specs: Sequence[CellSpec],
     window_requests: int,
     warmup_requests: int,
-) -> list[tuple[int, SimulationResult | None, CellFailure | None]]:
+    observe: bool,
+) -> list[CellOutcome]:
     """Serial execution sharing the worker code path (and its capture)."""
     global _WORKER_TRACE
     previous = _WORKER_TRACE
     _WORKER_TRACE = trace
     try:
         return [
-            _run_cell(spec, window_requests, warmup_requests) for spec in specs
+            _run_cell(spec, window_requests, warmup_requests, observe)
+            for spec in specs
         ]
     finally:
         _WORKER_TRACE = previous
@@ -264,11 +350,12 @@ def _run_pooled(
     warmup_requests: int,
     jobs: int,
     mp_context,
-) -> list[tuple[int, SimulationResult | None, CellFailure | None]]:
+    observe: bool,
+) -> list[CellOutcome]:
     """Fan cells out over worker processes; the trace ships once per worker."""
     packed = PackedTrace.from_trace(trace)
     workers = min(jobs, len(specs))
-    outcomes: list[tuple[int, SimulationResult | None, CellFailure | None]] = []
+    outcomes: list[CellOutcome] = []
     try:
         with ProcessPoolExecutor(
             max_workers=workers,
@@ -277,13 +364,15 @@ def _run_pooled(
             initargs=(packed,),
         ) as pool:
             futures = {
-                pool.submit(_run_cell, spec, window_requests, warmup_requests): spec
+                pool.submit(
+                    _run_cell, spec, window_requests, warmup_requests, observe
+                ): spec
                 for spec in specs
             }
             for future in as_completed(futures):
                 outcomes.append(future.result())
     except BrokenProcessPool as exc:
-        done = {index for index, _, _ in outcomes}
+        done = {outcome[0] for outcome in outcomes}
         missing = [spec for spec in specs if spec.index not in done]
         failures = [
             CellFailure(
@@ -297,7 +386,7 @@ def _run_pooled(
         ]
         results: list[SimulationResult | None] = [None] * len(specs)
         by_index = {spec.index: pos for pos, spec in enumerate(specs)}
-        for index, result, _ in outcomes:
-            results[by_index[index]] = result
+        for outcome in outcomes:
+            results[by_index[outcome[0]]] = outcome[1]
         raise SweepCellError(failures, results) from exc
     return outcomes

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 
 from repro.core.lhr import DLhrCache, LhrCache, NLhrCache
+from repro.obs import NULL_OBS, Observation
 from repro.policies import POLICY_REGISTRY, make_policy
 from repro.policies.base import CachePolicy
 from repro.sim.metrics import SimulationResult
@@ -82,6 +83,7 @@ def run_comparison(
     policy_kwargs: dict[str, dict] | None = None,
     parallel: int = 0,
     mp_context=None,
+    obs: Observation = NULL_OBS,
 ) -> list[SimulationResult]:
     """Run every (policy, capacity) combination over ``trace``.
 
@@ -92,6 +94,9 @@ def run_comparison(
     the order of ``policy_names``) and are bit-identical to a serial
     run; a failing cell raises :class:`~repro.sim.parallel.SweepCellError`
     naming the (policy, capacity) pair once every sibling has finished.
+    ``obs`` threads an observation handle through every cell (see
+    :func:`repro.sim.parallel.run_sweep`); parallel and serial execution
+    produce the same grid-ordered event stream.
     """
     specs = sweep_specs(policy_names, capacities, policy_kwargs)
     return run_sweep(
@@ -101,6 +106,7 @@ def run_comparison(
         warmup_requests=warmup_requests,
         jobs=parallel,
         mp_context=mp_context,
+        obs=obs,
     )
 
 

@@ -54,6 +54,26 @@ class RunningStats:
     def maximum(self) -> float:
         return self._max if self._count else 0.0
 
+    def merge(self, other: "RunningStats") -> None:
+        """Fold ``other`` into this accumulator (Chan et al. parallel
+        Welford update) — used when per-worker registries merge."""
+        if other._count == 0:
+            return
+        if self._count == 0:
+            self._count = other._count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return
+        combined = self._count + other._count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self._count * other._count / combined
+        self._mean += delta * other._count / combined
+        self._count = combined
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
 
 class PercentileTracker:
     """Percentile estimation over a bounded reservoir sample.
@@ -91,6 +111,19 @@ class PercentileTracker:
         if not self._reservoir:
             return 0.0
         return float(np.percentile(self._reservoir, q))
+
+    def merge(self, other: "PercentileTracker") -> None:
+        """Fold ``other``'s reservoir into this one.
+
+        The result is an approximation (the merged reservoir re-samples
+        the other's already-sampled values) but stays deterministic and
+        bounded, which is what registry merging across sweep workers
+        needs.
+        """
+        for value in other._reservoir:
+            self.add(value)
+        # Count the observations the other tracker saw but no longer holds.
+        self._seen += max(other._seen - len(other._reservoir), 0)
 
 
 class EwmaEstimator:

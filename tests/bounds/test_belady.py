@@ -10,7 +10,7 @@ from repro.bounds.belady import (
     next_occurrences,
 )
 from repro.policies.classic import LruCache
-from repro.traces.request import Request, Trace
+from repro.traces.request import Request
 from repro.traces.synthetic import irm_trace
 
 

@@ -11,8 +11,6 @@ These encode the provable orderings:
 * HRO <= InfiniteCap.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """HRO: window mechanics, hazard ranking, upper-bound behaviour."""
 
-import numpy as np
 import pytest
 
 from repro.core.hro import (

@@ -9,7 +9,6 @@ import pytest
 
 from repro.bounds import belady_size, infinite_cap, pfoo_upper
 from repro.core import DLhrCache, LhrCache, hro_bound
-from repro.policies import SOTA_POLICIES
 from repro.proto import AtsServer, make_ats_baseline, run_prototype
 from repro.sim import best_policy, build_policy, measure_latency, run_comparison, simulate
 from repro.traces import generate_production_trace, syn_two_trace

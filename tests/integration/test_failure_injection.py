@@ -11,7 +11,7 @@ import pytest
 from repro.core import LhrCache, hro_bound
 from repro.policies import POLICY_REGISTRY, make_policy
 from repro.sim import build_policy
-from repro.traces.request import Request, Trace
+from repro.traces.request import Trace
 
 ROBUST_POLICIES = sorted(set(POLICY_REGISTRY) - {"lrb", "lfo"})
 

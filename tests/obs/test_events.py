@@ -1,0 +1,178 @@
+"""Event recorders, the observation handle, and end-to-end emission
+through ``simulate`` (the LHR lifecycle events the paper's diagnostics
+hang off)."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.lhr import LhrCache
+from repro.obs import (
+    EVENT_TYPES,
+    NULL_OBS,
+    NULL_TIMER,
+    FanoutRecorder,
+    JsonlRecorder,
+    MemoryRecorder,
+    NullRecorder,
+    Observation,
+    TextRecorder,
+    register_event_type,
+)
+from repro.policies import make_policy
+from repro.sim import simulate
+from repro.traces.synthetic import irm_trace
+
+
+class TestRecorders:
+    def test_null_recorder_is_disabled_noop(self):
+        recorder = NullRecorder()
+        assert recorder.enabled is False
+        recorder.emit("sim.window", index=0)  # no-op, no error
+        recorder.close()
+
+    def test_memory_recorder_sequences_events(self):
+        recorder = MemoryRecorder()
+        recorder.emit("sim.window", index=0, hits=3)
+        recorder.emit("lhr.retrain", window=1)
+        assert [e["seq"] for e in recorder.events] == [0, 1]
+        assert recorder.by_type("lhr.retrain") == [
+            {"event": "lhr.retrain", "seq": 1, "window": 1}
+        ]
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            MemoryRecorder().emit("bogus.event")
+
+    def test_register_event_type(self):
+        name = register_event_type("test.custom")
+        try:
+            recorder = MemoryRecorder()
+            recorder.emit(name, x=1)
+            assert recorder.events[0]["event"] == "test.custom"
+        finally:
+            EVENT_TYPES.discard(name)
+
+    def test_register_event_type_requires_namespace(self):
+        with pytest.raises(ValueError, match="subsystem.event"):
+            register_event_type("plainname")
+
+    def test_jsonl_recorder_writes_valid_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlRecorder(path) as recorder:
+            recorder.emit("sim.window", index=0, hit_ratio=0.25)
+            recorder.emit("sim.window", index=1, hit_ratio=0.5)
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["seq"] for r in records] == [0, 1]
+        assert records[1] == {
+            "event": "sim.window", "seq": 1, "index": 1, "hit_ratio": 0.5
+        }
+
+    def test_jsonl_recorder_raises_after_close(self, tmp_path):
+        recorder = JsonlRecorder(tmp_path / "e.jsonl")
+        recorder.close()
+        recorder.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            recorder.emit("sim.window")
+
+    def test_text_recorder_formats_one_line_per_event(self):
+        stream = io.StringIO()
+        TextRecorder(stream).emit("sim.window", index=3, hit_ratio=0.123456789)
+        assert stream.getvalue() == "[sim.window] index=3 hit_ratio=0.123457\n"
+
+    def test_fanout_broadcasts(self, tmp_path):
+        memory = MemoryRecorder()
+        jsonl = JsonlRecorder(tmp_path / "e.jsonl")
+        fanout = FanoutRecorder(memory, jsonl, None)
+        fanout.emit("sim.window", index=0)
+        fanout.close()
+        assert len(memory.events) == 1
+        assert json.loads((tmp_path / "e.jsonl").read_text())["index"] == 0
+
+
+class TestObservation:
+    def test_null_obs_is_shared_and_inert(self):
+        assert NULL_OBS.enabled is False
+        NULL_OBS.emit("sim.window", index=0)
+        with NULL_OBS.timer("anything") as timer:
+            assert timer is NULL_TIMER
+        NULL_OBS.close()
+
+    def test_timer_aggregates_into_registry_histogram(self):
+        obs = Observation()
+        with obs.timer("work_seconds", help="work"):
+            pass
+        with obs.timer("work_seconds"):
+            pass
+        hist = obs.registry.histogram("work_seconds")
+        assert hist.count == 2
+        assert hist.stats.minimum >= 0.0
+
+    def test_default_recorder_is_null(self):
+        obs = Observation()
+        assert obs.enabled is True
+        obs.emit("sim.window", index=0)  # swallowed by the NullRecorder
+
+
+@pytest.fixture(scope="module")
+def event_trace():
+    return irm_trace(2000, 120, alpha=0.8, mean_size=1 << 10, seed=11)
+
+
+class TestSimulateEmission:
+    """End-to-end: replaying a trace under an enabled observation emits
+    the catalog events and fills the profiling histograms."""
+
+    def test_lru_emits_windows_and_replay_metrics(self, event_trace):
+        obs = Observation(recorder=MemoryRecorder())
+        capacity = int(0.1 * event_trace.unique_bytes())
+        result = simulate(
+            make_policy("lru", capacity), event_trace,
+            window_requests=500, obs=obs,
+        )
+        windows = obs.recorder.by_type("sim.window")
+        assert len(windows) == len(result.windows) == 4
+        assert [w["index"] for w in windows] == [0, 1, 2, 3]
+        for window, event in zip(result.windows, windows):
+            assert event["requests"] == window.requests
+            assert event["hits"] == window.hits
+            assert event["hit_ratio"] == pytest.approx(
+                window.hit_ratio, abs=1e-6
+            )
+        reg = obs.registry
+        assert reg.counter("sim_requests_total").value == len(event_trace)
+        assert reg.counter("sim_hits_total").value == result.hits
+        assert reg.histogram("sim_replay_seconds").count == 1
+
+    def test_lhr_emits_lifecycle_events(self, event_trace):
+        obs = Observation(recorder=MemoryRecorder())
+        capacity = int(0.1 * event_trace.unique_bytes())
+        simulate(LhrCache(capacity, seed=0), event_trace, obs=obs)
+        types = {e["event"] for e in obs.recorder.events}
+        assert "lhr.retrain" in types
+        assert "lhr.drift" in types
+        retrain = obs.recorder.by_type("lhr.retrain")[0]
+        assert retrain["rows"] > 0 and retrain["trees"] > 0
+        reg = obs.registry
+        assert reg.counter("lhr_trainings_total").value == len(
+            obs.recorder.by_type("lhr.retrain")
+        )
+        assert reg.histogram("lhr_train_seconds").count > 0
+        assert reg.histogram("lhr_predict_seconds").count > 0
+        assert reg.histogram("hro_rank_seconds").count > 0
+
+    def test_observed_run_matches_unobserved(self, event_trace):
+        """Observation must never perturb the simulation itself."""
+        capacity = int(0.1 * event_trace.unique_bytes())
+        plain = simulate(
+            LhrCache(capacity, seed=0), event_trace, window_requests=500
+        )
+        observed = simulate(
+            LhrCache(capacity, seed=0), event_trace, window_requests=500,
+            obs=Observation(recorder=MemoryRecorder()),
+        )
+        assert plain.counters() == observed.counters()
+        assert plain.object_hit_ratio == observed.object_hit_ratio
+        assert plain.window_series() == observed.window_series()

@@ -1,0 +1,182 @@
+"""Metrics registry: counters, gauges, histograms, merging and export."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("requests_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("x").inc(-1)
+
+    def test_merge_sums(self):
+        a, b = Counter("x"), Counter("x")
+        a.inc(3)
+        b.inc(7)
+        a.merge(b)
+        assert a.value == 10
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("delta")
+        g.set(0.5)
+        g.set(0.3)
+        assert g.value == 0.3
+
+    def test_max_keeps_peak(self):
+        g = Gauge("peak_bytes")
+        g.max(10)
+        g.max(5)
+        assert g.value == 10
+
+    def test_merge_takes_max(self):
+        a, b = Gauge("x"), Gauge("x")
+        a.set(2.0)
+        b.set(9.0)
+        a.merge(b)
+        assert a.value == 9.0
+
+
+class TestHistogram:
+    def test_bucket_counts_follow_le_convention(self):
+        h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+            h.observe(value)
+        # bucket_counts[i] counts observations <= buckets[i] (non-cumulative
+        # per-slot here; the Prometheus export cumulates).
+        assert h.bucket_counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(556.5)
+
+    def test_moments_and_percentiles(self):
+        h = Histogram("lat", buckets=(10.0,))
+        for value in range(1, 101):
+            h.observe(float(value))
+        assert h.stats.minimum == 1.0
+        assert h.stats.maximum == 100.0
+        assert h.stats.mean == pytest.approx(50.5)
+        assert h.percentile(50) == pytest.approx(50.0, abs=2.0)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("x", buckets=(2.0, 1.0))
+
+    def test_merge_requires_identical_buckets(self):
+        a = Histogram("x", buckets=(1.0, 2.0))
+        b = Histogram("x", buckets=(1.0, 3.0))
+        with pytest.raises(ValueError, match="bucket layouts differ"):
+            a.merge(b)
+
+    def test_merge_combines_counts_and_moments(self):
+        a = Histogram("x", buckets=(1.0, 10.0))
+        b = Histogram("x", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0):
+            a.observe(value)
+        for value in (20.0, 0.1):
+            b.observe(value)
+        a.merge(b)
+        assert a.count == 4
+        assert a.bucket_counts == [2, 1, 1]
+        assert a.stats.minimum == 0.1
+        assert a.stats.maximum == 20.0
+        assert a.stats.mean == pytest.approx((0.5 + 5.0 + 20.0 + 0.1) / 4)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert len(reg) == 3
+        assert reg.names() == ["a", "b", "c"]
+        assert "a" in reg and "missing" not in reg
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_merge_creates_missing_metrics(self):
+        parent, child = MetricsRegistry(), MetricsRegistry()
+        child.counter("hits").inc(3)
+        child.gauge("peak").set(7.0)
+        child.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        parent.merge(child)
+        assert parent.counter("hits").value == 3
+        assert parent.gauge("peak").value == 7.0
+        assert parent.histogram("lat", buckets=(1.0, 2.0)).count == 1
+
+    def test_merge_is_additive(self):
+        parent, child = MetricsRegistry(), MetricsRegistry()
+        parent.counter("hits").inc(2)
+        child.counter("hits").inc(3)
+        parent.merge(child)
+        assert parent.counter("hits").value == 5
+
+    def test_merge_kind_conflict_raises(self):
+        parent, child = MetricsRegistry(), MetricsRegistry()
+        parent.counter("x")
+        child.gauge("x")
+        with pytest.raises(TypeError, match="cannot merge"):
+            parent.merge(child)
+
+    def test_json_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", help="total hits").inc(9)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        snapshot = json.loads(reg.to_json())
+        assert snapshot["hits"] == {"type": "counter", "value": 9}
+        assert snapshot["lat"]["count"] == 1
+        assert snapshot["lat"]["buckets"]["+Inf"] == 0
+
+    def test_prometheus_export_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", help="latency", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        reg.counter("hits").inc(2)
+        text = reg.to_prometheus()
+        assert "# TYPE lat histogram" in text
+        assert '# HELP lat latency' in text
+        assert 'lat_bucket{le="1.0"} 1' in text
+        assert 'lat_bucket{le="10.0"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+        assert "hits 2" in text
+        assert text.endswith("\n")
+
+    def test_write_dispatches_on_suffix(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(1)
+        json_path = tmp_path / "snap.json"
+        prom_path = tmp_path / "snap.prom"
+        reg.write(json_path)
+        reg.write(prom_path)
+        assert json.loads(json_path.read_text())["hits"]["value"] == 1
+        assert "# TYPE hits counter" in prom_path.read_text()
+
+    def test_default_time_buckets_sane(self):
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+        assert DEFAULT_TIME_BUCKETS[0] <= 1e-6
+        assert DEFAULT_TIME_BUCKETS[-1] >= 10.0
+        assert all(math.isfinite(b) for b in DEFAULT_TIME_BUCKETS)

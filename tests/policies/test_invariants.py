@@ -5,7 +5,6 @@ cache-state contract: capacity never exceeded, byte accounting exact,
 hit counters consistent, and a hit only ever served for a cached object.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

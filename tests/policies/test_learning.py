@@ -1,7 +1,5 @@
 """Learning-based baselines: Hawkeye, LRB, LFO."""
 
-import pytest
-
 from repro.policies.hawkeye import HawkeyeCache, _OptGen
 from repro.policies.lfo import LfoCache
 from repro.policies.lrb import LrbCache

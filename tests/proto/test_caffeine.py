@@ -3,7 +3,6 @@
 import pytest
 
 from repro.proto.caffeine import (
-    CaffeineServer,
     make_caffeine_baseline,
     make_caffeine_lhr,
     run_caffeine,

@@ -113,7 +113,6 @@ class TestCluster:
         trace = irm_trace(3000, 150, mean_size=1 << 10, seed=4)
         cluster = CdnCluster(4, 1 << 19)
         cluster.process(trace)
-        warm_ratio = cluster.object_hit_ratio
         victim = next(iter(cluster.nodes))
         cluster.fail_node(victim)
         assert len(cluster.nodes) == 3

@@ -4,7 +4,6 @@ import pytest
 
 from repro.policies.classic import LruCache
 from repro.sim.engine import simulate
-from repro.traces.request import Trace
 
 
 class TestAggregates:

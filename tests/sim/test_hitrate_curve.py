@@ -6,7 +6,6 @@ import pytest
 from repro.policies.classic import LruCache
 from repro.sim.hitrate_curve import (
     COLD,
-    HitRateCurve,
     ReuseDistanceAnalyzer,
     _FenwickTree,
     lru_hit_rate_curve,

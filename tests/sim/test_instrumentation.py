@@ -3,9 +3,17 @@
 import pytest
 
 from repro.policies import make_policy
+from repro.sim import build_policy, known_policies
 from repro.sim.instrumentation import InstrumentedPolicy
 from repro.traces.request import Request
 from repro.traces.synthetic import irm_trace
+
+#: Trimmed learner settings (mirrors the parallel-sweep suite) so the
+#: heavyweight policies train at this trace size.
+POLICY_KWARGS = {
+    "lrb": {"training_batch": 256, "max_training_data": 1024},
+    "lfo": {"window_requests": 200},
+}
 
 
 def req(obj_id, time, size=10):
@@ -99,3 +107,55 @@ class TestDiagnostics:
         wrapped.process(production_trace)
         assert wrapped.completed_residencies > 0
         assert 0.0 < wrapped.object_hit_ratio < 1.0
+
+
+@pytest.fixture(scope="module")
+def registry_trace():
+    return irm_trace(
+        600, 60, alpha=0.9, mean_size=1 << 10, size_sigma=1.0, seed=5
+    )
+
+
+@pytest.fixture(scope="module")
+def registry_capacity(registry_trace):
+    return max(int(0.2 * registry_trace.unique_bytes()), 1)
+
+
+class TestEveryRegisteredPolicy:
+    """The wrapper's transparency guarantee holds for the full registry —
+    classics, learned policies (seeded RNGs included) and LHR variants."""
+
+    @pytest.mark.parametrize("name", known_policies())
+    def test_wrapping_never_changes_hit_counts(
+        self, name, registry_trace, registry_capacity
+    ):
+        kwargs = POLICY_KWARGS.get(name, {})
+        plain = build_policy(name, registry_capacity, **kwargs)
+        wrapped = InstrumentedPolicy(
+            build_policy(name, registry_capacity, **kwargs)
+        )
+        plain.process(registry_trace)
+        wrapped.process(registry_trace)
+        assert wrapped.hits == plain.hits
+        assert wrapped.misses == plain.misses
+        assert wrapped.object_hit_ratio == plain.object_hit_ratio
+        assert wrapped.used_bytes == plain.used_bytes
+
+    @pytest.mark.parametrize("name", known_policies())
+    def test_diagnostics_well_formed(
+        self, name, registry_trace, registry_capacity
+    ):
+        wrapped = InstrumentedPolicy(
+            build_policy(
+                name, registry_capacity, **POLICY_KWARGS.get(name, {})
+            )
+        )
+        wrapped.process(registry_trace)
+        report = wrapped.report()
+        assert 0.0 <= report["admission_ratio"] <= 1.0
+        assert 0.0 <= report["dead_on_arrival_ratio"] <= 1.0
+        assert wrapped.dead_on_arrival <= wrapped.completed_residencies
+        if wrapped.completed_residencies:
+            assert wrapped.eviction_ages.count == wrapped.completed_residencies
+            assert wrapped.eviction_ages.mean >= 0.0
+            assert wrapped.hits_per_residency.mean >= 0.0

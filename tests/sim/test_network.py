@@ -4,7 +4,7 @@ import pytest
 
 from repro.policies.classic import LruCache
 from repro.policies.base import NoCache
-from repro.sim.network import LatencyReport, NetworkModel, measure_latency
+from repro.sim.network import NetworkModel, measure_latency
 from repro.traces.synthetic import irm_trace
 
 

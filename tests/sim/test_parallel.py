@@ -12,6 +12,7 @@ import multiprocessing
 
 import pytest
 
+from repro.obs import MemoryRecorder, MetricsRegistry, Observation
 from repro.policies import POLICY_REGISTRY
 from repro.policies.classic import LruCache
 from repro.sim import (
@@ -114,6 +115,95 @@ class TestEquivalence:
             **kwargs,
         )
         assert [result_key(r) for r in serial] == [result_key(r) for r in parallel]
+
+
+def normalized_events(obs):
+    """Events minus the nondeterministic parts: ``seq`` (recorder-local)
+    and wall-clock ``*_seconds`` durations."""
+    return [
+        {
+            k: v
+            for k, v in event.items()
+            if k != "seq" and not k.endswith("_seconds")
+        }
+        for event in obs.recorder.events
+    ]
+
+
+class TestObservedEquivalence:
+    """Instrumentation must not break the bit-equivalence guarantee:
+    with a recorder attached, parallel and serial sweeps produce the
+    same results, the same grid-ordered event stream, and the same
+    deterministic registry contents."""
+
+    NAMES = ["lru", "lhr", "gdsf"]
+
+    def _run(self, trace, capacity, parallel):
+        obs = Observation(recorder=MemoryRecorder(), registry=MetricsRegistry())
+        results = run_comparison(
+            trace,
+            self.NAMES,
+            [capacity],
+            window_requests=200,
+            policy_kwargs=SWEEP_KWARGS,
+            parallel=parallel,
+            obs=obs,
+        )
+        return results, obs
+
+    def test_parallel_matches_serial_with_recorder_on(
+        self, sweep_trace, sweep_capacity
+    ):
+        serial_results, serial_obs = self._run(sweep_trace, sweep_capacity, 0)
+        parallel_results, parallel_obs = self._run(sweep_trace, sweep_capacity, 2)
+        assert [result_key(r) for r in serial_results] == [
+            result_key(r) for r in parallel_results
+        ]
+        serial_events = normalized_events(serial_obs)
+        assert serial_events == normalized_events(parallel_obs)
+        # The stream actually observed something: every cell started and
+        # finished, and the replay loop reported its windows.
+        types = [e["event"] for e in serial_events]
+        assert types.count("sweep.cell_start") == len(self.NAMES)
+        assert types.count("sweep.cell_done") == len(self.NAMES)
+        assert "sim.window" in types
+
+    def test_registries_agree_on_deterministic_metrics(
+        self, sweep_trace, sweep_capacity
+    ):
+        _, serial_obs = self._run(sweep_trace, sweep_capacity, 0)
+        _, parallel_obs = self._run(sweep_trace, sweep_capacity, 2)
+        serial = serial_obs.registry.as_dict()
+        parallel = parallel_obs.registry.as_dict()
+        assert set(serial) == set(parallel)
+        for name in serial:
+            if name.endswith("_seconds"):
+                # Durations differ; the observation *count* must not.
+                assert serial[name]["count"] == parallel[name]["count"], name
+            else:
+                assert serial[name] == parallel[name], name
+
+    def test_failed_cell_emits_event_in_both_modes(
+        self, sweep_trace, sweep_capacity, exploding_policy
+    ):
+        obs = Observation(recorder=MemoryRecorder())
+        with pytest.raises(SweepCellError):
+            run_comparison(
+                sweep_trace,
+                [exploding_policy, "lru"],
+                [sweep_capacity],
+                obs=obs,
+            )
+        failed = [
+            e for e in obs.recorder.events if e["event"] == "sweep.cell_failed"
+        ]
+        assert len(failed) == 1
+        assert failed[0]["policy"] == exploding_policy
+        assert "synthetic mid-simulation failure" in failed[0]["error"]
+        done = [
+            e for e in obs.recorder.events if e["event"] == "sweep.cell_done"
+        ]
+        assert [e["policy"] for e in done] == ["lru"]
 
 
 class TestGridOrder:

@@ -1,6 +1,7 @@
 """Command-line interface: size parsing, trace IO, subcommand wiring."""
 
 import argparse
+import json
 
 import pytest
 
@@ -30,8 +31,15 @@ class TestParseSize:
         with pytest.raises(argparse.ArgumentTypeError):
             parse_size(text)
 
-    def test_minimum_one_byte(self):
-        assert parse_size("0") == 1
+    @pytest.mark.parametrize("text", ["0", "-5", "-1GB", "0kb", "-0.5mb"])
+    def test_non_positive_rejected(self, text):
+        """A negative or zero size is a typo, not a tiny cache — it must
+        be rejected, never silently clamped to one byte."""
+        with pytest.raises(argparse.ArgumentTypeError, match="positive"):
+            parse_size(text)
+
+    def test_sub_byte_fraction_rounds_up_to_one(self):
+        assert parse_size("0.5b") == 1
 
 
 class TestLoadAnyTrace:
@@ -100,11 +108,22 @@ class TestSubcommands:
         assert main([*args, "--jobs", "2"]) == 0
         parallel_out = capsys.readouterr().out
         # Identical tables modulo the wall-clock runtime column.
-        strip = lambda text: [
-            [c for i, c in enumerate(line.split()) if i != 8]
-            for line in text.splitlines() if line
-        ]
+        def strip(text):
+            return [
+                [c for i, c in enumerate(line.split()) if i != 8]
+                for line in text.splitlines() if line
+            ]
+
         assert strip(serial_out) == strip(parallel_out)
+
+    def test_simulate_warmup_excludes_requests(self, trace_file, capsys):
+        assert main(
+            ["simulate", "--trace", trace_file, "--policy", "lru",
+             "--capacity", "1MB", "--warmup", "100"]
+        ) == 0
+        captured = capsys.readouterr().out
+        # 400-request trace minus 100 warmup requests.
+        assert " 300 " in captured
 
     def test_bounds(self, trace_file, capsys):
         assert main(
@@ -135,3 +154,110 @@ class TestSubcommands:
         captured = capsys.readouterr().out
         assert "object hit" in captured
         assert "target 20%" in captured
+
+
+class TestObservabilityFlags:
+    """--log-json / --metrics-out / --verbose on simulate, compare and
+    prototype (the acceptance path for the instrumentation layer)."""
+
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(irm_trace(800, 60, mean_size=1 << 12, seed=2), path)
+        return str(path)
+
+    def test_simulate_log_json_emits_windows(self, trace_file, tmp_path):
+        log = tmp_path / "events.jsonl"
+        assert main(
+            ["simulate", "--trace", trace_file, "--policy", "lru",
+             "--capacity", "64KB", "--window", "200",
+             "--log-json", str(log)]
+        ) == 0
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        assert events, "event log is empty"
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        assert sum(e["event"] == "sim.window" for e in events) == 4
+
+    def test_simulate_lhr_emits_lifecycle_events(self, tmp_path):
+        # Long enough for LHR's internal sliding window to close at
+        # least once, so the learner lifecycle events actually fire.
+        trace_path = tmp_path / "long.csv"
+        save_trace_csv(
+            irm_trace(2000, 120, alpha=0.8, mean_size=1 << 10, seed=11),
+            trace_path,
+        )
+        log = tmp_path / "events.jsonl"
+        assert main(
+            ["simulate", "--trace", str(trace_path), "--policy", "lhr",
+             "--capacity", "16KB", "--window", "500",
+             "--log-json", str(log)]
+        ) == 0
+        types = {
+            json.loads(line)["event"]
+            for line in log.read_text().splitlines()
+        }
+        assert "sim.window" in types
+        assert types & {"lhr.retrain", "lhr.drift"}
+
+    def test_simulate_metrics_out_json(self, trace_file, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert main(
+            ["simulate", "--trace", trace_file, "--policy", "lru",
+             "--capacity", "64KB", "--metrics-out", str(out)]
+        ) == 0
+        snapshot = json.loads(out.read_text())
+        assert snapshot["sim_requests_total"]["value"] == 800
+        assert snapshot["sim_replay_seconds"]["count"] == 1
+
+    def test_simulate_metrics_out_prometheus(self, trace_file, tmp_path):
+        out = tmp_path / "metrics.prom"
+        assert main(
+            ["simulate", "--trace", trace_file, "--policy", "lru",
+             "--capacity", "64KB", "--metrics-out", str(out)]
+        ) == 0
+        text = out.read_text()
+        assert "# TYPE sim_requests_total counter" in text
+        assert 'sim_replay_seconds_bucket{le="+Inf"} 1' in text
+
+    def test_simulate_verbose_prints_events(self, trace_file, capsys):
+        assert main(
+            ["simulate", "--trace", trace_file, "--policy", "lru",
+             "--capacity", "64KB", "--window", "400", "--verbose"]
+        ) == 0
+        assert "[sim.window]" in capsys.readouterr().err
+
+    def test_compare_parallel_log_json(self, trace_file, tmp_path):
+        log = tmp_path / "events.jsonl"
+        out = tmp_path / "metrics.json"
+        assert main(
+            ["compare", "--trace", trace_file, "--policies", "lru,gdsf",
+             "--capacities", "64KB", "--jobs", "2", "--warmup", "100",
+             "--log-json", str(log), "--metrics-out", str(out)]
+        ) == 0
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        types = [e["event"] for e in events]
+        assert types.count("sweep.cell_start") == 2
+        assert types.count("sweep.cell_done") == 2
+        snapshot = json.loads(out.read_text())
+        # Two cells, each replaying 800 - 100 counted requests.
+        assert snapshot["sim_requests_total"]["value"] == 2 * 700
+
+    def test_prototype_obs_flags(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        assert main(
+            ["prototype", "--spec", "cdn-c", "--system", "caffeine",
+             "--scale", "0.003", "--log-json", str(log)]
+        ) == 0
+        assert "lhr" in capsys.readouterr().out
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        assert all(e["event"].split(".")[0] in ("lhr", "policy", "sim")
+                   for e in events)
+
+    def test_no_flags_means_no_output_files(self, trace_file, capsys):
+        assert main(
+            ["simulate", "--trace", trace_file, "--policy", "lru",
+             "--capacity", "64KB"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "wrote event log" not in captured.out
+        assert "wrote metrics snapshot" not in captured.out

@@ -1,6 +1,5 @@
 """Bloom filter: correctness, false-positive behaviour and sizing."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -35,6 +35,32 @@ class TestRunningStats:
         assert stats.minimum == pytest.approx(values.min())
         assert stats.maximum == pytest.approx(values.max())
 
+    def test_merge_equals_sequential(self):
+        """Chan et al. parallel merge must match feeding one stream."""
+        rng = np.random.default_rng(1)
+        values = rng.standard_normal(500) * 2 - 3
+        combined = RunningStats()
+        left, right = RunningStats(), RunningStats()
+        for i, value in enumerate(values):
+            combined.add(float(value))
+            (left if i < 200 else right).add(float(value))
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.variance == pytest.approx(combined.variance)
+        assert left.minimum == combined.minimum
+        assert left.maximum == combined.maximum
+
+    def test_merge_with_empty_is_identity(self):
+        stats = RunningStats()
+        stats.add(1.0)
+        stats.add(3.0)
+        stats.merge(RunningStats())
+        assert stats.count == 2 and stats.mean == 2.0
+        empty = RunningStats()
+        empty.merge(stats)
+        assert empty.count == 2 and empty.mean == 2.0
+
 
 class TestPercentileTracker:
     def test_rejects_bad_capacity(self):
@@ -48,6 +74,28 @@ class TestPercentileTracker:
 
     def test_empty_returns_zero(self):
         assert PercentileTracker().percentile(50) == 0.0
+
+    def test_merge_exact_under_capacity(self):
+        left = PercentileTracker(capacity=1000)
+        right = PercentileTracker(capacity=1000)
+        for value in range(50):
+            left.add(float(value))
+        for value in range(50, 100):
+            right.add(float(value))
+        left.merge(right)
+        assert left.percentile(50) == pytest.approx(49.5, abs=1.0)
+        assert left.percentile(100) == 99.0
+
+    def test_merge_approximates_when_sampled(self):
+        rng = np.random.default_rng(3)
+        left = PercentileTracker(capacity=256, seed=1)
+        right = PercentileTracker(capacity=256, seed=2)
+        for value in rng.uniform(0, 1, 5000):
+            left.add(float(value))
+        for value in rng.uniform(0, 1, 5000):
+            right.add(float(value))
+        left.merge(right)
+        assert left.percentile(50) == pytest.approx(0.5, abs=0.1)
 
     def test_exact_when_under_capacity(self):
         tracker = PercentileTracker(capacity=1000)
