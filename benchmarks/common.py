@@ -12,9 +12,11 @@ Results print to stdout and are archived under ``benchmarks/results/``.
 from __future__ import annotations
 
 import os
+import time
 from functools import lru_cache
 from pathlib import Path
 
+from benchmarks.telemetry import BenchCollector, build_payload, emit_telemetry
 from repro.sim import run_comparison
 from repro.traces import Trace, generate_production_trace
 from repro.traces.production import PRODUCTION_SPECS
@@ -60,19 +62,50 @@ def policy_kwargs() -> dict[str, dict]:
     return {"lrb": dict(LRB_KWARGS), "lfo": dict(LFO_KWARGS)}
 
 
+#: Collects sweep timings/hit ratios between ``emit`` calls so every
+#: benchmark gets a ``BENCH_<name>.json`` sidecar for free.
+COLLECTOR = BenchCollector()
+
+
 def compare(t: Trace, policy_names, capacities, **kwargs):
     """``run_comparison`` honouring the ``REPRO_JOBS`` fan-out setting."""
     kwargs.setdefault("parallel", JOBS)
-    return run_comparison(t, policy_names, capacities, **kwargs)
+    start = time.perf_counter()
+    results = run_comparison(t, policy_names, capacities, **kwargs)
+    COLLECTOR.record_sweep(results, time.perf_counter() - start)
+    return results
 
 
-def emit(experiment: str, text: str) -> None:
-    """Print a result block and archive it under benchmarks/results/."""
+def emit(
+    experiment: str,
+    text: str,
+    *,
+    obs_overhead_percent: float | None = None,
+    extra: dict | None = None,
+) -> None:
+    """Print a result block and archive it under benchmarks/results/.
+
+    With ``REPRO_TELEMETRY=1`` this also drains the sweep collector into
+    a normalized ``BENCH_<experiment>.json`` next to the text archive.
+    """
     banner = f"===== {experiment} (scale={SCALE}) ====="
     print(f"\n{banner}\n{text}\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / f"{experiment}.txt"
     out.write_text(f"{banner}\n{text}\n")
+    sweeps = COLLECTOR.drain()
+    payload = build_payload(
+        experiment,
+        scale=SCALE,
+        seed=SEED,
+        jobs=JOBS,
+        obs_overhead_percent=obs_overhead_percent,
+        extra=extra,
+        **sweeps,
+    )
+    written = emit_telemetry(payload)
+    if written is not None:
+        print(f"telemetry -> {written}")
 
 
 def format_rows(rows: list[dict]) -> str:

@@ -1,0 +1,201 @@
+"""Normalized benchmark telemetry: one ``BENCH_<name>.json`` per run.
+
+Every benchmark already prints a human-readable table; this module adds
+a machine-readable sidecar so runs can seed a regression trajectory —
+CI archives the files as artifacts and later sessions diff them.
+
+The schema (``repro-bench/1``) is deliberately small and flat:
+
+* ``name`` / ``scale`` / ``seed`` / ``jobs`` — the run's identity.
+* ``wall_seconds`` / ``requests`` / ``throughput_rps`` — how fast the
+  simulated request stream replayed, summed over the run's sweeps.
+* ``peak_rss_bytes`` — the process peak resident set (``getrusage``).
+* ``hit_ratios`` — ``"policy@capacity" -> object hit ratio`` for every
+  sweep cell the run executed.
+* ``obs_overhead_percent`` — the observability-disabled-path cost when
+  the run measured it (``bench_obs_overhead``), else ``None``.
+* ``extra`` — free-form benchmark-specific numbers.
+
+Emission is opt-in via ``REPRO_TELEMETRY=1`` (the collector is always
+cheap enough to leave wired in); files land in ``benchmarks/results/``
+or ``$REPRO_TELEMETRY_DIR``.  :func:`validate_telemetry` is the schema
+contract — CI and ``tests/test_telemetry.py`` both assert through it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+SCHEMA = "repro-bench/1"
+
+#: Required payload keys and the types a valid value may take.
+_REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
+    "schema": (str,),
+    "name": (str,),
+    "scale": (int, float),
+    "seed": (int,),
+    "jobs": (int,),
+    "wall_seconds": (int, float),
+    "requests": (int,),
+    "throughput_rps": (int, float),
+    "peak_rss_bytes": (int,),
+    "hit_ratios": (dict,),
+    "obs_overhead_percent": (int, float, type(None)),
+    "extra": (dict,),
+}
+
+
+def telemetry_enabled() -> bool:
+    """Whether ``BENCH_*.json`` files should be written this run."""
+    return os.environ.get("REPRO_TELEMETRY", "0").lower() in ("1", "true", "yes")
+
+
+def telemetry_dir() -> Path:
+    override = os.environ.get("REPRO_TELEMETRY_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent / "results"
+
+
+def peak_rss_bytes() -> int:
+    """Process peak resident set size in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize to
+    bytes so the telemetry field is platform-independent.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return int(peak)
+
+
+class BenchCollector:
+    """Accumulates sweep outcomes between ``emit`` calls.
+
+    ``benchmarks/common.py`` feeds one :meth:`record_sweep` per
+    ``run_comparison`` and drains the collector into a telemetry payload
+    when the benchmark emits its result block, so every existing
+    benchmark gets telemetry without touching its body.
+    """
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.wall_seconds = 0.0
+        self.requests = 0
+        self.hit_ratios: dict[str, float] = {}
+
+    def record_sweep(self, results, seconds: float) -> None:
+        self.wall_seconds += seconds
+        for result in results:
+            self.requests += result.requests
+            self.hit_ratios[f"{result.policy}@{result.capacity}"] = round(
+                result.object_hit_ratio, 6
+            )
+
+    def drain(self) -> dict:
+        """Snapshot and reset, so sequential benchmarks don't mix."""
+        snapshot = {
+            "wall_seconds": round(self.wall_seconds, 4),
+            "requests": self.requests,
+            "throughput_rps": round(
+                self.requests / self.wall_seconds if self.wall_seconds else 0.0, 1
+            ),
+            "hit_ratios": dict(self.hit_ratios),
+        }
+        self.reset()
+        return snapshot
+
+
+def build_payload(
+    name: str,
+    *,
+    scale: float,
+    seed: int,
+    jobs: int,
+    wall_seconds: float,
+    requests: int = 0,
+    throughput_rps: float | None = None,
+    hit_ratios: dict[str, float] | None = None,
+    obs_overhead_percent: float | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Assemble a schema-valid telemetry payload."""
+    if throughput_rps is None:
+        throughput_rps = round(requests / wall_seconds, 1) if wall_seconds else 0.0
+    return {
+        "schema": SCHEMA,
+        "name": name,
+        "scale": scale,
+        "seed": seed,
+        "jobs": jobs,
+        "wall_seconds": round(wall_seconds, 4),
+        "requests": requests,
+        "throughput_rps": throughput_rps,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "hit_ratios": dict(hit_ratios or {}),
+        "obs_overhead_percent": obs_overhead_percent,
+        "extra": {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "unix_time": int(time.time()),
+            **(extra or {}),
+        },
+    }
+
+
+def emit_telemetry(payload: dict, out_dir: Path | None = None) -> Path | None:
+    """Validate and write ``payload`` as ``BENCH_<name>.json``.
+
+    Returns the written path, or ``None`` when telemetry is disabled.
+    """
+    if not telemetry_enabled():
+        return None
+    validate_telemetry(payload)
+    directory = out_dir if out_dir is not None else telemetry_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{payload['name']}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def validate_telemetry(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` matches ``repro-bench/1``."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"telemetry payload must be a dict, got {type(payload)}")
+    missing = sorted(set(_REQUIRED_FIELDS) - set(payload))
+    if missing:
+        raise ValueError(f"telemetry payload missing fields: {missing}")
+    for key, kinds in _REQUIRED_FIELDS.items():
+        value = payload[key]
+        if not isinstance(value, kinds) or isinstance(value, bool):
+            raise ValueError(
+                f"telemetry field {key!r} has type {type(value).__name__}, "
+                f"expected one of {[k.__name__ for k in kinds]}"
+            )
+    if payload["schema"] != SCHEMA:
+        raise ValueError(
+            f"unknown telemetry schema {payload['schema']!r}; expected {SCHEMA!r}"
+        )
+    if not payload["name"]:
+        raise ValueError("telemetry name must be non-empty")
+    for field in ("wall_seconds", "requests", "throughput_rps", "peak_rss_bytes"):
+        if payload[field] < 0:
+            raise ValueError(f"telemetry field {field!r} must be non-negative")
+    for cell, ratio in payload["hit_ratios"].items():
+        if not isinstance(cell, str):
+            raise ValueError(f"hit_ratios keys must be strings, got {cell!r}")
+        if not isinstance(ratio, (int, float)) or not 0.0 <= ratio <= 1.0:
+            raise ValueError(
+                f"hit ratio for {cell!r} must be within [0, 1], got {ratio!r}"
+            )
+    overhead = payload["obs_overhead_percent"]
+    if overhead is not None and overhead < 0:
+        raise ValueError("obs_overhead_percent must be non-negative or null")

@@ -55,6 +55,22 @@ def hazard_top_set(
     return top
 
 
+def hazard_ranks(
+    obj_ids: Sequence[int],
+    hazards: np.ndarray,
+) -> dict[int, int]:
+    """Dense 0-based rank of each content by descending hazard.
+
+    Rank 0 is the hottest content — the first the fractional knapsack
+    would cache.  Ties break with the same stable ordering
+    :func:`hazard_top_set` uses, so the top set is always a rank prefix.
+    Decision traces record this as the ``hazard_rank`` of a request when
+    the policy tracks it.
+    """
+    order = np.argsort(hazards, kind="stable")[::-1]
+    return {obj_ids[int(idx)]: rank for rank, idx in enumerate(order)}
+
+
 def exact_hazard_bound(
     requests: Sequence[Request],
     rates: dict[int, float],

@@ -6,6 +6,9 @@ Subcommands cover the everyday workflows:
   them (Table-1 columns), convert between CSV and webcachesim formats.
 * ``simulate`` — run one policy over a trace.
 * ``compare`` — run several policies across several cache sizes.
+* ``analyze`` — decision-trace a policy and HRO over the same trace and
+  report the miss taxonomy plus the per-window divergence between the
+  policy's admission decisions and the oracle it imitates.
 * ``bounds`` — compute offline/online bounds for a trace and cache size.
 * ``curve`` — the exact LRU hit-rate curve over a capacity grid
   (reuse-distance analysis; no simulation sweep needed).
@@ -241,6 +244,31 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Miss taxonomy + policy↔HRO divergence report for one trace."""
+    from repro.obs.analyze import analyze_trace
+
+    trace = load_any_trace(args.trace)
+    try:
+        report = analyze_trace(
+            trace,
+            args.capacity,
+            policy=args.policy,
+            window_requests=args.window,
+            window_multiple=args.window_multiple,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    if args.csv:
+        report.divergence.write_csv(args.csv)
+        print(f"wrote per-window divergence series to {args.csv}")
+    return 0
+
+
 def cmd_bounds(args: argparse.Namespace) -> int:
     """Print offline/online bounds for a trace and capacity."""
     trace = load_any_trace(args.trace)
@@ -383,6 +411,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(comp)
     comp.set_defaults(func=cmd_compare)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="miss taxonomy + policy-vs-HRO divergence report",
+    )
+    analyze.add_argument("--trace", required=True)
+    analyze.add_argument("--policy", choices=known_policies(), default="lhr")
+    analyze.add_argument("--capacity", type=parse_size, required=True)
+    analyze.add_argument(
+        "--window", type=int, default=1000,
+        help="requests per divergence-report window",
+    )
+    analyze.add_argument(
+        "--window-multiple", type=float, default=4.0,
+        help="HRO sliding-window size as a multiple of the cache size",
+    )
+    analyze.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout report format",
+    )
+    analyze.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write the per-window divergence time series as CSV",
+    )
+    analyze.set_defaults(func=cmd_analyze)
 
     bounds = sub.add_parser("bounds", help="offline/online bounds for a trace")
     bounds.add_argument("--trace", required=True)

@@ -31,7 +31,7 @@ import numpy as np
 from collections import deque
 
 from repro.bounds.belady import BoundResult
-from repro.bounds.hazard import hazard_top_set
+from repro.bounds.hazard import hazard_ranks, hazard_top_set
 from repro.core.hazard_models import HAZARD_MODELS, fit_hazard_model
 from repro.obs import NULL_OBS
 from repro.traces.request import Request, Trace
@@ -147,6 +147,14 @@ class HroBound:
         self._models: dict = {}
         self.windows: list[HroWindow] = []
         self.on_window = None
+        #: When True, :meth:`process` stores each request's cacheability
+        #: verdict in :attr:`last_would_cache` and window closes refresh
+        #: the per-content hazard ranking for :meth:`hazard_rank`.
+        #: Costs one attribute check per request when off; decision
+        #: tracing (:mod:`repro.obs.trace`) turns it on.
+        self.track_decisions = False
+        self.last_would_cache = True
+        self._ranks: dict[int, int] = {}
         #: Observation handle (:mod:`repro.obs`): window closes time the
         #: hazard re-ranking into the ``hro_rank_seconds`` histogram.
         self.obs = NULL_OBS
@@ -182,16 +190,26 @@ class HroBound:
         if self.hazard_model != "poisson":
             self._observe_irt(req)
         if self._have_threshold:
-            hit = req.obj_id in self._seen and (
-                self._hazard(req.obj_id, req.size, req.time)
-                > self._hazard_threshold
-                or req.obj_id in self._top_set
-            )
+            seen = req.obj_id in self._seen
+            if seen or self.track_decisions:
+                would_cache = (
+                    self._hazard(req.obj_id, req.size, req.time)
+                    > self._hazard_threshold
+                    or req.obj_id in self._top_set
+                )
+            else:
+                # The verdict is only needed for seen contents (a first
+                # request can never hit) unless a tracer wants it.
+                would_cache = False
+            hit = seen and would_cache
         else:
             # Before the first window closes there is no ranking yet; any
             # re-request counts (the InfiniteCap rule), which errs on the
             # generous side and so preserves the upper-bound property.
+            would_cache = True
             hit = req.obj_id in self._seen
+        if self.track_decisions:
+            self.last_would_cache = would_cache
         if hit:
             self.hits += 1
             self.hit_bytes += req.size
@@ -243,6 +261,8 @@ class HroBound:
         self._top_set = frozenset(
             compute_top_set(combined, sizes, duration, self.capacity)
         )
+        if self.track_decisions:
+            self._ranks = compute_hazard_ranks(combined, sizes, duration)
         self._have_threshold = True
         if self.hazard_model != "poisson":
             self._refit_models(combined, sizes, duration, acc.end_time)
@@ -291,11 +311,25 @@ class HroBound:
             self._top_set = frozenset(
                 hazard_top_set(ids, hazard_arr, size_arr, self.capacity)
             )
+            if self.track_decisions:
+                self._ranks = hazard_ranks(ids, hazard_arr)
         # Bound the IRT store to contents seen in the last two windows.
         stale = [oid for oid in self._irts if oid not in combined]
         for oid in stale:
             self._irts.pop(oid, None)
             self._last_time.pop(oid, None)
+
+    def hazard_rank(self, obj_id: int) -> int | None:
+        """The content's position in the current hazard ranking (0 =
+        hottest), or ``None`` before the first window closes or when
+        ``track_decisions`` is off or the content is unranked."""
+        return self._ranks.get(obj_id)
+
+    @property
+    def hazard_threshold(self) -> float:
+        """The current marginal size-normalized hazard (0 before the
+        first window closes)."""
+        return self._hazard_threshold
 
     @property
     def hit_ratio(self) -> float:
@@ -328,6 +362,24 @@ def compute_top_set(
         / size_arr
     )
     return frozenset(hazard_top_set(ids, hazard_arr, size_arr, capacity))
+
+
+def compute_hazard_ranks(
+    counts: dict[int, int],
+    sizes: dict[int, int],
+    duration: float,
+) -> dict[int, int]:
+    """Dense hazard ranking for given window statistics (0 = hottest)."""
+    if not counts:
+        return {}
+    ids = list(counts)
+    size_arr = np.asarray([sizes[i] for i in ids], dtype=np.float64)
+    hazard_arr = (
+        np.asarray([counts[i] for i in ids], dtype=np.float64)
+        / max(duration, 1e-9)
+        / size_arr
+    )
+    return hazard_ranks(ids, hazard_arr)
 
 
 def marginal_hazard(

@@ -170,6 +170,19 @@ class LhrCache(CachePolicy):
             else None
         )
 
+    def attach_tracer(self, tracer) -> None:
+        """Decision traces for LHR also track the HRO hazard ranking so
+        each record carries the request's window hazard rank."""
+        super().attach_tracer(tracer)
+        self.hro.track_decisions = tracer is not None
+
+    def decision_inputs(self, req: Request):
+        return (
+            self._current_p,
+            self.delta,
+            self.hro.hazard_rank(req.obj_id),
+        )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -14,6 +14,13 @@ from repro.obs.events import (
     register_event_type,
 )
 from repro.obs.observation import NULL_OBS, Observation
+from repro.obs.trace import (
+    MISS_CLASSES,
+    DecisionRecord,
+    DecisionTracer,
+    MissTaxonomy,
+    TraceConfig,
+)
 from repro.obs.registry import (
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -26,18 +33,23 @@ from repro.obs.timers import NULL_TIMER, ScopedTimer
 __all__ = [
     "Counter",
     "DEFAULT_TIME_BUCKETS",
+    "DecisionRecord",
+    "DecisionTracer",
     "EVENT_TYPES",
     "FanoutRecorder",
     "Gauge",
     "Histogram",
     "JsonlRecorder",
+    "MISS_CLASSES",
     "MemoryRecorder",
     "MetricsRegistry",
+    "MissTaxonomy",
     "NULL_OBS",
     "NULL_TIMER",
     "NullRecorder",
     "Observation",
     "ScopedTimer",
     "TextRecorder",
+    "TraceConfig",
     "register_event_type",
 ]

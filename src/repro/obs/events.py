@@ -83,6 +83,22 @@ class MemoryRecorder(NullRecorder):
         return [e for e in self.events if e["event"] == event]
 
 
+def _json_default(value):
+    """Fallback serializer for event fields ``json`` can't encode.
+
+    Numpy scalars unwrap via ``.item()`` (instrumentation sites often
+    pass them straight out of arrays); anything else degrades to
+    ``repr`` — a lossy but never-crashing event beats a lost one.
+    """
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except Exception:
+            pass
+    return repr(value)
+
+
 class JsonlRecorder(NullRecorder):
     """Appends one JSON object per event to a file (JSON Lines)."""
 
@@ -100,7 +116,9 @@ class JsonlRecorder(NullRecorder):
             raise RuntimeError("recorder is closed")
         record = {"event": event, "seq": self._seq, **fields}
         self._seq += 1
-        self._file.write(json.dumps(record, sort_keys=False) + "\n")
+        self._file.write(
+            json.dumps(record, sort_keys=False, default=_json_default) + "\n"
+        )
 
     def close(self) -> None:
         if self._file is not None:

@@ -22,6 +22,7 @@ Prometheus text exposition format (:meth:`MetricsRegistry.to_prometheus`).
 from __future__ import annotations
 
 import json
+import re
 from bisect import bisect_left
 from pathlib import Path
 
@@ -173,6 +174,21 @@ def _le(upper: float) -> str:
     return "+Inf" if upper == float("inf") else repr(upper)
 
 
+#: The Prometheus metric-name charset (exposition format 0.0.4).
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text for the exposition format.
+
+    Backslashes and line feeds are the characters the format escapes;
+    a raw newline would split the comment and corrupt the scrape.
+    Double quotes are escaped too so HELP text can be pasted into label
+    values without re-escaping.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
 class MetricsRegistry:
     """Named collection of counters, gauges and histograms.
 
@@ -250,12 +266,21 @@ class MetricsRegistry:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+        """Prometheus text exposition format (version 0.0.4).
+
+        Raises ``ValueError`` for metric names outside the Prometheus
+        charset — emitting them raw would produce an unscrapable page.
+        """
         lines: list[str] = []
         for name in self.names():
+            if _METRIC_NAME_RE.fullmatch(name) is None:
+                raise ValueError(
+                    f"metric name {name!r} is not a valid Prometheus "
+                    "name ([a-zA-Z_:][a-zA-Z0-9_:]*)"
+                )
             metric = self._metrics[name]
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             if isinstance(metric, Counter):
                 lines.append(f"# TYPE {name} counter")
                 lines.append(f"{name} {metric.value}")

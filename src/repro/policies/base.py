@@ -24,6 +24,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.obs import NULL_OBS, Observation
+from repro.obs.trace import DecisionTracer
 from repro.traces.request import Request
 
 #: Evictions a single admission must force before the policy emits a
@@ -51,6 +52,12 @@ class CachePolicy(ABC):
         self.evictions = 0
         #: Observation handle; disabled by default (one attribute check).
         self.obs: Observation = NULL_OBS
+        #: Decision tracer; None by default.  Attaching one swaps the
+        #: ``request`` dispatch (see ``attach_tracer``), so the untraced
+        #: path carries zero added per-request cost.
+        self.tracer: DecisionTracer | None = None
+        #: Victim collector; a list only while a traced admission runs.
+        self._trace_victims: list[int] | None = None
 
     # ------------------------------------------------------------------
     # Public interface
@@ -86,6 +93,55 @@ class CachePolicy(ABC):
             self._admit(req)
         return False
 
+    def _request_traced(self, req: Request) -> bool:
+        """The ``request`` control flow with decision recording.
+
+        Identical to the fast path except that the admission verdict,
+        its inputs (``decision_inputs``) and any eviction victims are
+        captured and handed to the tracer.  Installed over ``request``
+        via the instance dict by ``attach_tracer``.
+        """
+        tracer = self.tracer
+        self._on_access(req)
+        if req.obj_id in self._sizes:
+            self.hits += 1
+            self.hit_bytes += req.size
+            self._on_hit(req)
+            probability, threshold, rank = self.decision_inputs(req)
+            tracer.observe(
+                req,
+                hit=True,
+                probability=probability,
+                threshold=threshold,
+                hazard_rank=rank,
+            )
+            return True
+        self.misses += 1
+        self.miss_bytes += req.size
+        self._on_miss(req)
+        probability, threshold, rank = self.decision_inputs(req)
+        admitted = req.size <= self.capacity and self._should_admit(req)
+        victims: tuple[int, ...] = ()
+        if admitted:
+            self._trace_victims = []
+            self._remove = self._capture_remove
+            try:
+                self._admit(req)
+            finally:
+                victims = tuple(self._trace_victims)
+                self._trace_victims = None
+                del self.__dict__["_remove"]
+        tracer.observe(
+            req,
+            hit=False,
+            admitted=admitted,
+            probability=probability,
+            threshold=threshold,
+            hazard_rank=rank,
+            victims=victims,
+        )
+        return False
+
     def process(self, requests) -> None:
         """Convenience: run a request iterable through the cache."""
         for req in requests:
@@ -117,6 +173,39 @@ class CachePolicy(ABC):
         handle; they must call ``super().attach_observation(obs)``.
         """
         self.obs = obs
+
+    def attach_tracer(self, tracer: DecisionTracer | None) -> None:
+        """Record every admission/eviction decision into ``tracer``.
+
+        Attaching shadows ``request`` with ``_request_traced`` through
+        the instance dict, so untraced policies run the seed's exact
+        instruction stream — no per-request guard on the disabled path
+        (``bench_obs_overhead`` asserts this stays true).
+
+        Subclasses whose decision inputs need extra bookkeeping (LHR's
+        hazard-rank tracking) override this; they must call
+        ``super().attach_tracer(tracer)``.  Pass ``None`` to detach.
+        """
+        self.tracer = tracer
+        if tracer is None:
+            self.__dict__.pop("request", None)
+            return
+        if type(self).request is not CachePolicy.request:
+            raise ValueError(
+                f"{self.name}: request() is overridden, so decision "
+                "tracing cannot see its admissions; tracing supports "
+                "only policies on the base control flow"
+            )
+        self.request = self._request_traced
+
+    def decision_inputs(
+        self, req: Request
+    ) -> tuple[float | None, float | None, int | None]:
+        """The ``(probability, threshold, hazard_rank)`` inputs behind the
+        decision for ``req``, for decision-trace records.  Policies
+        without a probabilistic admission model return all-``None``.
+        """
+        return (None, None, None)
 
     # ------------------------------------------------------------------
     # Subclass hooks
@@ -191,6 +280,13 @@ class CachePolicy(ABC):
         self._used -= size
         self.evictions += 1
         self._on_evict(obj_id)
+
+    def _capture_remove(self, obj_id: int) -> None:
+        """``_remove`` plus victim capture; shadows ``_remove`` through
+        the instance dict only while a traced admission is in flight, so
+        untraced evictions pay no guard."""
+        self._trace_victims.append(obj_id)
+        type(self)._remove(self, obj_id)
 
 
 class NoCache(CachePolicy):

@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 
 from repro.obs import NULL_OBS, Observation
+from repro.obs.trace import DecisionTracer
 from repro.policies.base import CachePolicy
 from repro.sim.metrics import SimulationResult, WindowMetrics
 from repro.traces.request import Trace
@@ -29,6 +30,7 @@ def simulate(
     warmup_requests: int = 0,
     metadata_probe_interval: int = 1000,
     obs: Observation = NULL_OBS,
+    tracer: DecisionTracer | None = None,
 ) -> SimulationResult:
     """Run ``policy`` over ``trace``.
 
@@ -57,6 +59,11 @@ def simulate(
         the handle to the policy (so LHR's lifecycle events flow), and
         records aggregate request/hit counters.  The default
         :data:`~repro.obs.NULL_OBS` disables all of it.
+    tracer:
+        Optional :class:`~repro.obs.trace.DecisionTracer` attached to the
+        policy for the replay — every request's admission verdict, its
+        inputs and eviction victims are recorded, and the tracer's miss
+        taxonomy covers the whole trace (warmup included).
     """
     if warmup_requests < 0:
         raise ValueError("warmup_requests must be non-negative")
@@ -78,6 +85,7 @@ def simulate(
         warmup_requests=warmup_requests,
         metadata_probe_interval=metadata_probe_interval,
         obs=obs,
+        tracer=tracer,
     )
     return result
 
@@ -102,6 +110,7 @@ def replay_into(
     warmup_requests: int = 0,
     metadata_probe_interval: int = 1000,
     obs: Observation = NULL_OBS,
+    tracer: DecisionTracer | None = None,
 ) -> SimulationResult:
     """The inner replay loop: feed ``trace`` through ``policy`` and
     accumulate into ``result``.
@@ -109,11 +118,15 @@ def replay_into(
     Assumes arguments were validated by the caller (``simulate`` does).
     The per-request loop carries zero instrumentation overhead when
     ``obs`` is disabled: window events ride the existing window-rollover
-    branch and everything else happens once, outside the loop.
+    branch and everything else happens once, outside the loop.  A
+    ``tracer`` is attached to the policy once here; recording happens
+    inside ``CachePolicy.request``.
     """
     observing = obs.enabled
     if observing:
         policy.attach_observation(obs)
+    if tracer is not None:
+        policy.attach_tracer(tracer)
     window: WindowMetrics | None = None
     start = time.perf_counter()
     peak_metadata = 0
@@ -142,6 +155,8 @@ def replay_into(
     result.peak_metadata_bytes = max(peak_metadata, policy.metadata_bytes())
     result.evictions = policy.evictions
     result.admissions = policy.admissions
+    if tracer is not None:
+        result.decision_trace = tracer
     if observing:
         if window is not None and window.requests:
             _emit_window(obs, window)

@@ -49,6 +49,12 @@ class SimulationResult:
     peak_metadata_bytes: int = 0
     windows: list[WindowMetrics] = field(default_factory=list)
     extra: dict = field(default_factory=dict)
+    #: The run's :class:`~repro.obs.trace.DecisionTracer`, when the
+    #: simulation was traced (``simulate(..., tracer=...)`` or a sweep
+    #: with ``trace_config``); ``None`` otherwise.  Rides the result
+    #: across process boundaries so parallel sweeps return per-cell
+    #: decision traces in grid order, exactly like recorders.
+    decision_trace: object | None = None
     #: Position of this result in its sweep grid (-1 outside a sweep).
     #: Parallel execution completes cells out of order; this is the key
     #: that restores the caller's (capacity, policy) grid order.

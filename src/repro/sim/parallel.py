@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.obs import NULL_OBS, MemoryRecorder, MetricsRegistry, Observation
+from repro.obs.trace import TraceConfig
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult, grid_order
 from repro.traces.request import Request, Trace
@@ -176,7 +177,11 @@ CellOutcome = tuple[
 
 
 def _run_cell(
-    spec: CellSpec, window_requests: int, warmup_requests: int, observe: bool
+    spec: CellSpec,
+    window_requests: int,
+    warmup_requests: int,
+    observe: bool,
+    trace_config: TraceConfig | None = None,
 ) -> CellOutcome:
     """Simulate one cell against the worker's shared trace.
 
@@ -184,7 +189,11 @@ def _run_cell(
     cannot poison the pool or its sibling cells.  When ``observe`` is
     set, the cell runs with a worker-local recorder and registry whose
     contents ship back with the result for the driver to merge — that is
-    what keeps parallel runs as observable as serial ones.
+    what keeps parallel runs as observable as serial ones.  When
+    ``trace_config`` is set, the cell runs under a worker-local
+    :class:`~repro.obs.trace.DecisionTracer` that ships back attached to
+    the result (``result.decision_trace``) — results are grid-ordered,
+    so the per-cell traces merge back exactly like recorders do.
     """
     cell_obs = (
         Observation(recorder=MemoryRecorder(), registry=MetricsRegistry())
@@ -199,6 +208,7 @@ def _run_cell(
             window_requests=window_requests,
             warmup_requests=warmup_requests,
             obs=cell_obs,
+            tracer=trace_config.build() if trace_config is not None else None,
         )
         result.cell_index = spec.index
         events = cell_obs.recorder.events if observe else None
@@ -230,6 +240,7 @@ def run_sweep(
     jobs: int = 0,
     mp_context=None,
     obs: Observation = NULL_OBS,
+    trace_config: TraceConfig | None = None,
 ) -> list[SimulationResult]:
     """Run every cell of ``specs`` over ``trace``; return grid-ordered results.
 
@@ -245,6 +256,11 @@ def run_sweep(
     ``obs`` **in grid order** — so the observed stream is identical for
     serial and parallel execution — and finishes each cell with
     ``sweep.cell_done`` or ``sweep.cell_failed``.
+
+    When ``trace_config`` is set, every cell additionally runs under its
+    own :class:`~repro.obs.trace.DecisionTracer` built from the config;
+    each returned result carries its cell's tracer in
+    ``result.decision_trace``, grid-ordered with the results themselves.
     """
     specs = [
         spec if spec.index >= 0 else replace(spec, index=i)
@@ -269,11 +285,12 @@ def run_sweep(
     if jobs and jobs > 1:
         outcomes = _run_pooled(
             trace, specs, window_requests, warmup_requests, jobs, mp_context,
-            observing,
+            observing, trace_config,
         )
     else:
         outcomes = _run_inline(
-            trace, specs, window_requests, warmup_requests, observing
+            trace, specs, window_requests, warmup_requests, observing,
+            trace_config,
         )
 
     by_index = {outcome[0]: outcome for outcome in outcomes}
@@ -329,6 +346,7 @@ def _run_inline(
     window_requests: int,
     warmup_requests: int,
     observe: bool,
+    trace_config: TraceConfig | None = None,
 ) -> list[CellOutcome]:
     """Serial execution sharing the worker code path (and its capture)."""
     global _WORKER_TRACE
@@ -336,7 +354,7 @@ def _run_inline(
     _WORKER_TRACE = trace
     try:
         return [
-            _run_cell(spec, window_requests, warmup_requests, observe)
+            _run_cell(spec, window_requests, warmup_requests, observe, trace_config)
             for spec in specs
         ]
     finally:
@@ -351,6 +369,7 @@ def _run_pooled(
     jobs: int,
     mp_context,
     observe: bool,
+    trace_config: TraceConfig | None = None,
 ) -> list[CellOutcome]:
     """Fan cells out over worker processes; the trace ships once per worker."""
     packed = PackedTrace.from_trace(trace)
@@ -365,7 +384,8 @@ def _run_pooled(
         ) as pool:
             futures = {
                 pool.submit(
-                    _run_cell, spec, window_requests, warmup_requests, observe
+                    _run_cell, spec, window_requests, warmup_requests,
+                    observe, trace_config,
                 ): spec
                 for spec in specs
             }

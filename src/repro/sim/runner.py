@@ -13,6 +13,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.core.lhr import DLhrCache, LhrCache, NLhrCache
 from repro.obs import NULL_OBS, Observation
+from repro.obs.trace import TraceConfig
 from repro.policies import POLICY_REGISTRY, make_policy
 from repro.policies.base import CachePolicy
 from repro.sim.metrics import SimulationResult
@@ -84,6 +85,7 @@ def run_comparison(
     parallel: int = 0,
     mp_context=None,
     obs: Observation = NULL_OBS,
+    trace_config: TraceConfig | None = None,
 ) -> list[SimulationResult]:
     """Run every (policy, capacity) combination over ``trace``.
 
@@ -96,7 +98,9 @@ def run_comparison(
     naming the (policy, capacity) pair once every sibling has finished.
     ``obs`` threads an observation handle through every cell (see
     :func:`repro.sim.parallel.run_sweep`); parallel and serial execution
-    produce the same grid-ordered event stream.
+    produce the same grid-ordered event stream.  ``trace_config`` runs
+    every cell under its own decision tracer, returned on each result's
+    ``decision_trace``.
     """
     specs = sweep_specs(policy_names, capacities, policy_kwargs)
     return run_sweep(
@@ -107,6 +111,7 @@ def run_comparison(
         jobs=parallel,
         mp_context=mp_context,
         obs=obs,
+        trace_config=trace_config,
     )
 
 

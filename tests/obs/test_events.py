@@ -70,6 +70,30 @@ class TestRecorders:
             "event": "sim.window", "seq": 1, "index": 1, "hit_ratio": 0.5
         }
 
+    def test_jsonl_recorder_serializes_numpy_scalars(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "events.jsonl"
+        with JsonlRecorder(path) as recorder:
+            recorder.emit(
+                "sim.window",
+                index=np.int64(3),
+                hit_ratio=np.float32(0.25),
+            )
+        record = json.loads(path.read_text())
+        assert record["index"] == 3
+        assert record["hit_ratio"] == pytest.approx(0.25)
+
+    def test_jsonl_recorder_falls_back_to_repr(self, tmp_path):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque thing>"
+
+        path = tmp_path / "events.jsonl"
+        with JsonlRecorder(path) as recorder:
+            recorder.emit("sim.window", index=0, payload=Opaque())
+        assert json.loads(path.read_text())["payload"] == "<opaque thing>"
+
     def test_jsonl_recorder_raises_after_close(self, tmp_path):
         recorder = JsonlRecorder(tmp_path / "e.jsonl")
         recorder.close()

@@ -165,6 +165,33 @@ class TestRegistry:
         assert "hits 2" in text
         assert text.endswith("\n")
 
+    def test_prometheus_escapes_help_text(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "hits", help='multi\nline with "quotes" and \\backslash'
+        ).inc(1)
+        text = reg.to_prometheus()
+        assert (
+            '# HELP hits multi\\nline with \\"quotes\\" and \\\\backslash'
+            in text
+        )
+        # Every line still starts as a comment or a sample — no raw
+        # newline leaked out of the HELP text.
+        for line in text.splitlines():
+            assert line.startswith(("# ", "hits"))
+
+    def test_prometheus_rejects_invalid_metric_name(self):
+        reg = MetricsRegistry()
+        reg.counter("lhr.hits")  # dotted names are fine for JSON export
+        json.loads(reg.to_json())
+        with pytest.raises(ValueError, match="Prometheus"):
+            reg.to_prometheus()
+
+    def test_prometheus_accepts_full_charset(self):
+        reg = MetricsRegistry()
+        reg.counter("ns:subsystem_metric_Total_2").inc(1)
+        assert "ns:subsystem_metric_Total_2 1" in reg.to_prometheus()
+
     def test_write_dispatches_on_suffix(self, tmp_path):
         reg = MetricsRegistry()
         reg.counter("hits").inc(1)

@@ -1,0 +1,85 @@
+"""SimulationResult / WindowMetrics ratio properties.
+
+The zero-request edge (empty traces, warmup swallowing every request)
+must yield 0.0 ratios, never a ZeroDivisionError; hypothesis sweeps the
+counter space to pin the ratios into [0, 1] and the WAN-traffic
+complement identity.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.metrics import SimulationResult, WindowMetrics
+
+
+def _result(requests=0, hits=0, hit_bytes=0, total_bytes=0):
+    return SimulationResult(
+        policy="lru",
+        trace="t",
+        capacity=1,
+        requests=requests,
+        hits=hits,
+        hit_bytes=hit_bytes,
+        total_bytes=total_bytes,
+    )
+
+
+class TestZeroRequestEdge:
+    def test_empty_result_ratios_are_zero(self):
+        result = _result()
+        assert result.object_hit_ratio == 0.0
+        assert result.byte_hit_ratio == 0.0
+        assert result.wan_traffic_ratio == 0.0
+        assert result.wan_traffic_bytes == 0
+
+    def test_empty_window_ratios_are_zero(self):
+        window = WindowMetrics(index=0)
+        assert window.hit_ratio == 0.0
+        assert window.byte_hit_ratio == 0.0
+
+
+@st.composite
+def counters(draw):
+    requests = draw(st.integers(min_value=0, max_value=10**9))
+    hits = draw(st.integers(min_value=0, max_value=requests))
+    total_bytes = draw(st.integers(min_value=0, max_value=10**12))
+    hit_bytes = draw(st.integers(min_value=0, max_value=total_bytes))
+    return requests, hits, hit_bytes, total_bytes
+
+
+class TestRatioProperties:
+    @given(counters())
+    def test_ratios_stay_in_unit_interval(self, counts):
+        requests, hits, hit_bytes, total_bytes = counts
+        result = _result(requests, hits, hit_bytes, total_bytes)
+        assert 0.0 <= result.object_hit_ratio <= 1.0
+        assert 0.0 <= result.byte_hit_ratio <= 1.0
+        assert 0.0 <= result.wan_traffic_ratio <= 1.0
+
+    @given(counters())
+    def test_wan_traffic_complements_byte_hits(self, counts):
+        requests, hits, hit_bytes, total_bytes = counts
+        result = _result(requests, hits, hit_bytes, total_bytes)
+        assert result.wan_traffic_bytes == total_bytes - hit_bytes
+        if total_bytes:
+            assert result.byte_hit_ratio + result.wan_traffic_ratio == (
+                pytest.approx(1.0)
+            )
+        else:
+            # Empty trace: both ratios collapse to 0.0, not to a 1.0 sum.
+            assert result.byte_hit_ratio == result.wan_traffic_ratio == 0.0
+
+    @given(counters())
+    def test_window_ratios_match_result_formulas(self, counts):
+        requests, hits, hit_bytes, total_bytes = counts
+        window = WindowMetrics(
+            index=0,
+            requests=requests,
+            hits=hits,
+            hit_bytes=hit_bytes,
+            total_bytes=total_bytes,
+        )
+        result = _result(requests, hits, hit_bytes, total_bytes)
+        assert window.hit_ratio == result.object_hit_ratio
+        assert window.byte_hit_ratio == result.byte_hit_ratio

@@ -156,6 +156,62 @@ class TestSubcommands:
         assert "target 20%" in captured
 
 
+class TestAnalyze:
+    """``repro analyze``: decision-trace a policy and HRO over one trace
+    and report miss taxonomy + divergence."""
+
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("analyze") / "trace.csv"
+        save_trace_csv(
+            irm_trace(2500, 150, alpha=0.9, mean_size=1 << 10, seed=17), path
+        )
+        return str(path)
+
+    def test_text_report(self, trace_file, capsys):
+        assert main(
+            ["analyze", "--trace", trace_file, "--policy", "lru",
+             "--capacity", "32KB", "--window", "500"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "miss taxonomy" in out
+        assert "agreement" in out
+        assert "evicted_early" in out
+
+    def test_json_report_taxonomy_sums(self, trace_file, capsys):
+        assert main(
+            ["analyze", "--trace", trace_file, "--policy", "lru",
+             "--capacity", "32KB", "--window", "500", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        tax = payload["miss_taxonomy"]
+        classes = ("cold", "one_hit_wonder", "admission_rejected",
+                   "evicted_early")
+        assert sum(tax[c] for c in classes) == tax["total_misses"]
+        totals = payload["divergence"]["totals"]
+        assert 0.0 <= totals["agreement_rate"] <= 1.0
+        assert payload["requests"] == 2500
+        assert sum(w["requests"] for w in payload["divergence"]["windows"]) \
+            == 2500
+
+    def test_csv_output(self, trace_file, tmp_path, capsys):
+        csv_path = tmp_path / "divergence.csv"
+        assert main(
+            ["analyze", "--trace", trace_file, "--policy", "lru",
+             "--capacity", "32KB", "--window", "500",
+             "--csv", str(csv_path)]
+        ) == 0
+        lines = csv_path.read_text().splitlines()
+        assert lines[0].startswith("window,requests,")
+        assert len(lines) == 1 + 5  # header + 2500/500 windows
+        assert "wrote per-window divergence series" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--trace", trace_file, "--policy", "bogus",
+                  "--capacity", "32KB"])
+
+
 class TestObservabilityFlags:
     """--log-json / --metrics-out / --verbose on simulate, compare and
     prototype (the acceptance path for the instrumentation layer)."""

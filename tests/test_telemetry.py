@@ -1,0 +1,157 @@
+"""Benchmark telemetry: schema validation, env gating, and the sweep
+collector that turns benchmark runs into ``BENCH_<name>.json``."""
+
+import json
+
+import pytest
+
+from benchmarks.telemetry import (
+    SCHEMA,
+    BenchCollector,
+    build_payload,
+    emit_telemetry,
+    peak_rss_bytes,
+    telemetry_dir,
+    telemetry_enabled,
+    validate_telemetry,
+)
+from repro.sim.metrics import SimulationResult
+
+
+def _payload(**overrides):
+    payload = build_payload(
+        "unit",
+        scale=0.01,
+        seed=1,
+        jobs=0,
+        wall_seconds=2.0,
+        requests=1000,
+        hit_ratios={"lru@1024": 0.5},
+        obs_overhead_percent=1.2,
+    )
+    payload.update(overrides)
+    return payload
+
+
+class TestValidator:
+    def test_built_payload_is_valid(self):
+        payload = _payload()
+        validate_telemetry(payload)
+        assert payload["schema"] == SCHEMA
+        assert payload["throughput_rps"] == pytest.approx(500.0)
+        json.dumps(payload)  # schema must stay JSON-able
+
+    def test_missing_field_rejected(self):
+        payload = _payload()
+        del payload["requests"]
+        with pytest.raises(ValueError, match="missing fields"):
+            validate_telemetry(payload)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ValueError, match="requests"):
+            validate_telemetry(_payload(requests="many"))
+        with pytest.raises(ValueError, match="hit_ratios"):
+            validate_telemetry(_payload(hit_ratios=[0.5]))
+        # bool is an int subclass; the validator must not accept it.
+        with pytest.raises(ValueError, match="jobs"):
+            validate_telemetry(_payload(jobs=True))
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_telemetry(_payload(schema="repro-bench/999"))
+
+    def test_negative_counters_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_telemetry(_payload(wall_seconds=-1.0))
+
+    def test_hit_ratio_range_enforced(self):
+        with pytest.raises(ValueError, match="within"):
+            validate_telemetry(_payload(hit_ratios={"lru@1": 1.5}))
+        with pytest.raises(ValueError, match="strings"):
+            validate_telemetry(_payload(hit_ratios={3: 0.5}))
+
+    def test_null_overhead_allowed(self):
+        validate_telemetry(_payload(obs_overhead_percent=None))
+        with pytest.raises(ValueError, match="obs_overhead_percent"):
+            validate_telemetry(_payload(obs_overhead_percent=-1.0))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_telemetry(_payload(name=""))
+
+
+class TestGating:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        assert telemetry_enabled() is False
+        assert emit_telemetry(_payload()) is None
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("true", True), ("YES", True),
+        ("0", False), ("off", False),
+    ])
+    def test_env_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_TELEMETRY", value)
+        assert telemetry_enabled() is expected
+
+    def test_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "out"))
+        assert telemetry_dir() == tmp_path / "out"
+
+    def test_emit_writes_valid_json(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        path = emit_telemetry(_payload(), out_dir=tmp_path)
+        assert path == tmp_path / "BENCH_unit.json"
+        on_disk = json.loads(path.read_text())
+        validate_telemetry(on_disk)
+        assert on_disk["name"] == "unit"
+
+    def test_emit_rejects_invalid_payload_even_when_enabled(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        with pytest.raises(ValueError):
+            emit_telemetry(_payload(requests=-5), out_dir=tmp_path)
+        assert not list(tmp_path.iterdir())
+
+
+class TestCollector:
+    def _result(self, policy, capacity, requests, hits):
+        return SimulationResult(
+            policy=policy,
+            trace="t",
+            capacity=capacity,
+            requests=requests,
+            hits=hits,
+        )
+
+    def test_record_and_drain(self):
+        collector = BenchCollector()
+        collector.record_sweep(
+            [self._result("lru", 1024, 100, 40),
+             self._result("lhr", 1024, 100, 60)],
+            seconds=2.0,
+        )
+        snapshot = collector.drain()
+        assert snapshot["requests"] == 200
+        assert snapshot["wall_seconds"] == pytest.approx(2.0)
+        assert snapshot["throughput_rps"] == pytest.approx(100.0)
+        assert snapshot["hit_ratios"] == {"lru@1024": 0.4, "lhr@1024": 0.6}
+        payload = build_payload(
+            "collector", scale=1.0, seed=0, jobs=0, **snapshot
+        )
+        validate_telemetry(payload)
+
+    def test_drain_resets(self):
+        collector = BenchCollector()
+        collector.record_sweep([self._result("lru", 1, 10, 5)], seconds=1.0)
+        collector.drain()
+        empty = collector.drain()
+        assert empty["requests"] == 0
+        assert empty["throughput_rps"] == 0.0
+        assert empty["hit_ratios"] == {}
+
+
+class TestRss:
+    def test_peak_rss_positive(self):
+        assert peak_rss_bytes() > 1 << 20  # a Python process beats 1 MiB
