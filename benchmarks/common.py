@@ -33,6 +33,9 @@ JOBS = int(os.environ.get("REPRO_JOBS", "0"))
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+#: Committed regression baselines (`repro bench-compare` reference files).
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
 #: The trace names of Table 1, in paper order.
 TRACE_NAMES = ("cdn-a", "cdn-b", "cdn-c", "wiki")
 
@@ -86,7 +89,10 @@ def emit(
     """Print a result block and archive it under benchmarks/results/.
 
     With ``REPRO_TELEMETRY=1`` this also drains the sweep collector into
-    a normalized ``BENCH_<experiment>.json`` next to the text archive.
+    a normalized ``BENCH_<experiment>.json`` next to the text archive,
+    and — when a committed baseline exists under ``benchmarks/baselines/``
+    — prints a warn-only regression check against it (the authoritative
+    gate is ``repro bench-compare`` in CI).
     """
     banner = f"===== {experiment} (scale={SCALE}) ====="
     print(f"\n{banner}\n{text}\n")
@@ -106,6 +112,27 @@ def emit(
     written = emit_telemetry(payload)
     if written is not None:
         print(f"telemetry -> {written}")
+        _check_against_baseline(payload)
+
+
+def _check_against_baseline(payload: dict) -> None:
+    """Warn-only comparison of fresh telemetry vs the committed baseline."""
+    from repro.obs.baseline import compare_payloads, load_telemetry
+
+    baseline_path = BASELINE_DIR / "BENCH_baseline.json"
+    if not baseline_path.exists():
+        return
+    try:
+        baseline = load_telemetry(baseline_path)
+        if baseline["name"] != payload["name"]:
+            return
+        verdict = compare_payloads(baseline, payload)
+    except ValueError as exc:
+        print(f"baseline check skipped: {exc}")
+        return
+    print(verdict.render_text())
+    if verdict.regressed:
+        print("(warn-only: the CI gate is `repro bench-compare`)")
 
 
 def format_rows(rows: list[dict]) -> str:

@@ -18,8 +18,12 @@ The schema (``repro-bench/1``) is deliberately small and flat:
 
 Emission is opt-in via ``REPRO_TELEMETRY=1`` (the collector is always
 cheap enough to leave wired in); files land in ``benchmarks/results/``
-or ``$REPRO_TELEMETRY_DIR``.  :func:`validate_telemetry` is the schema
-contract — CI and ``tests/test_telemetry.py`` both assert through it.
+or ``$REPRO_TELEMETRY_DIR``.
+
+The ``repro-bench/1`` schema contract itself lives in
+:mod:`repro.obs.baseline` (the regression sentinel that consumes these
+files); ``SCHEMA`` and :func:`validate_telemetry` are re-exported here
+so the emission side and the comparison side can never disagree.
 """
 
 from __future__ import annotations
@@ -32,23 +36,18 @@ import sys
 import time
 from pathlib import Path
 
-SCHEMA = "repro-bench/1"
+from repro.obs.baseline import SCHEMA, validate_telemetry
 
-#: Required payload keys and the types a valid value may take.
-_REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
-    "schema": (str,),
-    "name": (str,),
-    "scale": (int, float),
-    "seed": (int,),
-    "jobs": (int,),
-    "wall_seconds": (int, float),
-    "requests": (int,),
-    "throughput_rps": (int, float),
-    "peak_rss_bytes": (int,),
-    "hit_ratios": (dict,),
-    "obs_overhead_percent": (int, float, type(None)),
-    "extra": (dict,),
-}
+__all__ = [
+    "SCHEMA",
+    "BenchCollector",
+    "build_payload",
+    "emit_telemetry",
+    "peak_rss_bytes",
+    "telemetry_dir",
+    "telemetry_enabled",
+    "validate_telemetry",
+]
 
 
 def telemetry_enabled() -> bool:
@@ -164,38 +163,3 @@ def emit_telemetry(payload: dict, out_dir: Path | None = None) -> Path | None:
     path = directory / f"BENCH_{payload['name']}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
-
-
-def validate_telemetry(payload: dict) -> None:
-    """Raise ``ValueError`` unless ``payload`` matches ``repro-bench/1``."""
-    if not isinstance(payload, dict):
-        raise ValueError(f"telemetry payload must be a dict, got {type(payload)}")
-    missing = sorted(set(_REQUIRED_FIELDS) - set(payload))
-    if missing:
-        raise ValueError(f"telemetry payload missing fields: {missing}")
-    for key, kinds in _REQUIRED_FIELDS.items():
-        value = payload[key]
-        if not isinstance(value, kinds) or isinstance(value, bool):
-            raise ValueError(
-                f"telemetry field {key!r} has type {type(value).__name__}, "
-                f"expected one of {[k.__name__ for k in kinds]}"
-            )
-    if payload["schema"] != SCHEMA:
-        raise ValueError(
-            f"unknown telemetry schema {payload['schema']!r}; expected {SCHEMA!r}"
-        )
-    if not payload["name"]:
-        raise ValueError("telemetry name must be non-empty")
-    for field in ("wall_seconds", "requests", "throughput_rps", "peak_rss_bytes"):
-        if payload[field] < 0:
-            raise ValueError(f"telemetry field {field!r} must be non-negative")
-    for cell, ratio in payload["hit_ratios"].items():
-        if not isinstance(cell, str):
-            raise ValueError(f"hit_ratios keys must be strings, got {cell!r}")
-        if not isinstance(ratio, (int, float)) or not 0.0 <= ratio <= 1.0:
-            raise ValueError(
-                f"hit ratio for {cell!r} must be within [0, 1], got {ratio!r}"
-            )
-    overhead = payload["obs_overhead_percent"]
-    if overhead is not None and overhead < 0:
-        raise ValueError("obs_overhead_percent must be non-negative or null")

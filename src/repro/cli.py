@@ -14,6 +14,14 @@ Subcommands cover the everyday workflows:
   (reuse-distance analysis; no simulation sweep needed).
 * ``prototype`` — replay a trace through the emulated ATS or Caffeine
   deployment (LHR vs the stock baseline).
+* ``profile`` — replay under the sampling profiler and report the
+  per-phase cost table plus a collapsed-stack (flamegraph) file.
+* ``bench-compare`` — regression-check two or more ``repro-bench/1``
+  telemetry files against each other (the benchmark sentinel).
+
+``simulate`` and ``compare`` additionally take ``--serve PORT`` to
+expose ``/metrics``, ``/healthz`` and ``/progress`` over HTTP while the
+run is live (see ``docs/OBSERVABILITY.md``).
 
 Capacities accept human-readable suffixes: ``512MB``, ``4GB``, ``1TB``,
 or a plain byte count.
@@ -22,6 +30,7 @@ or a plain byte count.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -30,10 +39,16 @@ from repro.core import hro_bound
 from repro.core.lhr import LhrCache
 from repro.obs import (
     NULL_OBS,
+    BaselineTolerance,
     FanoutRecorder,
     JsonlRecorder,
     Observation,
+    ObsServer,
+    ProgressTracker,
     TextRecorder,
+    compare_files,
+    current_rss_bytes,
+    profile_simulation,
 )
 from repro.proto import (
     AtsServer,
@@ -114,18 +129,28 @@ def _save_any_trace(trace: Trace, path: str, fmt: str) -> None:
 # ----------------------------------------------------------------------
 
 
-def _build_observation(args: argparse.Namespace) -> Observation:
+def _build_observation(
+    args: argparse.Namespace, require: bool = False
+) -> Observation:
     """Assemble the observation handle the flags ask for.
 
     Returns :data:`NULL_OBS` (the zero-overhead disabled handle) when no
-    observability flag is set.
+    observability flag is set, unless ``require`` forces an enabled
+    handle (``--serve`` needs a live registry to scrape even without any
+    logging flag).  If a later recorder constructor fails, the ones
+    already built are closed — no leaked file handles on bad flags.
     """
     recorders = []
-    if getattr(args, "log_json", None):
-        recorders.append(JsonlRecorder(args.log_json))
-    if getattr(args, "verbose", False):
-        recorders.append(TextRecorder(sys.stderr))
-    if not recorders and not getattr(args, "metrics_out", None):
+    try:
+        if getattr(args, "log_json", None):
+            recorders.append(JsonlRecorder(args.log_json))
+        if getattr(args, "verbose", False):
+            recorders.append(TextRecorder(sys.stderr))
+    except Exception:
+        for recorder in recorders:
+            recorder.close()
+        raise
+    if not recorders and not getattr(args, "metrics_out", None) and not require:
         return NULL_OBS
     recorder = None
     if len(recorders) == 1:
@@ -162,6 +187,27 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
         "--verbose", "-v", action="store_true",
         help="print each structured event to stderr as it happens",
     )
+
+
+def _add_serve_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--serve", metavar="PORT", type=int, default=None,
+        help="serve /metrics, /healthz and /progress over HTTP on this "
+        "port for the duration of the run (0 = any free port)",
+    )
+
+
+def _start_server(
+    args: argparse.Namespace, obs: Observation, tracker: ProgressTracker | None
+) -> ObsServer | None:
+    """Start the HTTP exporter when ``--serve`` was given."""
+    port = getattr(args, "serve", None)
+    if port is None:
+        return None
+    server = ObsServer(registry=obs.registry, tracker=tracker, port=port)
+    server.start()
+    print(f"serving /metrics /healthz /progress at {server.url}", flush=True)
+    return server
 
 
 # ----------------------------------------------------------------------
@@ -201,18 +247,48 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     """Run one policy over a trace and print the result row."""
     trace = load_any_trace(args.trace)
     policy = build_policy(args.policy, args.capacity)
-    obs = _build_observation(args)
+    serving = args.serve is not None
+    obs = _build_observation(args, require=serving)
+    tracker = None
+    heartbeat = None
+    heartbeat_interval = 0
+    if serving:
+        tracker = ProgressTracker(registry=obs.registry)
+        tracker.register_cells([(0, args.policy, args.capacity)])
+
+        def heartbeat(requests_done: int) -> None:
+            tracker.heartbeat(
+                0,
+                requests=requests_done,
+                hits=policy.hits,
+                hit_ratio=policy.object_hit_ratio,
+                rss_bytes=current_rss_bytes(),
+            )
+
+        heartbeat_interval = 1000
+    server = _start_server(args, obs, tracker)
     try:
-        result = simulate(
-            policy,
-            trace,
-            window_requests=args.window,
-            warmup_requests=args.warmup,
-            obs=obs,
-        )
+        with obs:
+            result = simulate(
+                policy,
+                trace,
+                window_requests=args.window,
+                warmup_requests=args.warmup,
+                obs=obs,
+                heartbeat=heartbeat,
+                heartbeat_interval=heartbeat_interval,
+            )
+            if tracker is not None:
+                tracker.cell_done(
+                    0,
+                    requests=result.requests,
+                    hit_ratio=result.object_hit_ratio,
+                )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
     finally:
+        if server is not None:
+            server.stop()
         _finish_observation(obs, args)
     print(format_table([result]))
     if args.window and result.windows:
@@ -225,20 +301,27 @@ def cmd_compare(args: argparse.Namespace) -> int:
     """Run several policies across several capacities."""
     trace = load_any_trace(args.trace)
     names = [name.strip() for name in args.policies.split(",") if name.strip()]
-    obs = _build_observation(args)
+    serving = args.serve is not None
+    obs = _build_observation(args, require=serving)
+    tracker = ProgressTracker(registry=obs.registry) if serving else None
+    server = _start_server(args, obs, tracker)
     try:
-        results = run_comparison(
-            trace,
-            names,
-            args.capacities,
-            window_requests=args.window,
-            warmup_requests=args.warmup,
-            parallel=args.jobs,
-            obs=obs,
-        )
+        with obs:
+            results = run_comparison(
+                trace,
+                names,
+                args.capacities,
+                window_requests=args.window,
+                warmup_requests=args.warmup,
+                parallel=args.jobs,
+                obs=obs,
+                progress=tracker,
+            )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
     finally:
+        if server is not None:
+            server.stop()
         _finish_observation(obs, args)
     print(format_table(results))
     return 0
@@ -345,6 +428,58 @@ def cmd_prototype(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Replay under the sampling profiler; print the phase/hotspot report."""
+    trace = load_any_trace(args.trace)
+    try:
+        report = profile_simulation(
+            trace,
+            args.policy,
+            args.capacity,
+            window_requests=args.window,
+            warmup_requests=args.warmup,
+            interval_seconds=args.interval_ms / 1000.0,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    if args.collapsed:
+        path = report.write_collapsed(args.collapsed)
+        print(f"wrote collapsed stacks to {path}")
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Regression-check consecutive pairs of telemetry files."""
+    try:
+        tolerance = BaselineTolerance(
+            throughput_drop_pct=args.throughput_tolerance,
+            rss_growth_pct=args.rss_tolerance,
+            hit_ratio_drop=args.hit_ratio_tolerance,
+        )
+        verdicts = compare_files(args.files, tolerance)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.format == "json":
+        print(
+            json.dumps(
+                [verdict.as_dict() for verdict in verdicts],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print("\n\n".join(verdict.render_text() for verdict in verdicts))
+    regressed = any(verdict.regressed for verdict in verdicts)
+    if regressed and args.warn_only:
+        print("warn-only: regression detected but exiting 0", file=sys.stderr)
+        return 0
+    return 1 if regressed else 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -389,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests replayed before metrics start counting",
     )
     _add_observability_flags(sim)
+    _add_serve_flag(sim)
     sim.set_defaults(func=cmd_simulate)
 
     comp = sub.add_parser("compare", help="sweep policies x cache sizes")
@@ -410,6 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests replayed before metrics start counting",
     )
     _add_observability_flags(comp)
+    _add_serve_flag(comp)
     comp.set_defaults(func=cmd_compare)
 
     analyze = sub.add_parser(
@@ -456,6 +593,63 @@ def build_parser() -> argparse.ArgumentParser:
     proto.add_argument("--seed", type=int, default=0)
     _add_observability_flags(proto)
     proto.set_defaults(func=cmd_prototype)
+
+    prof = sub.add_parser(
+        "profile",
+        help="sampling-profile a replay: phase table + collapsed stacks",
+    )
+    prof.add_argument("trace", help="trace file to replay")
+    prof.add_argument("policy", choices=known_policies(), help="policy to profile")
+    prof.add_argument("--capacity", type=parse_size, required=True)
+    prof.add_argument("--window", type=int, default=0, help="per-window series")
+    prof.add_argument(
+        "--warmup", type=int, default=0,
+        help="requests replayed before metrics start counting",
+    )
+    prof.add_argument(
+        "--interval-ms", type=float, default=5.0,
+        help="stack sampling interval in milliseconds",
+    )
+    prof.add_argument(
+        "--collapsed", metavar="PATH", default=None,
+        help="write collapsed-stack output (flamegraph.pl / speedscope) here",
+    )
+    prof.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout report format",
+    )
+    prof.set_defaults(func=cmd_profile)
+
+    bench = sub.add_parser(
+        "bench-compare",
+        help="regression-check repro-bench/1 telemetry files (oldest first)",
+    )
+    bench.add_argument(
+        "files", nargs="+",
+        help="two or more BENCH_*.json files, oldest first; consecutive "
+        "pairs are compared",
+    )
+    bench.add_argument(
+        "--throughput-tolerance", type=float, default=10.0, metavar="PCT",
+        help="max relative throughput drop before REGRESS (default 10%%)",
+    )
+    bench.add_argument(
+        "--rss-tolerance", type=float, default=20.0, metavar="PCT",
+        help="max relative peak-RSS growth before REGRESS (default 20%%)",
+    )
+    bench.add_argument(
+        "--hit-ratio-tolerance", type=float, default=0.01, metavar="ABS",
+        help="max absolute per-cell hit-ratio drop before REGRESS",
+    )
+    bench.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout report format",
+    )
+    bench.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (CI advisory mode)",
+    )
+    bench.set_defaults(func=cmd_bench_compare)
 
     return parser
 

@@ -1,9 +1,20 @@
-"""Observability substrate: metrics registry, structured events, timers.
+"""Observability substrate: metrics registry, structured events, timers,
+plus the live ops surface (HTTP exporter, sampling profiler, benchmark
+regression sentinel).
 
 See ``docs/OBSERVABILITY.md`` for the event catalog, metric naming and
-CLI usage (``--log-json``, ``--metrics-out``, ``--verbose``).
+CLI usage (``--log-json``, ``--metrics-out``, ``--verbose``, ``--serve``,
+``repro profile``, ``repro bench-compare``).
 """
 
+from repro.obs.baseline import (
+    BaselineTolerance,
+    BaselineVerdict,
+    compare_files,
+    compare_payloads,
+    load_telemetry,
+    validate_telemetry,
+)
 from repro.obs.events import (
     EVENT_TYPES,
     FanoutRecorder,
@@ -14,12 +25,12 @@ from repro.obs.events import (
     register_event_type,
 )
 from repro.obs.observation import NULL_OBS, Observation
-from repro.obs.trace import (
-    MISS_CLASSES,
-    DecisionRecord,
-    DecisionTracer,
-    MissTaxonomy,
-    TraceConfig,
+from repro.obs.profile import (
+    PhaseRow,
+    ProfileReport,
+    SamplingProfiler,
+    phase_breakdown,
+    profile_simulation,
 )
 from repro.obs.registry import (
     DEFAULT_TIME_BUCKETS,
@@ -28,9 +39,19 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.server import ObsServer, ProgressTracker, current_rss_bytes
 from repro.obs.timers import NULL_TIMER, ScopedTimer
+from repro.obs.trace import (
+    MISS_CLASSES,
+    DecisionRecord,
+    DecisionTracer,
+    MissTaxonomy,
+    TraceConfig,
+)
 
 __all__ = [
+    "BaselineTolerance",
+    "BaselineVerdict",
     "Counter",
     "DEFAULT_TIME_BUCKETS",
     "DecisionRecord",
@@ -47,9 +68,21 @@ __all__ = [
     "NULL_OBS",
     "NULL_TIMER",
     "NullRecorder",
+    "ObsServer",
     "Observation",
+    "PhaseRow",
+    "ProfileReport",
+    "ProgressTracker",
+    "SamplingProfiler",
     "ScopedTimer",
     "TextRecorder",
     "TraceConfig",
+    "compare_files",
+    "compare_payloads",
+    "current_rss_bytes",
+    "load_telemetry",
+    "phase_breakdown",
+    "profile_simulation",
     "register_event_type",
+    "validate_telemetry",
 ]

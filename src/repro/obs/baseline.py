@@ -1,0 +1,307 @@
+"""Benchmark regression sentinel over ``repro-bench/1`` telemetry.
+
+:mod:`benchmarks.telemetry` writes one normalized ``BENCH_<name>.json``
+per benchmark run; this module is the other half of that trajectory —
+it loads two or more payloads and answers "did we regress?" with
+configurable tolerances:
+
+* **throughput** (``throughput_rps``) — regress when the relative drop
+  exceeds ``throughput_drop_pct`` (throughput is noisy across machines,
+  so the default tolerance is generous);
+* **memory** (``peak_rss_bytes``) — regress when the relative growth
+  exceeds ``rss_growth_pct``;
+* **hit ratios** (per ``policy@capacity`` cell) — regress when any
+  shared cell's object hit ratio drops by more than ``hit_ratio_drop``
+  *absolute* (hit ratios are deterministic for seeded runs, so the
+  default tolerance is tight).
+
+The CLI surface is ``repro bench-compare old.json new.json [...]``;
+with more than two files each consecutive pair is compared so a whole
+committed trajectory can be audited in one call.  CI runs it warn-only
+against ``benchmarks/baselines/`` (see ``.github/workflows/ci.yml``).
+
+This module also owns the ``repro-bench/1`` schema contract
+(:func:`validate_telemetry`); ``benchmarks.telemetry`` re-exports it so
+the emission side and the comparison side can never disagree about what
+a valid payload looks like.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SCHEMA = "repro-bench/1"
+
+#: Required payload keys and the types a valid value may take.
+_REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
+    "schema": (str,),
+    "name": (str,),
+    "scale": (int, float),
+    "seed": (int,),
+    "jobs": (int,),
+    "wall_seconds": (int, float),
+    "requests": (int,),
+    "throughput_rps": (int, float),
+    "peak_rss_bytes": (int,),
+    "hit_ratios": (dict,),
+    "obs_overhead_percent": (int, float, type(None)),
+    "extra": (dict,),
+}
+
+#: Numeric fields that must be finite and non-negative.  A NaN
+#: throughput would sail through every tolerance comparison (NaN
+#: compares false), silently disarming the sentinel — so the schema
+#: rejects it at the door.
+_FINITE_NON_NEGATIVE = (
+    "scale",
+    "wall_seconds",
+    "requests",
+    "throughput_rps",
+    "peak_rss_bytes",
+)
+
+
+def validate_telemetry(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` matches ``repro-bench/1``."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"telemetry payload must be a dict, got {type(payload)}")
+    missing = sorted(set(_REQUIRED_FIELDS) - set(payload))
+    if missing:
+        raise ValueError(f"telemetry payload missing fields: {missing}")
+    for key, kinds in _REQUIRED_FIELDS.items():
+        value = payload[key]
+        if not isinstance(value, kinds) or isinstance(value, bool):
+            raise ValueError(
+                f"telemetry field {key!r} has type {type(value).__name__}, "
+                f"expected one of {[k.__name__ for k in kinds]}"
+            )
+    if payload["schema"] != SCHEMA:
+        raise ValueError(
+            f"unknown telemetry schema {payload['schema']!r}; expected {SCHEMA!r}"
+        )
+    if not payload["name"]:
+        raise ValueError("telemetry name must be non-empty")
+    for key in _FINITE_NON_NEGATIVE:
+        value = payload[key]
+        if not math.isfinite(value):
+            raise ValueError(
+                f"telemetry field {key!r} must be finite, got {value!r}"
+            )
+        if value < 0:
+            raise ValueError(f"telemetry field {key!r} must be non-negative")
+    for cell, ratio in payload["hit_ratios"].items():
+        if not isinstance(cell, str):
+            raise ValueError(f"hit_ratios keys must be strings, got {cell!r}")
+        if not isinstance(ratio, (int, float)) or not 0.0 <= ratio <= 1.0:
+            raise ValueError(
+                f"hit ratio for {cell!r} must be within [0, 1], got {ratio!r}"
+            )
+    overhead = payload["obs_overhead_percent"]
+    if overhead is not None and (not math.isfinite(overhead) or overhead < 0):
+        raise ValueError("obs_overhead_percent must be non-negative or null")
+
+
+def load_telemetry(path: str | Path) -> dict:
+    """Read and schema-validate one ``BENCH_*.json`` file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ValueError(f"telemetry file {path} does not exist") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"telemetry file {path} is not valid JSON: {exc}") from None
+    try:
+        validate_telemetry(payload)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BaselineTolerance:
+    """How much drift a comparison accepts before calling it a regression."""
+
+    throughput_drop_pct: float = 10.0
+    rss_growth_pct: float = 20.0
+    hit_ratio_drop: float = 0.01  # absolute
+
+    def __post_init__(self) -> None:
+        for name in ("throughput_drop_pct", "rss_growth_pct", "hit_ratio_drop"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(f"{name} must be finite and non-negative")
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric: the numbers, the bound, and the verdict."""
+
+    metric: str
+    baseline: float
+    current: float
+    change_pct: float
+    limit_pct: float
+    regressed: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "change_pct": round(self.change_pct, 2),
+            "limit_pct": round(self.limit_pct, 2),
+            "regressed": self.regressed,
+        }
+
+    def describe(self) -> str:
+        verdict = "REGRESS" if self.regressed else "ok"
+        return (
+            f"{self.metric:<28} {self.baseline:>14g} -> {self.current:>14g}  "
+            f"{self.change_pct:>+7.1f}%  (limit {self.limit_pct:.1f}%)  {verdict}"
+        )
+
+
+@dataclass
+class BaselineVerdict:
+    """Outcome of comparing one telemetry payload against a baseline."""
+
+    baseline_name: str
+    current_name: str
+    deltas: list[MetricDelta] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def regressed(self) -> bool:
+        return any(delta.regressed for delta in self.deltas)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [delta for delta in self.deltas if delta.regressed]
+
+    def as_dict(self) -> dict:
+        return {
+            "baseline": self.baseline_name,
+            "current": self.current_name,
+            "verdict": "regress" if self.regressed else "pass",
+            "deltas": [delta.as_dict() for delta in self.deltas],
+            "notes": list(self.notes),
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"bench-compare: {self.baseline_name} (baseline) vs "
+            f"{self.current_name} (current)"
+        ]
+        lines += [f"  {delta.describe()}" for delta in self.deltas]
+        lines += [f"  note: {note}" for note in self.notes]
+        lines.append(
+            f"verdict: {'REGRESS' if self.regressed else 'PASS'}"
+            + (
+                f" ({len(self.regressions)} metric(s) out of tolerance)"
+                if self.regressed
+                else ""
+            )
+        )
+        return "\n".join(lines)
+
+
+def _pct_change(baseline: float, current: float) -> float:
+    if baseline == 0:
+        return 0.0 if current == 0 else math.inf
+    return 100.0 * (current - baseline) / baseline
+
+
+def compare_payloads(
+    baseline: dict,
+    current: dict,
+    tolerance: BaselineTolerance | None = None,
+) -> BaselineVerdict:
+    """Compare two schema-valid telemetry payloads; never raises on
+    honest drift — only on malformed input."""
+    validate_telemetry(baseline)
+    validate_telemetry(current)
+    tol = tolerance or BaselineTolerance()
+    verdict = BaselineVerdict(
+        baseline_name=baseline["name"], current_name=current["name"]
+    )
+    if baseline["name"] != current["name"]:
+        verdict.notes.append(
+            f"comparing different benchmarks ({baseline['name']!r} vs "
+            f"{current['name']!r}); numbers may not be commensurable"
+        )
+    for key in ("scale", "seed"):
+        if baseline[key] != current[key]:
+            verdict.notes.append(
+                f"{key} differs ({baseline[key]!r} vs {current[key]!r})"
+            )
+
+    change = _pct_change(baseline["throughput_rps"], current["throughput_rps"])
+    verdict.deltas.append(
+        MetricDelta(
+            metric="throughput_rps",
+            baseline=baseline["throughput_rps"],
+            current=current["throughput_rps"],
+            change_pct=change,
+            limit_pct=-tol.throughput_drop_pct,
+            regressed=change < -tol.throughput_drop_pct,
+        )
+    )
+    change = _pct_change(baseline["peak_rss_bytes"], current["peak_rss_bytes"])
+    verdict.deltas.append(
+        MetricDelta(
+            metric="peak_rss_bytes",
+            baseline=baseline["peak_rss_bytes"],
+            current=current["peak_rss_bytes"],
+            change_pct=change,
+            limit_pct=tol.rss_growth_pct,
+            regressed=change > tol.rss_growth_pct,
+        )
+    )
+    base_cells = baseline["hit_ratios"]
+    curr_cells = current["hit_ratios"]
+    for cell in sorted(set(base_cells) & set(curr_cells)):
+        drop = base_cells[cell] - curr_cells[cell]
+        verdict.deltas.append(
+            MetricDelta(
+                metric=f"hit_ratio[{cell}]",
+                baseline=base_cells[cell],
+                current=curr_cells[cell],
+                change_pct=_pct_change(base_cells[cell], curr_cells[cell]),
+                limit_pct=-100.0 * tol.hit_ratio_drop,
+                regressed=drop > tol.hit_ratio_drop,
+            )
+        )
+    only_base = sorted(set(base_cells) - set(curr_cells))
+    only_curr = sorted(set(curr_cells) - set(base_cells))
+    if only_base:
+        verdict.notes.append(f"cells only in baseline: {', '.join(only_base)}")
+    if only_curr:
+        verdict.notes.append(f"cells only in current: {', '.join(only_curr)}")
+    return verdict
+
+
+def compare_files(
+    paths,
+    tolerance: BaselineTolerance | None = None,
+) -> list[BaselineVerdict]:
+    """Compare consecutive pairs of ``paths`` (oldest first).
+
+    Two files produce one verdict; N files produce N-1 verdicts — a
+    whole committed trajectory audited oldest→newest in one call.
+    """
+    paths = [Path(p) for p in paths]
+    if len(paths) < 2:
+        raise ValueError("bench-compare needs at least two telemetry files")
+    payloads = [load_telemetry(path) for path in paths]
+    return [
+        compare_payloads(older, newer, tolerance)
+        for older, newer in zip(payloads, payloads[1:])
+    ]

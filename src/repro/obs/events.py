@@ -15,6 +15,8 @@ The catalog (see ``docs/OBSERVABILITY.md`` for field-level details):
 * ``lhr.threshold_update`` — the admission threshold was re-estimated.
 * ``sweep.cell_start`` / ``sweep.cell_done`` / ``sweep.cell_failed`` —
   lifecycle of one (policy, capacity) sweep cell.
+* ``sweep.cell_stalled`` — a running cell went silent past the stall
+  timeout (only emitted when a progress tracker monitors the sweep).
 * ``policy.eviction_pressure`` — a single admission forced an unusually
   long eviction burst.
 """
@@ -35,6 +37,7 @@ EVENT_TYPES: set[str] = {
     "sweep.cell_start",
     "sweep.cell_done",
     "sweep.cell_failed",
+    "sweep.cell_stalled",
     "policy.eviction_pressure",
 }
 
@@ -54,6 +57,10 @@ class NullRecorder:
 
     ``enabled`` is False so instrumentation sites can skip building the
     event payload entirely — the disabled path costs one attribute check.
+
+    Every recorder is a context manager: ``__exit__`` closes, and close
+    implies flush, so an exception mid-run can never truncate an event
+    log held open by a recorder used via ``with``.
     """
 
     enabled = False
@@ -61,8 +68,17 @@ class NullRecorder:
     def emit(self, event: str, **fields) -> None:
         pass
 
+    def flush(self) -> None:
+        pass
+
     def close(self) -> None:
         pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class MemoryRecorder(NullRecorder):
@@ -120,16 +136,14 @@ class JsonlRecorder(NullRecorder):
             json.dumps(record, sort_keys=False, default=_json_default) + "\n"
         )
 
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
     def close(self) -> None:
         if self._file is not None:
             self._file.close()
             self._file = None
-
-    def __enter__(self) -> "JsonlRecorder":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
 
 
 class TextRecorder(NullRecorder):
@@ -146,6 +160,14 @@ class TextRecorder(NullRecorder):
         parts = " ".join(f"{k}={_compact(v)}" for k, v in fields.items())
         self._stream.write(f"[{event}] {parts}\n")
 
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        # The stream (typically stderr) is borrowed, not owned: flush it
+        # so buffered events survive, but never close it.
+        self._stream.flush()
+
 
 def _compact(value) -> str:
     if isinstance(value, float):
@@ -154,17 +176,35 @@ def _compact(value) -> str:
 
 
 class FanoutRecorder(NullRecorder):
-    """Broadcasts each event to several recorders (e.g. JSONL + verbose)."""
+    """Broadcasts each event to several recorders (e.g. JSONL + verbose).
+
+    One failing sink never starves the others: every recorder receives
+    the event (or the close/flush) before the first exception is
+    re-raised, so a crashing verbose stream cannot truncate the JSONL
+    log sharing its fanout.
+    """
 
     enabled = True
 
     def __init__(self, *recorders):
         self.recorders = [r for r in recorders if r is not None]
 
-    def emit(self, event: str, **fields) -> None:
+    def _broadcast(self, method: str, *args, **kwargs) -> None:
+        error: BaseException | None = None
         for recorder in self.recorders:
-            recorder.emit(event, **fields)
+            try:
+                getattr(recorder, method)(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 — deliver to all first
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+
+    def emit(self, event: str, **fields) -> None:
+        self._broadcast("emit", event, **fields)
+
+    def flush(self) -> None:
+        self._broadcast("flush")
 
     def close(self) -> None:
-        for recorder in self.recorders:
-            recorder.close()
+        self._broadcast("close")

@@ -48,8 +48,17 @@ class Observation:
         """A scoped timer aggregating into histogram ``name``."""
         return ScopedTimer(self.registry.histogram(name, help=help, buckets=buckets))
 
+    def flush(self) -> None:
+        self.recorder.flush()
+
     def close(self) -> None:
         self.recorder.close()
+
+    def __enter__(self) -> "Observation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class _NullObservation(Observation):

@@ -1,0 +1,320 @@
+"""Sampling profiler and per-phase cost attribution.
+
+Two complementary answers to "where does a multi-hour replay spend its
+time":
+
+* :class:`SamplingProfiler` — a thread-based statistical profiler that
+  periodically snapshots the target thread's stack via
+  ``sys._current_frames()`` and aggregates identical stacks.  Output is
+  the collapsed-stack format flamegraph tooling consumes
+  (``frame;frame;frame count`` per line).  A sampler thread is used
+  instead of ``signal.setitimer`` because signals only deliver to the
+  main thread and would collide with libraries that install their own
+  handlers; the GIL makes a cross-thread frame snapshot consistent
+  enough for statistical profiling.
+* :func:`phase_breakdown` — exact per-phase accounting from the
+  :class:`~repro.obs.timers.ScopedTimer` histograms the instrumented
+  hot paths already populate (``lhr_train_seconds``,
+  ``lhr_predict_seconds``, ``hro_rank_seconds``, ...), rendered as a
+  wall-time share table next to the process RSS.
+
+``repro profile <trace> <policy>`` (see :func:`profile_simulation`)
+combines both: it replays the trace under an enabled observation plus a
+sampler and reports the phase table and a collapsed-stack file.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.observation import Observation
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.server import current_rss_bytes
+
+#: Human-readable phase names for the histograms the subsystems time.
+#: Anything else ending in ``_seconds`` is reported under its raw name.
+PHASE_NAMES = {
+    "sim_replay_seconds": "replay loop (total)",
+    "lhr_train_seconds": "GBM training",
+    "lhr_predict_seconds": "GBM inference",
+    "hro_rank_seconds": "hazard re-ranking",
+    "policy_evictions_per_admission": None,  # count histogram, not a phase
+}
+
+
+class SamplingProfiler:
+    """Statistical profiler sampling one thread's stack at an interval.
+
+    Use as a context manager around the code to profile; the profiled
+    thread is the one that entered the context (override with
+    ``target_ident``).  ``samples`` maps root→leaf stack tuples to the
+    number of times they were observed.
+    """
+
+    def __init__(
+        self,
+        interval_seconds: float = 0.005,
+        target_ident: int | None = None,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        self.interval_seconds = interval_seconds
+        self.samples: Counter[tuple[str, ...]] = Counter()
+        self._target_ident = target_ident
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        if self._target_ident is None:
+            self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._sample_loop, name="repro-obs-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def _sample_loop(self) -> None:
+        target = self._target_ident
+        while not self._stop.wait(self.interval_seconds):
+            frame = sys._current_frames().get(target)
+            if frame is None:  # target thread exited
+                return
+            stack: list[str] = []
+            while frame is not None:
+                stack.append(_format_frame(frame))
+                frame = frame.f_back
+            self.samples[tuple(reversed(stack))] += 1
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    @property
+    def sample_count(self) -> int:
+        return sum(self.samples.values())
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text (``a;b;c 42`` per line, flamegraph.pl
+        and speedscope compatible), heaviest stacks first."""
+        lines = [
+            f"{';'.join(stack)} {count}"
+            for stack, count in sorted(
+                self.samples.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_collapsed(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.collapsed())
+        return path
+
+    def hottest(self, top: int = 10) -> list[tuple[str, int]]:
+        """Leaf frames ranked by inclusive sample count."""
+        leaves: Counter[str] = Counter()
+        for stack, count in self.samples.items():
+            leaves[stack[-1]] += count
+        return leaves.most_common(top)
+
+
+def _format_frame(frame) -> str:
+    code = frame.f_code
+    module = Path(code.co_filename).stem
+    return f"{module}.{code.co_name}"
+
+
+# ----------------------------------------------------------------------
+# Phase attribution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhaseRow:
+    """One phase's exact cost, from its scoped-timer histogram."""
+
+    phase: str
+    metric: str
+    calls: int
+    total_seconds: float
+    mean_seconds: float
+    wall_share: float  # fraction of the run's wall time
+
+    def as_dict(self) -> dict:
+        return {
+            "phase": self.phase,
+            "metric": self.metric,
+            "calls": self.calls,
+            "total_seconds": round(self.total_seconds, 6),
+            "mean_seconds": round(self.mean_seconds, 9),
+            "wall_share": round(self.wall_share, 4),
+        }
+
+
+def phase_breakdown(
+    registry: MetricsRegistry, wall_seconds: float
+) -> list[PhaseRow]:
+    """Per-phase wall-time rows from every ``*_seconds`` histogram.
+
+    Phases nest (GBM training happens *inside* the replay loop), so the
+    shares are not meant to sum to 100% — the replay-loop row is the
+    envelope and the inner rows attribute slices of it.
+    """
+    rows: list[PhaseRow] = []
+    for name in registry.names():
+        if not name.endswith("_seconds"):
+            continue
+        metric = registry.get(name)
+        if not isinstance(metric, Histogram) or metric.count == 0:
+            continue
+        if name in PHASE_NAMES and PHASE_NAMES[name] is None:
+            continue
+        rows.append(
+            PhaseRow(
+                phase=PHASE_NAMES.get(name) or name,
+                metric=name,
+                calls=metric.count,
+                total_seconds=metric.sum,
+                mean_seconds=metric.sum / metric.count,
+                wall_share=(metric.sum / wall_seconds) if wall_seconds else 0.0,
+            )
+        )
+    rows.sort(key=lambda row: -row.total_seconds)
+    return rows
+
+
+@dataclass
+class ProfileReport:
+    """Everything ``repro profile`` prints or writes for one run."""
+
+    policy: str
+    trace: str
+    capacity: int
+    wall_seconds: float
+    rss_bytes: int
+    requests: int
+    hit_ratio: float
+    phases: list[PhaseRow] = field(default_factory=list)
+    profiler: SamplingProfiler | None = None
+
+    @property
+    def sample_count(self) -> int:
+        return self.profiler.sample_count if self.profiler else 0
+
+    def write_collapsed(self, path: str | Path) -> Path:
+        if self.profiler is None:
+            raise ValueError("report has no attached profiler")
+        return self.profiler.write_collapsed(path)
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "trace": self.trace,
+            "capacity": self.capacity,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "rss_bytes": self.rss_bytes,
+            "requests": self.requests,
+            "hit_ratio": round(self.hit_ratio, 6),
+            "samples": self.sample_count,
+            "phases": [row.as_dict() for row in self.phases],
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"profile: {self.policy} on {self.trace!r} "
+            f"(capacity {self.capacity} bytes)",
+            f"wall {self.wall_seconds:.3f}s  "
+            f"{self.requests / self.wall_seconds if self.wall_seconds else 0.0:,.0f} req/s  "
+            f"hit ratio {self.hit_ratio:.4f}  "
+            f"rss {self.rss_bytes / (1 << 20):.1f} MB  "
+            f"{self.sample_count} stack samples",
+            "",
+            f"{'phase':<26}{'calls':>10}{'total_s':>12}{'mean_us':>12}{'% wall':>9}",
+        ]
+        for row in self.phases:
+            lines.append(
+                f"{row.phase:<26}{row.calls:>10}"
+                f"{row.total_seconds:>12.4f}"
+                f"{row.mean_seconds * 1e6:>12.1f}"
+                f"{100 * row.wall_share:>8.1f}%"
+            )
+        if not self.phases:
+            lines.append("(no timed phases — did the run enable observation?)")
+        if self.profiler and self.profiler.samples:
+            lines.append("")
+            lines.append("hottest frames (inclusive samples):")
+            for frame, count in self.profiler.hottest(5):
+                share = 100 * count / self.sample_count
+                lines.append(f"  {frame:<40} {count:>6}  {share:5.1f}%")
+        return "\n".join(lines)
+
+
+def profile_simulation(
+    trace,
+    policy_name: str,
+    capacity: int,
+    window_requests: int = 0,
+    warmup_requests: int = 0,
+    interval_seconds: float = 0.005,
+    policy_kwargs: dict | None = None,
+) -> ProfileReport:
+    """Replay ``trace`` through ``policy_name`` under the sampler and an
+    enabled observation; return the combined :class:`ProfileReport`.
+    """
+    # Imported here: repro.sim imports repro.obs at module load, so a
+    # top-level import would be circular.
+    from repro.sim.engine import simulate
+    from repro.sim.runner import build_policy
+
+    policy = build_policy(policy_name, capacity, **(policy_kwargs or {}))
+    obs = Observation()
+    profiler = SamplingProfiler(interval_seconds=interval_seconds)
+    start = time.perf_counter()
+    with profiler:
+        result = simulate(
+            policy,
+            trace,
+            window_requests=window_requests,
+            warmup_requests=warmup_requests,
+            obs=obs,
+        )
+    wall = time.perf_counter() - start
+    return ProfileReport(
+        policy=result.policy,
+        trace=trace.name,
+        capacity=capacity,
+        wall_seconds=wall,
+        rss_bytes=current_rss_bytes(),
+        requests=result.requests,
+        hit_ratio=result.object_hit_ratio,
+        phases=phase_breakdown(obs.registry, wall),
+        profiler=profiler,
+    )

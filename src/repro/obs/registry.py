@@ -226,6 +226,11 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get_or_create(name, Histogram, help=help, buckets=buckets)
 
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The registered metric named ``name``, or None — unlike the
+        typed accessors this never creates and never type-checks."""
+        return self._metrics.get(name)
+
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 

@@ -1,0 +1,395 @@
+"""Live ops surface: HTTP exporter and sweep progress aggregation.
+
+A multi-hour ``run_sweep`` used to be a black box until it printed its
+final table.  This module makes long runs scrapable while they run:
+
+* :class:`ProgressTracker` — the thread-safe aggregation point for sweep
+  heartbeats (cell id, requests replayed, current hit ratio, worker RSS)
+  posted by :mod:`repro.sim.parallel` workers.  It mirrors the headline
+  numbers into a :class:`~repro.obs.registry.MetricsRegistry` and detects
+  stalled cells (no heartbeat for N seconds).
+* :class:`ObsServer` — a stdlib ``http.server`` exporter serving
+
+  - ``/metrics``  — Prometheus text exposition of the registry,
+  - ``/healthz``  — liveness JSON (status, uptime, pid),
+  - ``/progress`` — sweep progress JSON (cells done/running/failed,
+    requests/sec, ETA).
+
+  Enabled from the CLI via ``--serve PORT`` on ``simulate``/``compare``.
+
+The server renders snapshots without locking the hot path: counters and
+histograms are only ever appended to, so a scrape races at worst into a
+metrically-consistent-but-slightly-stale view — acceptable for
+monitoring, and the price of keeping the replay loop lock-free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.registry import MetricsRegistry
+
+
+def current_rss_bytes() -> int:
+    """Current resident set size of this process, in bytes.
+
+    Reads ``/proc/self/statm`` where available (Linux); falls back to the
+    ``getrusage`` peak (macOS and others) — a peak is still a usable
+    memory signal for heartbeats, just a monotone one.
+    """
+    try:
+        with open("/proc/self/statm") as handle:
+            return int(handle.read().split()[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(peak if sys.platform == "darwin" else peak * 1024)
+
+
+#: Cell lifecycle states, in the order they normally progress.
+CELL_STATES = ("pending", "running", "done", "failed")
+
+
+@dataclass
+class CellProgress:
+    """Live view of one sweep cell, updated by heartbeats."""
+
+    index: int
+    policy: str
+    capacity: int
+    state: str = "pending"
+    requests: int = 0
+    hits: int = 0
+    hit_ratio: float = 0.0
+    rss_bytes: int = 0
+    error: str = ""
+    #: Monotonic time of the last heartbeat (None until the first one).
+    last_heartbeat: float | None = None
+    #: Whether the current heartbeat gap has already been reported.
+    stalled: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "cell": self.index,
+            "policy": self.policy,
+            "capacity": self.capacity,
+            "state": self.state,
+            "requests": self.requests,
+            "hits": self.hits,
+            "hit_ratio": round(self.hit_ratio, 6),
+            "rss_bytes": self.rss_bytes,
+            "stalled": self.stalled,
+            **({"error": self.error} if self.error else {}),
+        }
+
+
+@dataclass
+class StalledCell:
+    """One stall observation: the cell plus how long it has been silent."""
+
+    cell: CellProgress
+    seconds_since_heartbeat: float = field(default=0.0)
+
+
+class ProgressTracker:
+    """Thread-safe sweep progress aggregation behind ``/progress``.
+
+    The parallel driver registers the grid up front, workers post
+    heartbeats (through the driver's drainer thread), and the driver
+    marks cells done/failed as their futures resolve.  Everything is
+    safe to call from any thread; ``snapshot`` is what the HTTP server
+    serves.
+
+    When a ``registry`` is supplied the headline numbers are mirrored
+    into it (``sweep_cells_done``, ``sweep_requests_replayed``,
+    ``sweep_requests_per_second``, ``sweep_peak_worker_rss_bytes``,
+    ``sweep_stalls_total``) so ``/metrics`` tells the same story as
+    ``/progress``.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._cells: dict[int, CellProgress] = {}
+        self._started_at = clock()
+        self.registry = registry
+
+    # ------------------------------------------------------------------
+    # Producers (driver + drainer thread)
+    # ------------------------------------------------------------------
+
+    def register_cells(self, cells) -> None:
+        """Declare the grid: an iterable of ``(index, policy, capacity)``."""
+        with self._lock:
+            for index, policy, capacity in cells:
+                self._cells[int(index)] = CellProgress(
+                    index=int(index), policy=str(policy), capacity=int(capacity)
+                )
+            self._mirror_locked()
+
+    def heartbeat(
+        self,
+        cell: int,
+        requests: int = 0,
+        hits: int = 0,
+        hit_ratio: float = 0.0,
+        rss_bytes: int = 0,
+    ) -> None:
+        """Record one worker heartbeat for ``cell``."""
+        with self._lock:
+            progress = self._cells.get(cell)
+            if progress is None:  # unregistered cell: ignore, don't crash
+                return
+            if progress.state == "pending":
+                progress.state = "running"
+            progress.requests = max(progress.requests, int(requests))
+            progress.hits = int(hits)
+            progress.hit_ratio = float(hit_ratio)
+            progress.rss_bytes = int(rss_bytes)
+            progress.last_heartbeat = self._clock()
+            progress.stalled = False
+            self._mirror_locked()
+
+    def cell_done(
+        self, cell: int, requests: int = 0, hit_ratio: float = 0.0
+    ) -> None:
+        with self._lock:
+            progress = self._cells.get(cell)
+            if progress is None:
+                return
+            progress.state = "done"
+            progress.stalled = False
+            if requests:
+                progress.requests = max(progress.requests, int(requests))
+            if hit_ratio:
+                progress.hit_ratio = float(hit_ratio)
+            self._mirror_locked()
+
+    def cell_failed(self, cell: int, error: str = "") -> None:
+        with self._lock:
+            progress = self._cells.get(cell)
+            if progress is None:
+                return
+            progress.state = "failed"
+            progress.stalled = False
+            progress.error = str(error)
+            self._mirror_locked()
+
+    def stalled_cells(self, timeout_seconds: float) -> list[StalledCell]:
+        """Running cells silent for longer than ``timeout_seconds``.
+
+        Each stall is reported once; a subsequent heartbeat clears the
+        flag so a cell that recovers and stalls again is re-reported.
+        """
+        if timeout_seconds <= 0:
+            return []
+        stalled: list[StalledCell] = []
+        with self._lock:
+            now = self._clock()
+            for progress in self._cells.values():
+                if progress.state != "running" or progress.stalled:
+                    continue
+                if progress.last_heartbeat is None:
+                    continue
+                silent = now - progress.last_heartbeat
+                if silent > timeout_seconds:
+                    progress.stalled = True
+                    stalled.append(
+                        StalledCell(cell=progress, seconds_since_heartbeat=silent)
+                    )
+            if stalled and self.registry is not None:
+                self.registry.counter(
+                    "sweep_stalls_total",
+                    help="sweep cells that went silent past the stall timeout",
+                ).inc(len(stalled))
+        return stalled
+
+    # ------------------------------------------------------------------
+    # Consumers (/progress, /metrics)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The ``/progress`` payload: per-cell state plus headline rates."""
+        with self._lock:
+            now = self._clock()
+            elapsed = max(now - self._started_at, 1e-9)
+            cells = [
+                self._cells[index].as_dict() for index in sorted(self._cells)
+            ]
+            counts = {state: 0 for state in CELL_STATES}
+            for cell in self._cells.values():
+                counts[cell.state] += 1
+            replayed = sum(c.requests for c in self._cells.values())
+            done = counts["done"] + counts["failed"]
+            remaining = counts["pending"] + counts["running"]
+            eta = round(remaining / (done / elapsed), 1) if done else None
+            return {
+                "cells": cells,
+                "cells_total": len(self._cells),
+                "cells_done": counts["done"],
+                "cells_running": counts["running"],
+                "cells_failed": counts["failed"],
+                "cells_pending": counts["pending"],
+                "requests_replayed": replayed,
+                "requests_per_second": round(replayed / elapsed, 1),
+                "elapsed_seconds": round(elapsed, 3),
+                "eta_seconds": eta,
+            }
+
+    def _mirror_locked(self) -> None:
+        """Mirror headline numbers into the registry (lock already held)."""
+        if self.registry is None:
+            return
+        counts = {state: 0 for state in CELL_STATES}
+        replayed = 0
+        peak_rss = 0
+        for cell in self._cells.values():
+            counts[cell.state] += 1
+            replayed += cell.requests
+            peak_rss = max(peak_rss, cell.rss_bytes)
+        registry = self.registry
+        registry.gauge(
+            "sweep_cells_total", help="sweep cells registered"
+        ).set(len(self._cells))
+        for state in ("done", "running", "failed", "pending"):
+            registry.gauge(
+                f"sweep_cells_{state}", help=f"sweep cells currently {state}"
+            ).set(counts[state])
+        registry.gauge(
+            "sweep_requests_replayed",
+            help="requests replayed across all cells (heartbeat view)",
+        ).set(replayed)
+        elapsed = max(self._clock() - self._started_at, 1e-9)
+        registry.gauge(
+            "sweep_requests_per_second",
+            help="aggregate replay rate since the sweep started",
+        ).set(round(replayed / elapsed, 1))
+        if peak_rss:
+            registry.gauge(
+                "sweep_peak_worker_rss_bytes",
+                help="largest worker RSS seen in a heartbeat",
+            ).max(peak_rss)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler reading shared state off the server object."""
+
+    server_version = "repro-obs/1"
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path in ("/", "/healthz"):
+            self._send_json(
+                {
+                    "status": "ok",
+                    "uptime_seconds": round(
+                        time.monotonic() - self.server.obs_started, 3
+                    ),
+                    "pid": os.getpid(),
+                    "endpoints": ["/metrics", "/healthz", "/progress"],
+                }
+            )
+        elif path == "/metrics":
+            registry = self.server.obs_registry
+            text = registry.to_prometheus() if registry is not None else "\n"
+            body = text.encode()
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path == "/progress":
+            tracker = self.server.obs_tracker
+            self._send_json(
+                tracker.snapshot()
+                if tracker is not None
+                else {"cells": [], "cells_total": 0}
+            )
+        else:
+            self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # silence per-request stderr noise
+        pass
+
+
+class ObsServer:
+    """Background HTTP exporter for live scraping of a run.
+
+    ``port=0`` binds an ephemeral port (tests, and "any free port" CLI
+    use); the bound port is available as :attr:`port` after
+    :meth:`start`.  The serving thread is a daemon, so a crashed run
+    never hangs on its exporter.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracker: ProgressTracker | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.tracker = tracker
+        self.host = host
+        self.port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "ObsServer":
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        server = ThreadingHTTPServer((self.host, self.port), _Handler)
+        server.daemon_threads = True
+        server.obs_registry = self.registry
+        server.obs_tracker = self.tracker
+        server.obs_started = time.monotonic()
+        self._server = server
+        self.port = server.server_address[1]
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "ObsServer":
+        return self.start() if self._server is None else self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

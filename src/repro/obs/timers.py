@@ -16,22 +16,29 @@ from repro.obs.registry import Histogram
 
 
 class ScopedTimer:
-    """Context manager timing one block into a histogram."""
+    """Context manager timing one block into a histogram.
 
-    __slots__ = ("_histogram", "_start", "last_seconds")
+    Re-entrant: nested ``with`` on the same instance keeps a stack of
+    start times, so a recursive phase records one observation per entry
+    instead of the inner entry clobbering the outer one's start.
+    """
+
+    __slots__ = ("_histogram", "_starts", "last_seconds")
 
     def __init__(self, histogram: Histogram):
         self._histogram = histogram
-        self._start = 0.0
+        self._starts: list[float] = []
         #: Duration of the most recent completed block.
         self.last_seconds = 0.0
 
     def __enter__(self) -> "ScopedTimer":
-        self._start = time.perf_counter()
+        self._starts.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc) -> None:
-        self.last_seconds = time.perf_counter() - self._start
+        if not self._starts:
+            raise RuntimeError("ScopedTimer exited more times than entered")
+        self.last_seconds = time.perf_counter() - self._starts.pop()
         self._histogram.observe(self.last_seconds)
 
 

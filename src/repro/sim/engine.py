@@ -31,6 +31,8 @@ def simulate(
     metadata_probe_interval: int = 1000,
     obs: Observation = NULL_OBS,
     tracer: DecisionTracer | None = None,
+    heartbeat=None,
+    heartbeat_interval: int = 0,
 ) -> SimulationResult:
     """Run ``policy`` over ``trace``.
 
@@ -64,11 +66,21 @@ def simulate(
         policy for the replay — every request's admission verdict, its
         inputs and eviction victims are recorded, and the tracer's miss
         taxonomy covers the whole trace (warmup included).
+    heartbeat / heartbeat_interval:
+        When ``heartbeat_interval > 0``, call ``heartbeat(requests_done)``
+        every that many replayed requests — the hook live progress rides
+        on (sweep worker heartbeats, the CLI's ``--serve`` progress).
+        Disabled (interval 0) the loop carries only a falsy-int check,
+        same cost class as the window rollover guard.
     """
     if warmup_requests < 0:
         raise ValueError("warmup_requests must be non-negative")
     if window_requests < 0:
         raise ValueError("window_requests must be non-negative")
+    if heartbeat_interval < 0:
+        raise ValueError("heartbeat_interval must be non-negative")
+    if heartbeat_interval and heartbeat is None:
+        raise ValueError("heartbeat_interval set without a heartbeat callable")
     if warmup_requests and warmup_requests >= len(trace):
         raise ValueError(
             f"warmup_requests ({warmup_requests}) must be smaller than the "
@@ -86,6 +98,8 @@ def simulate(
         metadata_probe_interval=metadata_probe_interval,
         obs=obs,
         tracer=tracer,
+        heartbeat=heartbeat,
+        heartbeat_interval=heartbeat_interval,
     )
     return result
 
@@ -111,6 +125,8 @@ def replay_into(
     metadata_probe_interval: int = 1000,
     obs: Observation = NULL_OBS,
     tracer: DecisionTracer | None = None,
+    heartbeat=None,
+    heartbeat_interval: int = 0,
 ) -> SimulationResult:
     """The inner replay loop: feed ``trace`` through ``policy`` and
     accumulate into ``result``.
@@ -151,6 +167,8 @@ def replay_into(
                 window.hit_bytes += req.size
         if metadata_probe_interval and i % metadata_probe_interval == 0:
             peak_metadata = max(peak_metadata, policy.metadata_bytes())
+        if heartbeat_interval and (i + 1) % heartbeat_interval == 0:
+            heartbeat(i + 1)
     result.runtime_seconds = time.perf_counter() - start
     result.peak_metadata_bytes = max(peak_metadata, policy.metadata_bytes())
     result.evictions = policy.evictions

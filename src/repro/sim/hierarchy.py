@@ -20,6 +20,7 @@ statistics are exposed for deeper analysis.
 
 from __future__ import annotations
 
+from repro.obs import Observation
 from repro.policies.base import CachePolicy
 from repro.traces.request import Request
 
@@ -104,6 +105,13 @@ class TieredCache(CachePolicy):
 
     def metadata_bytes(self) -> int:
         return self.l1.metadata_bytes() + self.l2.metadata_bytes()
+
+    def attach_observation(self, obs: Observation) -> None:
+        """Propagate the handle into both levels, so an LHR at either
+        level keeps emitting its lifecycle events under the hierarchy."""
+        super().attach_observation(obs)
+        self.l1.attach_observation(obs)
+        self.l2.attach_observation(obs)
 
     def level_report(self) -> dict:
         """Per-level accounting for hierarchy studies."""

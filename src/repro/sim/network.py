@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import NULL_OBS, Observation
 from repro.policies.base import CachePolicy
 from repro.traces.request import Trace
 from repro.util.stats import PercentileTracker, RunningStats
@@ -85,18 +86,34 @@ def measure_latency(
     trace: Trace,
     model: NetworkModel | None = None,
     compute_overhead_s: float = 0.0,
+    obs: Observation = NULL_OBS,
 ) -> LatencyReport:
     """Run ``policy`` over ``trace`` and compute the Table 3 statistics.
 
     ``compute_overhead_s`` is a fixed per-request policy compute cost; the
     benchmark harness measures it from the policy's actual wall time and
     passes it in so learning-based policies pay for their inference.
+
+    When ``obs`` is enabled it is attached to the policy, every modeled
+    request latency lands in the ``net_request_latency_seconds``
+    histogram, and the run's totals (bytes served, modeled busy time,
+    throughput) are recorded — so a latency study is as observable as a
+    plain replay.  The default disabled handle adds nothing to the loop
+    beyond the histogram lookup being hoisted out of it.
     """
     network = model or NetworkModel()
     latencies = RunningStats()
     percentiles = PercentileTracker(capacity=16_384)
     served_bytes = 0
     busy_seconds = 0.0
+    observing = obs.enabled
+    latency_histogram = None
+    if observing:
+        policy.attach_observation(obs)
+        latency_histogram = obs.registry.histogram(
+            "net_request_latency_seconds",
+            help="modeled first-chunk latency per request",
+        )
     for req in trace:
         hit = policy.request(req)
         if hit:
@@ -106,6 +123,8 @@ def measure_latency(
         latency += compute_overhead_s
         latencies.add(latency)
         percentiles.add(latency)
+        if latency_histogram is not None:
+            latency_histogram.observe(latency)
         served_bytes += req.size
         # Busy time counts the *full* transfers (latency only counts the
         # first chunk): every byte crosses the edge link, and miss bytes
@@ -115,6 +134,17 @@ def measure_latency(
             busy_seconds += req.size / (network.wan_rate_bps / 8.0)
         busy_seconds += compute_overhead_s
     throughput_bps = served_bytes * 8.0 / busy_seconds if busy_seconds else 0.0
+    if observing:
+        registry = obs.registry
+        registry.counter(
+            "net_bytes_served_total", help="bytes delivered to users"
+        ).inc(served_bytes)
+        registry.counter(
+            "net_requests_total", help="requests run through the network model"
+        ).inc(len(trace))
+        registry.gauge(
+            "net_throughput_gbps", help="modeled delivered throughput"
+        ).set(throughput_bps / 1e9)
     return LatencyReport(
         policy=policy.name,
         trace=trace.name,

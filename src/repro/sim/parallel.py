@@ -17,10 +17,21 @@ worker processes.  Design constraints, in order:
   (policy name, capacity and full traceback) and reported after every
   sibling cell has finished; one bad cell never hangs the pool or
   corrupts the others' results.
+* **Live progress (opt-in)** — given a
+  :class:`~repro.obs.server.ProgressTracker`, workers post periodic
+  heartbeats (cell id, requests replayed, running hit ratio, RSS) over a
+  manager queue; the driver drains them into the tracker (and through it
+  the metrics registry behind ``--serve``'s ``/progress`` and
+  ``/metrics``) and emits a ``sweep.cell_stalled`` event when a running
+  cell goes silent past the stall timeout.  With no tracker the sweep
+  runs exactly the seed code path: no queue, no threads, no events.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import queue as queue_module
+import threading
 import traceback
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -30,10 +41,17 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.obs import NULL_OBS, MemoryRecorder, MetricsRegistry, Observation
+from repro.obs.server import ProgressTracker, current_rss_bytes
 from repro.obs.trace import TraceConfig
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult, grid_order
 from repro.traces.request import Request, Trace
+
+#: Default worker heartbeat cadence, in replayed requests per cell.
+DEFAULT_HEARTBEAT_INTERVAL = 1000
+
+#: Default seconds of worker silence before a cell is reported stalled.
+DEFAULT_STALL_TIMEOUT = 30.0
 
 
 @dataclass(frozen=True)
@@ -159,10 +177,15 @@ class SweepCellError(RuntimeError):
 #: (or pointed at the caller's trace directly for in-process execution).
 _WORKER_TRACE: Trace | None = None
 
+#: The heartbeat queue (a manager-queue proxy), installed alongside the
+#: trace when the driver monitors progress; None otherwise.
+_WORKER_HEARTBEAT_QUEUE = None
 
-def _init_worker(packed: PackedTrace) -> None:
-    global _WORKER_TRACE
+
+def _init_worker(packed: PackedTrace, heartbeat_queue=None) -> None:
+    global _WORKER_TRACE, _WORKER_HEARTBEAT_QUEUE
     _WORKER_TRACE = packed.unpack()
+    _WORKER_HEARTBEAT_QUEUE = heartbeat_queue
 
 
 #: One worker cell's outcome: ``(index, result, failure, events, registry)``.
@@ -176,12 +199,49 @@ CellOutcome = tuple[
 ]
 
 
+def _heartbeat_for(spec: CellSpec, policy, interval: int, sink):
+    """Build the engine heartbeat callback for one cell, or None.
+
+    ``sink`` is a callable taking the heartbeat dict (the inline path
+    feeds the tracker directly); when absent, the worker's manager-queue
+    proxy is used.  Queue posts are fire-and-forget: a full or broken
+    queue drops the heartbeat rather than perturbing the simulation.
+    """
+    if interval <= 0:
+        return None
+    if sink is None:
+        hb_queue = _WORKER_HEARTBEAT_QUEUE
+        if hb_queue is None:
+            return None
+
+        def sink(message, _queue=hb_queue):
+            try:
+                _queue.put_nowait(message)
+            except Exception:  # noqa: BLE001 — monitoring must never kill a cell
+                pass
+
+    def heartbeat(requests_done: int) -> None:
+        sink(
+            {
+                "cell": spec.index,
+                "requests": requests_done,
+                "hits": policy.hits,
+                "hit_ratio": policy.object_hit_ratio,
+                "rss_bytes": current_rss_bytes(),
+            }
+        )
+
+    return heartbeat
+
+
 def _run_cell(
     spec: CellSpec,
     window_requests: int,
     warmup_requests: int,
     observe: bool,
     trace_config: TraceConfig | None = None,
+    heartbeat_interval: int = 0,
+    heartbeat_sink=None,
 ) -> CellOutcome:
     """Simulate one cell against the worker's shared trace.
 
@@ -193,7 +253,9 @@ def _run_cell(
     ``trace_config`` is set, the cell runs under a worker-local
     :class:`~repro.obs.trace.DecisionTracer` that ships back attached to
     the result (``result.decision_trace``) — results are grid-ordered,
-    so the per-cell traces merge back exactly like recorders do.
+    so the per-cell traces merge back exactly like recorders do.  A
+    positive ``heartbeat_interval`` posts progress every that many
+    requests (to ``heartbeat_sink``, or the worker's queue).
     """
     cell_obs = (
         Observation(recorder=MemoryRecorder(), registry=MetricsRegistry())
@@ -202,6 +264,7 @@ def _run_cell(
     )
     try:
         policy = spec.build()
+        heartbeat = _heartbeat_for(spec, policy, heartbeat_interval, heartbeat_sink)
         result = simulate(
             policy,
             _WORKER_TRACE,
@@ -209,6 +272,8 @@ def _run_cell(
             warmup_requests=warmup_requests,
             obs=cell_obs,
             tracer=trace_config.build() if trace_config is not None else None,
+            heartbeat=heartbeat,
+            heartbeat_interval=heartbeat_interval if heartbeat else 0,
         )
         result.cell_index = spec.index
         events = cell_obs.recorder.events if observe else None
@@ -241,6 +306,9 @@ def run_sweep(
     mp_context=None,
     obs: Observation = NULL_OBS,
     trace_config: TraceConfig | None = None,
+    progress: ProgressTracker | None = None,
+    heartbeat_interval_requests: int = DEFAULT_HEARTBEAT_INTERVAL,
+    stall_timeout_seconds: float = DEFAULT_STALL_TIMEOUT,
 ) -> list[SimulationResult]:
     """Run every cell of ``specs`` over ``trace``; return grid-ordered results.
 
@@ -261,6 +329,15 @@ def run_sweep(
     own :class:`~repro.obs.trace.DecisionTracer` built from the config;
     each returned result carries its cell's tracer in
     ``result.decision_trace``, grid-ordered with the results themselves.
+
+    A ``progress`` tracker turns on live monitoring: the grid is
+    registered up front, every cell posts a heartbeat each
+    ``heartbeat_interval_requests`` replayed requests, and a running cell
+    silent for longer than ``stall_timeout_seconds`` raises a
+    ``sweep.cell_stalled`` event on ``obs`` (once per stall).  Heartbeats
+    feed only the tracker — never the recorder stream — so observed
+    serial/parallel equivalence is untouched, and with ``progress=None``
+    the sweep runs the exact unmonitored code path.
     """
     specs = [
         spec if spec.index >= 0 else replace(spec, index=i)
@@ -272,6 +349,11 @@ def run_sweep(
     if not specs:
         return []
 
+    if progress is not None:
+        progress.register_cells(
+            (spec.index, spec.policy, spec.capacity) for spec in specs
+        )
+
     observing = obs.enabled
     if observing:
         for spec in sorted(specs, key=lambda s: s.index):
@@ -282,15 +364,19 @@ def run_sweep(
                 capacity=spec.capacity,
             )
 
+    heartbeat_interval = (
+        heartbeat_interval_requests if progress is not None else 0
+    )
     if jobs and jobs > 1:
         outcomes = _run_pooled(
             trace, specs, window_requests, warmup_requests, jobs, mp_context,
-            observing, trace_config,
+            observing, trace_config, progress, heartbeat_interval,
+            stall_timeout_seconds, obs,
         )
     else:
         outcomes = _run_inline(
             trace, specs, window_requests, warmup_requests, observing,
-            trace_config,
+            trace_config, progress, heartbeat_interval,
         )
 
     by_index = {outcome[0]: outcome for outcome in outcomes}
@@ -347,18 +433,95 @@ def _run_inline(
     warmup_requests: int,
     observe: bool,
     trace_config: TraceConfig | None = None,
+    progress: ProgressTracker | None = None,
+    heartbeat_interval: int = 0,
 ) -> list[CellOutcome]:
-    """Serial execution sharing the worker code path (and its capture)."""
+    """Serial execution sharing the worker code path (and its capture).
+
+    With a tracker, heartbeats skip the queue and feed it directly."""
     global _WORKER_TRACE
     previous = _WORKER_TRACE
     _WORKER_TRACE = trace
+    sink = (
+        (lambda message: progress.heartbeat(**message))
+        if progress is not None
+        else None
+    )
     try:
-        return [
-            _run_cell(spec, window_requests, warmup_requests, observe, trace_config)
-            for spec in specs
-        ]
+        outcomes = []
+        for spec in specs:
+            outcome = _run_cell(
+                spec, window_requests, warmup_requests, observe, trace_config,
+                heartbeat_interval=heartbeat_interval, heartbeat_sink=sink,
+            )
+            if progress is not None:
+                _track_outcome(progress, outcome)
+            outcomes.append(outcome)
+        return outcomes
     finally:
         _WORKER_TRACE = previous
+
+
+def _track_outcome(progress: ProgressTracker, outcome: CellOutcome) -> None:
+    """Mark one finished cell on the tracker from its outcome tuple."""
+    index, result, failure = outcome[0], outcome[1], outcome[2]
+    if failure is not None:
+        progress.cell_failed(index, error=failure.error)
+    elif result is not None:
+        progress.cell_done(
+            index,
+            requests=result.requests,
+            hit_ratio=result.object_hit_ratio,
+        )
+
+
+def _drain_heartbeats(
+    hb_queue,
+    progress: ProgressTracker,
+    stop_event: threading.Event,
+    stall_timeout_seconds: float,
+    obs: Observation,
+) -> None:
+    """Driver-side heartbeat pump: queue → tracker, plus stall checks.
+
+    Runs in a daemon thread for the lifetime of the pool; after the stop
+    event it keeps draining until the queue reads empty so no heartbeat
+    posted before the last cell finished is lost.
+    """
+    stopping = False
+    while True:
+        try:
+            message = hb_queue.get(timeout=0.2)
+        except queue_module.Empty:
+            if stopping:
+                return
+            stopping = stop_event.is_set()
+            _check_stalls(progress, stall_timeout_seconds, obs)
+            continue
+        except (EOFError, OSError, BrokenPipeError):
+            return  # manager shut down under us
+        try:
+            progress.heartbeat(**message)
+        except Exception:  # noqa: BLE001 — monitoring must not kill the drain
+            pass
+
+
+def _check_stalls(
+    progress: ProgressTracker, stall_timeout_seconds: float, obs: Observation
+) -> None:
+    if stall_timeout_seconds <= 0:
+        return
+    for stalled in progress.stalled_cells(stall_timeout_seconds):
+        if obs.enabled:
+            obs.emit(
+                "sweep.cell_stalled",
+                cell=stalled.cell.index,
+                policy=stalled.cell.policy,
+                capacity=stalled.cell.capacity,
+                seconds_since_heartbeat=round(
+                    stalled.seconds_since_heartbeat, 3
+                ),
+            )
 
 
 def _run_pooled(
@@ -370,30 +533,64 @@ def _run_pooled(
     mp_context,
     observe: bool,
     trace_config: TraceConfig | None = None,
+    progress: ProgressTracker | None = None,
+    heartbeat_interval: int = 0,
+    stall_timeout_seconds: float = DEFAULT_STALL_TIMEOUT,
+    obs: Observation = NULL_OBS,
 ) -> list[CellOutcome]:
-    """Fan cells out over worker processes; the trace ships once per worker."""
+    """Fan cells out over worker processes; the trace ships once per worker.
+
+    With a tracker, a ``Manager`` queue proxy ships to every worker via
+    the pool initializer (a plain ``multiprocessing.Queue`` cannot ride
+    ``initargs``) and a driver-side thread drains it into the tracker,
+    checking for stalled cells between reads.
+    """
     packed = PackedTrace.from_trace(trace)
     workers = min(jobs, len(specs))
     outcomes: list[CellOutcome] = []
+
+    manager = None
+    hb_queue = None
+    drainer = None
+    stop_drain = threading.Event()
+    if progress is not None and heartbeat_interval > 0:
+        manager = (mp_context or multiprocessing).Manager()
+        hb_queue = manager.Queue()
+        drainer = threading.Thread(
+            target=_drain_heartbeats,
+            args=(hb_queue, progress, stop_drain, stall_timeout_seconds, obs),
+            name="repro-sweep-heartbeats",
+            daemon=True,
+        )
+        drainer.start()
+    initargs = (packed,) if hb_queue is None else (packed, hb_queue)
     try:
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=mp_context,
             initializer=_init_worker,
-            initargs=(packed,),
+            initargs=initargs,
         ) as pool:
             futures = {
                 pool.submit(
                     _run_cell, spec, window_requests, warmup_requests,
-                    observe, trace_config,
+                    observe, trace_config, heartbeat_interval,
                 ): spec
                 for spec in specs
             }
             for future in as_completed(futures):
-                outcomes.append(future.result())
+                outcome = future.result()
+                if progress is not None:
+                    _track_outcome(progress, outcome)
+                outcomes.append(outcome)
     except BrokenProcessPool as exc:
         done = {outcome[0] for outcome in outcomes}
         missing = [spec for spec in specs if spec.index not in done]
+        if progress is not None:
+            for spec in missing:
+                progress.cell_failed(
+                    spec.index, error=f"worker process died: {exc}"
+                )
         failures = [
             CellFailure(
                 index=spec.index,
@@ -409,4 +606,10 @@ def _run_pooled(
         for outcome in outcomes:
             results[by_index[outcome[0]]] = outcome[1]
         raise SweepCellError(failures, results) from exc
+    finally:
+        if drainer is not None:
+            stop_drain.set()
+            drainer.join(timeout=5.0)
+        if manager is not None:
+            manager.shutdown()
     return outcomes

@@ -17,7 +17,13 @@ from repro.obs.trace import TraceConfig
 from repro.policies import POLICY_REGISTRY, make_policy
 from repro.policies.base import CachePolicy
 from repro.sim.metrics import SimulationResult
-from repro.sim.parallel import CellSpec, run_sweep
+from repro.obs.server import ProgressTracker
+from repro.sim.parallel import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_STALL_TIMEOUT,
+    CellSpec,
+    run_sweep,
+)
 from repro.traces.request import Trace
 
 _CORE_REGISTRY = {
@@ -86,6 +92,9 @@ def run_comparison(
     mp_context=None,
     obs: Observation = NULL_OBS,
     trace_config: TraceConfig | None = None,
+    progress: ProgressTracker | None = None,
+    heartbeat_interval_requests: int = DEFAULT_HEARTBEAT_INTERVAL,
+    stall_timeout_seconds: float = DEFAULT_STALL_TIMEOUT,
 ) -> list[SimulationResult]:
     """Run every (policy, capacity) combination over ``trace``.
 
@@ -100,7 +109,8 @@ def run_comparison(
     :func:`repro.sim.parallel.run_sweep`); parallel and serial execution
     produce the same grid-ordered event stream.  ``trace_config`` runs
     every cell under its own decision tracer, returned on each result's
-    ``decision_trace``.
+    ``decision_trace``.  A ``progress`` tracker enables live heartbeats
+    and stall detection — the surface ``--serve`` exposes.
     """
     specs = sweep_specs(policy_names, capacities, policy_kwargs)
     return run_sweep(
@@ -112,6 +122,9 @@ def run_comparison(
         mp_context=mp_context,
         obs=obs,
         trace_config=trace_config,
+        progress=progress,
+        heartbeat_interval_requests=heartbeat_interval_requests,
+        stall_timeout_seconds=stall_timeout_seconds,
     )
 
 

@@ -1,0 +1,163 @@
+"""Tests for the benchmark regression sentinel (repro.obs.baseline)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.baseline import (
+    BaselineTolerance,
+    compare_files,
+    compare_payloads,
+    load_telemetry,
+)
+
+
+def make_payload(**overrides) -> dict:
+    payload = {
+        "schema": "repro-bench/1",
+        "name": "throughput",
+        "scale": 0.01,
+        "seed": 1,
+        "jobs": 0,
+        "wall_seconds": 2.0,
+        "requests": 20000,
+        "throughput_rps": 10000.0,
+        "peak_rss_bytes": 100 * (1 << 20),
+        "hit_ratios": {"lru@1000": 0.40, "lhr@1000": 0.50},
+        "obs_overhead_percent": None,
+        "extra": {},
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestTolerance:
+    def test_defaults(self):
+        tol = BaselineTolerance()
+        assert tol.throughput_drop_pct == 10.0
+        assert tol.rss_growth_pct == 20.0
+        assert tol.hit_ratio_drop == 0.01
+
+    @pytest.mark.parametrize("field", [
+        "throughput_drop_pct", "rss_growth_pct", "hit_ratio_drop",
+    ])
+    @pytest.mark.parametrize("bad", [-1.0, float("nan"), float("inf")])
+    def test_invalid_values_rejected(self, field, bad):
+        with pytest.raises(ValueError):
+            BaselineTolerance(**{field: bad})
+
+
+class TestComparePayloads:
+    def test_identical_runs_pass(self):
+        verdict = compare_payloads(make_payload(), make_payload())
+        assert not verdict.regressed
+        assert verdict.notes == []
+        assert "verdict: PASS" in verdict.render_text()
+
+    def test_twenty_percent_throughput_drop_regresses(self):
+        """The acceptance scenario: a synthetic 20% slowdown is caught."""
+        slower = make_payload(throughput_rps=8000.0)
+        verdict = compare_payloads(make_payload(), slower)
+        assert verdict.regressed
+        (delta,) = verdict.regressions
+        assert delta.metric == "throughput_rps"
+        assert delta.change_pct == pytest.approx(-20.0)
+        assert "REGRESS" in verdict.render_text()
+
+    def test_throughput_drop_within_tolerance_passes(self):
+        verdict = compare_payloads(
+            make_payload(), make_payload(throughput_rps=9500.0)
+        )
+        assert not verdict.regressed
+
+    def test_rss_growth_regresses(self):
+        bloated = make_payload(peak_rss_bytes=130 * (1 << 20))
+        verdict = compare_payloads(make_payload(), bloated)
+        assert [d.metric for d in verdict.regressions] == ["peak_rss_bytes"]
+
+    def test_rss_shrink_is_fine(self):
+        verdict = compare_payloads(
+            make_payload(), make_payload(peak_rss_bytes=10 * (1 << 20))
+        )
+        assert not verdict.regressed
+
+    def test_hit_ratio_drop_regresses(self):
+        worse = make_payload(hit_ratios={"lru@1000": 0.40, "lhr@1000": 0.45})
+        verdict = compare_payloads(make_payload(), worse)
+        assert [d.metric for d in verdict.regressions] == ["hit_ratio[lhr@1000]"]
+
+    def test_hit_ratio_improvement_is_fine(self):
+        better = make_payload(hit_ratios={"lru@1000": 0.44, "lhr@1000": 0.55})
+        verdict = compare_payloads(make_payload(), better)
+        assert not verdict.regressed
+
+    def test_asymmetric_cells_noted_not_compared(self):
+        current = make_payload(hit_ratios={"lru@1000": 0.40, "gdsf@1000": 0.6})
+        verdict = compare_payloads(make_payload(), current)
+        assert not verdict.regressed
+        assert any("only in baseline" in note for note in verdict.notes)
+        assert any("only in current" in note for note in verdict.notes)
+
+    def test_identity_mismatches_noted(self):
+        other = make_payload(name="figure8", seed=2, scale=0.1)
+        verdict = compare_payloads(make_payload(), other)
+        notes = " ".join(verdict.notes)
+        assert "different benchmarks" in notes
+        assert "seed differs" in notes
+        assert "scale differs" in notes
+
+    def test_custom_tolerance(self):
+        tol = BaselineTolerance(throughput_drop_pct=25.0)
+        slower = make_payload(throughput_rps=8000.0)
+        assert not compare_payloads(make_payload(), slower, tol).regressed
+
+    def test_malformed_payload_raises(self):
+        bad = make_payload()
+        del bad["throughput_rps"]
+        with pytest.raises(ValueError):
+            compare_payloads(make_payload(), bad)
+
+    def test_as_dict_round_trips_through_json(self):
+        verdict = compare_payloads(
+            make_payload(), make_payload(throughput_rps=8000.0)
+        )
+        payload = json.loads(json.dumps(verdict.as_dict()))
+        assert payload["verdict"] == "regress"
+        assert any(d["regressed"] for d in payload["deltas"])
+
+
+class TestFiles:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_load_telemetry_validates(self, tmp_path):
+        good = self._write(tmp_path / "good.json", make_payload())
+        assert load_telemetry(good)["name"] == "throughput"
+        with pytest.raises(ValueError, match="does not exist"):
+            load_telemetry(tmp_path / "missing.json")
+        bad_json = tmp_path / "bad.json"
+        bad_json.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_telemetry(bad_json)
+        invalid = self._write(
+            tmp_path / "invalid.json", make_payload(schema="other/1")
+        )
+        with pytest.raises(ValueError, match="invalid.json"):
+            load_telemetry(invalid)
+
+    def test_compare_files_consecutive_pairs(self, tmp_path):
+        a = self._write(tmp_path / "a.json", make_payload())
+        b = self._write(tmp_path / "b.json", make_payload(throughput_rps=9800.0))
+        c = self._write(tmp_path / "c.json", make_payload(throughput_rps=7000.0))
+        verdicts = compare_files([a, b, c])
+        assert len(verdicts) == 2
+        assert not verdicts[0].regressed
+        assert verdicts[1].regressed  # 9800 -> 7000 is a ~29% drop
+
+    def test_compare_files_needs_two(self, tmp_path):
+        a = self._write(tmp_path / "a.json", make_payload())
+        with pytest.raises(ValueError, match="at least two"):
+            compare_files([a])

@@ -200,3 +200,130 @@ class TestSimulateEmission:
         assert plain.counters() == observed.counters()
         assert plain.object_hit_ratio == observed.object_hit_ratio
         assert plain.window_series() == observed.window_series()
+
+
+class TestRecorderContextManagers:
+    def test_jsonl_recorder_closes_on_error(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with pytest.raises(RuntimeError, match="boom"):
+            with JsonlRecorder(path) as recorder:
+                recorder.emit("sim.window", index=0)
+                raise RuntimeError("boom")
+        # The event written before the crash survived the close.
+        assert json.loads(path.read_text())["index"] == 0
+        with pytest.raises(RuntimeError, match="closed"):
+            recorder.emit("sim.window", index=1)
+
+    def test_jsonl_flush_makes_events_visible(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        recorder = JsonlRecorder(path)
+        recorder.emit("sim.window", index=0)
+        recorder.flush()
+        assert path.read_text().strip()
+        recorder.close()
+
+    def test_text_recorder_context_flushes_but_keeps_stream_open(self):
+        stream = io.StringIO()
+        with TextRecorder(stream) as recorder:
+            recorder.emit("sim.window", index=0)
+        assert not stream.closed  # borrowed stream (stderr) is never closed
+        assert "[sim.window]" in stream.getvalue()
+
+    def test_null_recorder_context_manager(self):
+        with NullRecorder() as recorder:
+            recorder.emit("sim.window", index=0)
+            recorder.flush()
+
+    def test_observation_context_closes_recorder(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with Observation(recorder=JsonlRecorder(path)) as obs:
+            obs.emit("sim.window", index=0)
+        with pytest.raises(RuntimeError, match="closed"):
+            obs.emit("sim.window", index=1)
+
+
+class _ExplodingRecorder(NullRecorder):
+    """Raises from every operation; records how often it was called."""
+
+    enabled = True
+
+    def __init__(self, tag="boom"):
+        self.tag = tag
+        self.calls = 0
+
+    def emit(self, event, **fields):
+        self.calls += 1
+        raise RuntimeError(self.tag)
+
+    def flush(self):
+        self.calls += 1
+        raise RuntimeError(self.tag)
+
+    def close(self):
+        self.calls += 1
+        raise RuntimeError(self.tag)
+
+
+class TestFanoutErrorPropagation:
+    def test_emit_delivers_to_all_then_reraises_first(self):
+        first = _ExplodingRecorder("first")
+        survivor = MemoryRecorder()
+        fanout = FanoutRecorder(first, survivor)
+        with pytest.raises(RuntimeError, match="first"):
+            fanout.emit("sim.window", index=0)
+        # The healthy sink still received the event.
+        assert [e["event"] for e in survivor.events] == ["sim.window"]
+
+    def test_first_error_wins_across_multiple_failures(self):
+        a = _ExplodingRecorder("alpha")
+        b = _ExplodingRecorder("beta")
+        with pytest.raises(RuntimeError, match="alpha"):
+            FanoutRecorder(a, b).emit("sim.window", index=0)
+        assert a.calls == 1 and b.calls == 1
+
+    def test_close_reaches_every_recorder_despite_errors(self, tmp_path):
+        exploding = _ExplodingRecorder()
+        jsonl = JsonlRecorder(tmp_path / "log.jsonl")
+        fanout = FanoutRecorder(exploding, jsonl)
+        with pytest.raises(RuntimeError):
+            fanout.close()
+        # The JSONL file was closed even though its sibling exploded.
+        with pytest.raises(RuntimeError, match="closed"):
+            jsonl.emit("sim.window", index=0)
+
+    def test_flush_propagates_and_broadcasts(self):
+        exploding = _ExplodingRecorder()
+        survivor = MemoryRecorder()
+        with pytest.raises(RuntimeError):
+            FanoutRecorder(exploding, survivor).flush()
+        assert exploding.calls == 1
+
+
+class TestScopedTimerReentrancy:
+    def test_nested_use_records_both_spans(self):
+        from repro.obs import MetricsRegistry, ScopedTimer
+
+        registry = MetricsRegistry()
+        timer = ScopedTimer(registry.histogram("phase_seconds"))
+        with timer:
+            with timer:  # re-entrant: LHR's train inside replay
+                pass
+        hist = registry.histogram("phase_seconds")
+        assert hist.count == 2
+        # The outer span is at least as long as the inner one.
+        assert hist.stats.maximum >= hist.stats.minimum >= 0.0
+
+    def test_exit_without_enter_raises(self):
+        from repro.obs import MetricsRegistry, ScopedTimer
+
+        timer = ScopedTimer(MetricsRegistry().histogram("phase_seconds"))
+        with pytest.raises(RuntimeError, match="exited more times"):
+            timer.__exit__(None, None, None)
+
+    def test_last_seconds_tracks_innermost_completion(self):
+        from repro.obs import MetricsRegistry, ScopedTimer
+
+        timer = ScopedTimer(MetricsRegistry().histogram("phase_seconds"))
+        with timer:
+            pass
+        assert timer.last_seconds >= 0.0

@@ -1,0 +1,161 @@
+"""Tests for the sampling profiler and per-phase attribution."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.profile import (
+    PhaseRow,
+    SamplingProfiler,
+    phase_breakdown,
+    profile_simulation,
+)
+
+
+def _spin(seconds: float) -> int:
+    """Busy loop with a recognizable frame name for the sampler to catch."""
+    deadline = time.perf_counter() + seconds
+    count = 0
+    while time.perf_counter() < deadline:
+        count += 1
+    return count
+
+
+class TestSamplingProfiler:
+    def test_samples_busy_code(self):
+        profiler = SamplingProfiler(interval_seconds=0.001)
+        with profiler:
+            _spin(0.15)
+        assert profiler.sample_count > 10
+        leaves = dict(profiler.hottest(20))
+        assert any("_spin" in frame for frame in leaves)
+
+    def test_collapsed_format(self):
+        profiler = SamplingProfiler(interval_seconds=0.001)
+        with profiler:
+            _spin(0.1)
+        text = profiler.collapsed()
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+            assert ";" in stack or stack  # root-only stacks are legal
+        # Heaviest stack first.
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_write_collapsed(self, tmp_path):
+        profiler = SamplingProfiler(interval_seconds=0.001)
+        with profiler:
+            _spin(0.05)
+        out = profiler.write_collapsed(tmp_path / "stacks.folded")
+        assert out.read_text() == profiler.collapsed()
+
+    def test_start_twice_raises(self):
+        profiler = SamplingProfiler()
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval_seconds=0.0)
+
+    def test_stop_without_start_is_noop(self):
+        SamplingProfiler().stop()  # must not raise
+
+
+class TestPhaseBreakdown:
+    def test_rows_from_seconds_histograms(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sim_replay_seconds")
+        hist.observe(2.0)
+        train = registry.histogram("lhr_train_seconds")
+        train.observe(0.25)
+        train.observe(0.25)
+        registry.counter("sim_requests_total").inc(5)  # not a phase
+        registry.histogram("policy_evictions_per_admission").observe(3)
+
+        rows = phase_breakdown(registry, wall_seconds=4.0)
+        assert [row.metric for row in rows] == [
+            "sim_replay_seconds",
+            "lhr_train_seconds",
+        ]  # sorted by total, counters and non-phase histograms skipped
+        replay, training = rows
+        assert replay.phase == "replay loop (total)"
+        assert replay.wall_share == pytest.approx(0.5)
+        assert training.phase == "GBM training"
+        assert training.calls == 2
+        assert training.mean_seconds == pytest.approx(0.25)
+
+    def test_unknown_seconds_histogram_uses_raw_name(self):
+        registry = MetricsRegistry()
+        registry.histogram("custom_stage_seconds").observe(1.0)
+        rows = phase_breakdown(registry, wall_seconds=2.0)
+        assert rows[0].phase == "custom_stage_seconds"
+
+    def test_empty_registry_and_zero_wall(self):
+        assert phase_breakdown(MetricsRegistry(), wall_seconds=0.0) == []
+        registry = MetricsRegistry()
+        registry.histogram("x_seconds").observe(1.0)
+        assert phase_breakdown(registry, wall_seconds=0.0)[0].wall_share == 0.0
+
+    def test_phase_row_as_dict(self):
+        row = PhaseRow(
+            phase="p", metric="m", calls=1, total_seconds=0.5,
+            mean_seconds=0.5, wall_share=0.25,
+        )
+        assert row.as_dict()["wall_share"] == 0.25
+
+
+class TestProfileSimulation:
+    def test_report_on_small_replay(self, equal_size_trace, tmp_path):
+        report = profile_simulation(
+            equal_size_trace, "lru", 64, interval_seconds=0.001
+        )
+        assert report.policy == "lru"
+        assert report.trace == equal_size_trace.name
+        assert report.requests == len(equal_size_trace)
+        assert 0.0 <= report.hit_ratio <= 1.0
+        assert report.wall_seconds > 0
+        assert report.rss_bytes > 0
+        # The replay always populates sim_replay_seconds.
+        assert any(r.metric == "sim_replay_seconds" for r in report.phases)
+        text = report.render_text()
+        assert "replay loop (total)" in text
+        assert "profile: lru" in text
+        payload = report.as_dict()
+        assert payload["samples"] == report.sample_count
+        assert payload["phases"]
+        out = report.write_collapsed(tmp_path / "replay.folded")
+        assert out.exists()
+
+    def test_lhr_phases_attributed(self, production_trace, production_capacity):
+        report = profile_simulation(
+            production_trace,
+            "lhr",
+            production_capacity,
+            interval_seconds=0.002,
+            policy_kwargs={"seed": 0},
+        )
+        names = {row.metric for row in report.phases}
+        assert "sim_replay_seconds" in names
+        assert "lhr_train_seconds" in names  # LHR trained at least once
+
+    def test_write_collapsed_without_profiler_raises(self):
+        from repro.obs.profile import ProfileReport
+
+        report = ProfileReport(
+            policy="lru", trace="t", capacity=1, wall_seconds=1.0,
+            rss_bytes=1, requests=1, hit_ratio=0.0,
+        )
+        with pytest.raises(ValueError):
+            report.write_collapsed("/tmp/never.folded")

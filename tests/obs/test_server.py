@@ -1,0 +1,233 @@
+"""Tests for the live ops surface: ProgressTracker and the HTTP exporter."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry, Observation
+from repro.obs.server import ObsServer, ProgressTracker, current_rss_bytes
+from repro.sim import build_policy, simulate
+
+
+class FakeClock:
+    """Deterministic monotonic clock for stall-detection tests."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+class TestCurrentRss:
+    def test_positive_and_plausible(self):
+        rss = current_rss_bytes()
+        assert rss > 1 << 20  # a CPython process is at least a megabyte
+        assert isinstance(rss, int)
+
+
+class TestProgressTracker:
+    def test_register_and_initial_snapshot(self):
+        tracker = ProgressTracker(clock=FakeClock())
+        tracker.register_cells([(0, "lru", 100), (1, "lhr", 200)])
+        snap = tracker.snapshot()
+        assert snap["cells_total"] == 2
+        assert snap["cells_pending"] == 2
+        assert snap["cells_done"] == 0
+        assert snap["requests_replayed"] == 0
+        assert snap["eta_seconds"] is None  # nothing done yet
+        assert [c["state"] for c in snap["cells"]] == ["pending", "pending"]
+
+    def test_heartbeat_transitions_and_accumulates(self):
+        tracker = ProgressTracker(clock=FakeClock())
+        tracker.register_cells([(0, "lru", 100)])
+        tracker.heartbeat(0, requests=500, hits=100, hit_ratio=0.2, rss_bytes=42)
+        snap = tracker.snapshot()
+        cell = snap["cells"][0]
+        assert cell["state"] == "running"
+        assert cell["requests"] == 500
+        assert cell["hit_ratio"] == 0.2
+        assert cell["rss_bytes"] == 42
+        # Out-of-order heartbeat never rewinds the request count.
+        tracker.heartbeat(0, requests=400)
+        assert tracker.snapshot()["cells"][0]["requests"] == 500
+
+    def test_unknown_cell_heartbeat_is_ignored(self):
+        tracker = ProgressTracker()
+        tracker.register_cells([(0, "lru", 100)])
+        tracker.heartbeat(99, requests=500)  # must not raise
+        assert tracker.snapshot()["cells_total"] == 1
+
+    def test_done_failed_and_eta(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(clock=clock)
+        tracker.register_cells([(0, "lru", 100), (1, "lhr", 200)])
+        clock.advance(10.0)
+        tracker.cell_done(0, requests=1000, hit_ratio=0.5)
+        tracker.cell_failed(1, error="boom")
+        snap = tracker.snapshot()
+        assert snap["cells_done"] == 1
+        assert snap["cells_failed"] == 1
+        assert snap["cells"][0]["hit_ratio"] == 0.5
+        assert snap["cells"][1]["error"] == "boom"
+        assert snap["eta_seconds"] == 0.0  # nothing left to run
+
+    def test_stall_detected_once_then_rearmed_by_heartbeat(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        tracker = ProgressTracker(registry=registry, clock=clock)
+        tracker.register_cells([(0, "lru", 100)])
+        tracker.heartbeat(0, requests=100)
+        clock.advance(31.0)
+        stalled = tracker.stalled_cells(30.0)
+        assert [s.cell.index for s in stalled] == [0]
+        assert stalled[0].seconds_since_heartbeat == pytest.approx(31.0)
+        # Reported once per silent gap — not again until it recovers.
+        assert tracker.stalled_cells(30.0) == []
+        assert registry.get("sweep_stalls_total").value == 1
+        # A fresh heartbeat clears the flag; the next gap re-reports.
+        tracker.heartbeat(0, requests=200)
+        clock.advance(31.0)
+        assert len(tracker.stalled_cells(30.0)) == 1
+        assert registry.get("sweep_stalls_total").value == 2
+
+    def test_pending_and_finished_cells_never_stall(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(clock=clock)
+        tracker.register_cells([(0, "lru", 100), (1, "lhr", 200)])
+        tracker.heartbeat(1, requests=10)
+        tracker.cell_done(1)
+        clock.advance(1000.0)
+        assert tracker.stalled_cells(30.0) == []  # pending + done
+
+    def test_registry_mirroring(self):
+        registry = MetricsRegistry()
+        tracker = ProgressTracker(registry=registry, clock=FakeClock())
+        tracker.register_cells([(0, "lru", 100), (1, "lhr", 200)])
+        tracker.heartbeat(0, requests=500, rss_bytes=1 << 20)
+        tracker.cell_done(1, requests=300)
+        assert registry.get("sweep_cells_total").value == 2
+        assert registry.get("sweep_cells_running").value == 1
+        assert registry.get("sweep_cells_done").value == 1
+        assert registry.get("sweep_requests_replayed").value == 800
+        assert registry.get("sweep_peak_worker_rss_bytes").value == 1 << 20
+
+
+class TestObsServer:
+    def test_endpoints(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", help="a demo counter").inc(3)
+        tracker = ProgressTracker(registry=registry)
+        tracker.register_cells([(0, "lru", 100)])
+        with ObsServer(registry=registry, tracker=tracker) as server:
+            status, headers, body = _get(f"{server.url}/healthz")
+            assert status == 200
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert "/metrics" in health["endpoints"]
+
+            status, headers, body = _get(f"{server.url}/metrics")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+            assert "# TYPE demo_total counter" in body
+            assert "demo_total 3" in body
+            assert "sweep_cells_total 1" in body
+
+            status, _, body = _get(f"{server.url}/progress")
+            assert status == 200
+            progress = json.loads(body)
+            assert progress["cells_total"] == 1
+            assert progress["cells"][0]["policy"] == "lru"
+
+    def test_unknown_path_is_404(self):
+        with ObsServer(registry=MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/nope")
+            assert excinfo.value.code == 404
+
+    def test_serves_without_tracker(self):
+        with ObsServer(registry=MetricsRegistry()) as server:
+            status, _, body = _get(f"{server.url}/progress")
+            assert status == 200
+            assert json.loads(body)["cells_total"] == 0
+
+    def test_start_twice_raises(self):
+        server = ObsServer(registry=MetricsRegistry())
+        server.start()
+        try:
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent(self):
+        server = ObsServer(registry=MetricsRegistry())
+        server.start()
+        server.stop()
+        server.stop()  # must not raise
+
+
+class TestLiveScrapeIntegration:
+    def test_scrape_during_live_simulation(self, equal_size_trace):
+        """Scrape /metrics and /progress while a replay is mid-flight.
+
+        The heartbeat callback performs the scrapes synchronously from
+        inside ``simulate``'s loop, so the requests are guaranteed to hit
+        the server while the run is live — no sleeps, no races.
+        """
+        obs = Observation()
+        tracker = ProgressTracker(registry=obs.registry)
+        policy = build_policy("lru", 64)
+        tracker.register_cells([(0, "lru", policy.capacity)])
+        scrapes: list[dict] = []
+
+        with ObsServer(registry=obs.registry, tracker=tracker) as server:
+
+            def heartbeat(requests_done: int) -> None:
+                tracker.heartbeat(
+                    0,
+                    requests=requests_done,
+                    hits=policy.hits,
+                    hit_ratio=policy.object_hit_ratio,
+                    rss_bytes=current_rss_bytes(),
+                )
+                if not scrapes:
+                    _, _, metrics = _get(f"{server.url}/metrics")
+                    _, _, progress = _get(f"{server.url}/progress")
+                    scrapes.append(
+                        {"metrics": metrics, "progress": json.loads(progress)}
+                    )
+
+            result = simulate(
+                policy,
+                equal_size_trace,
+                obs=obs,
+                heartbeat=heartbeat,
+                heartbeat_interval=500,
+            )
+            tracker.cell_done(0, requests=result.requests)
+
+        assert scrapes, "heartbeat never fired"
+        live = scrapes[0]
+        # The mid-run progress shows a running, partially-replayed cell.
+        cell = live["progress"]["cells"][0]
+        assert cell["state"] == "running"
+        assert 0 < cell["requests"] < len(equal_size_trace)
+        assert cell["rss_bytes"] > 0
+        # The mid-run metrics page carries the mirrored sweep gauges.
+        assert "sweep_requests_replayed" in live["metrics"]
+        # And the final state is consistent with the simulation result.
+        final = tracker.snapshot()
+        assert final["cells_done"] == 1
+        assert final["cells"][0]["requests"] == result.requests

@@ -87,3 +87,37 @@ class TestWithSimulator:
         # The inclusive L1 only ever serves requests L2 would also serve,
         # so the overall hit ratio is at least L2-alone's (same L2 state).
         assert tiered.object_hit_ratio >= alone.object_hit_ratio - 0.01
+
+
+class TestObservationThreading:
+    def test_attach_observation_reaches_both_levels(self):
+        from repro.obs import MemoryRecorder, Observation
+
+        tiered = TieredCache(
+            make_policy("lru", 1 << 20), make_policy("lru", 8 << 20)
+        )
+        obs = Observation(recorder=MemoryRecorder())
+        tiered.attach_observation(obs)
+        assert tiered.obs is obs
+        assert tiered.l1.obs is obs
+        assert tiered.l2.obs is obs
+
+    def test_simulate_threads_obs_into_lhr_level(self):
+        """An LHR behind the tiered wrapper still emits its lifecycle
+        events when the engine attaches the observation to the wrapper."""
+        from repro.core.lhr import LhrCache
+        from repro.obs import MemoryRecorder, Observation
+
+        trace = irm_trace(
+            2500, 120, alpha=0.8, mean_size=1 << 16, size_sigma=1.0,
+            seed=21, name="tiered-obs",
+        )
+        capacity = max(int(0.2 * trace.unique_bytes()), 1)
+        tiered = TieredCache(
+            make_policy("lru", capacity // 4), LhrCache(capacity, seed=0)
+        )
+        obs = Observation(recorder=MemoryRecorder())
+        simulate(tiered, trace, obs=obs)
+        types = {e["event"] for e in obs.recorder.events}
+        assert "lhr.retrain" in types  # flowed through the hierarchy
+        assert obs.registry.histogram("lhr_train_seconds").count > 0

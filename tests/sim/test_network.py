@@ -65,3 +65,47 @@ class TestMeasureLatency:
     def test_throughput_bounded_by_link_rate(self, trace):
         report = measure_latency(LruCache(1 << 30), trace)
         assert report.throughput_gbps <= 8.0 + 1e-9
+
+
+class TestObservationThreading:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return irm_trace(2000, 100, mean_size=1 << 20, seed=21)
+
+    def test_latency_histogram_and_totals(self, trace):
+        from repro.obs import Observation
+
+        obs = Observation()
+        policy = LruCache(int(0.3 * trace.unique_bytes()))
+        report = measure_latency(policy, trace, obs=obs)
+        registry = obs.registry
+        hist = registry.get("net_request_latency_seconds")
+        assert hist is not None and hist.count == len(trace)
+        # Histogram moments agree with the report's summary statistics.
+        assert hist.stats.mean * 1e3 == pytest.approx(
+            report.mean_latency_ms, rel=1e-6
+        )
+        assert registry.get("net_requests_total").value == len(trace)
+        assert registry.get("net_bytes_served_total").value == sum(
+            req.size for req in trace
+        )
+        assert registry.get("net_throughput_gbps").value == pytest.approx(
+            report.throughput_gbps, abs=1e-6
+        )
+
+    def test_obs_attached_to_policy(self, trace):
+        from repro.obs import Observation
+
+        obs = Observation()
+        policy = LruCache(1 << 20)
+        measure_latency(policy, trace, obs=obs)
+        assert policy.obs is obs
+
+    def test_disabled_obs_changes_nothing(self, trace):
+        policy_a = LruCache(1 << 20)
+        policy_b = LruCache(1 << 20)
+        from repro.obs import Observation
+
+        plain = measure_latency(policy_a, trace)
+        observed = measure_latency(policy_b, trace, obs=Observation())
+        assert plain.as_row() == observed.as_row()

@@ -317,3 +317,113 @@ class TestObservabilityFlags:
         captured = capsys.readouterr()
         assert "wrote event log" not in captured.out
         assert "wrote metrics snapshot" not in captured.out
+
+
+class TestLiveOpsCli:
+    """--serve, profile, and bench-compare (the live-ops surface)."""
+
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(irm_trace(800, 60, mean_size=1 << 12, seed=3), path)
+        return str(path)
+
+    def _telemetry(self, path, **overrides):
+        payload = {
+            "schema": "repro-bench/1",
+            "name": "throughput",
+            "scale": 0.01,
+            "seed": 1,
+            "jobs": 0,
+            "wall_seconds": 2.0,
+            "requests": 20000,
+            "throughput_rps": 10000.0,
+            "peak_rss_bytes": 100 * (1 << 20),
+            "hit_ratios": {"lru@1000": 0.40},
+            "obs_overhead_percent": None,
+            "extra": {},
+        }
+        payload.update(overrides)
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_simulate_serve_ephemeral_port(self, trace_file, capsys):
+        assert main(
+            ["simulate", "--trace", trace_file, "--policy", "lru",
+             "--capacity", "64KB", "--serve", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving /metrics /healthz /progress at http://" in out
+        assert "object_hit_ratio" in out
+
+    def test_compare_serve_ephemeral_port(self, trace_file, capsys):
+        assert main(
+            ["compare", "--trace", trace_file, "--policies", "lru,gdsf",
+             "--capacities", "64KB", "--serve", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving /metrics /healthz /progress at http://" in out
+
+    def test_profile_text_and_collapsed(self, trace_file, tmp_path, capsys):
+        collapsed = tmp_path / "stacks.folded"
+        assert main(
+            ["profile", trace_file, "lru", "--capacity", "64KB",
+             "--interval-ms", "1", "--collapsed", str(collapsed)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "profile: lru" in out
+        assert "replay loop (total)" in out
+        for line in collapsed.read_text().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack and int(count) > 0
+
+    def test_profile_json(self, trace_file, capsys):
+        assert main(
+            ["profile", trace_file, "lru", "--capacity", "64KB",
+             "--interval-ms", "1", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "lru"
+        assert any(
+            row["metric"] == "sim_replay_seconds" for row in payload["phases"]
+        )
+
+    def test_profile_rejects_unknown_policy(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["profile", trace_file, "nope", "--capacity", "64KB"])
+
+    def test_bench_compare_pass(self, tmp_path, capsys):
+        a = self._telemetry(tmp_path / "a.json")
+        b = self._telemetry(tmp_path / "b.json")
+        assert main(["bench-compare", a, b]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_bench_compare_regression_exits_one(self, tmp_path, capsys):
+        a = self._telemetry(tmp_path / "a.json")
+        b = self._telemetry(tmp_path / "b.json", throughput_rps=8000.0)
+        assert main(["bench-compare", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESS" in out
+        assert "throughput_rps" in out
+
+    def test_bench_compare_warn_only_exits_zero(self, tmp_path, capsys):
+        a = self._telemetry(tmp_path / "a.json")
+        b = self._telemetry(tmp_path / "b.json", throughput_rps=8000.0)
+        assert main(["bench-compare", a, b, "--warn-only"]) == 0
+        captured = capsys.readouterr()
+        assert "REGRESS" in captured.out
+        assert "warn-only" in captured.err
+
+    def test_bench_compare_json_format(self, tmp_path, capsys):
+        a = self._telemetry(tmp_path / "a.json")
+        b = self._telemetry(tmp_path / "b.json", throughput_rps=8000.0)
+        assert main(["bench-compare", a, b, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["verdict"] == "regress"
+
+    def test_bench_compare_custom_tolerance(self, tmp_path, capsys):
+        a = self._telemetry(tmp_path / "a.json")
+        b = self._telemetry(tmp_path / "b.json", throughput_rps=8000.0)
+        assert main(
+            ["bench-compare", a, b, "--throughput-tolerance", "25"]
+        ) == 0

@@ -79,6 +79,37 @@ class TestValidator:
         with pytest.raises(ValueError, match="non-empty"):
             validate_telemetry(_payload(name=""))
 
+    @pytest.mark.parametrize("field", ["wall_seconds", "throughput_rps"])
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_numbers_rejected(self, field, bad):
+        # A NaN throughput compares false against every tolerance and
+        # would silently disarm the regression sentinel.
+        with pytest.raises(ValueError, match="finite"):
+            validate_telemetry(_payload(**{field: bad}))
+
+    @pytest.mark.parametrize("field", ["requests", "peak_rss_bytes"])
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_int_fields_fail_type_check(self, field, bad):
+        # Integer-typed fields reject NaN/inf one layer earlier, at the
+        # type check — either way the payload never reaches comparison.
+        with pytest.raises(ValueError, match=field):
+            validate_telemetry(_payload(**{field: bad}))
+
+    @pytest.mark.parametrize("field", [
+        "wall_seconds", "requests", "throughput_rps", "peak_rss_bytes",
+    ])
+    def test_negative_numbers_rejected(self, field):
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_telemetry(_payload(**{field: -1}))
+
+    def test_nan_hit_ratio_rejected(self):
+        with pytest.raises(ValueError, match="within"):
+            validate_telemetry(_payload(hit_ratios={"lru@1": float("nan")}))
+
+    def test_nan_overhead_rejected(self):
+        with pytest.raises(ValueError, match="obs_overhead_percent"):
+            validate_telemetry(_payload(obs_overhead_percent=float("nan")))
+
 
 class TestGating:
     def test_disabled_by_default(self, monkeypatch):
