@@ -170,3 +170,48 @@ def test_noop_recorder_overhead_under_two_percent(workload, benchmark):
             "per-request replay time (>2%); the NULL_OBS fast path has "
             "grown per-request cost"
         )
+
+
+#: Probes per policy when timing ``metadata_bytes()`` below.
+PROBE_ITERS = 2_000
+
+
+def test_metadata_probe_cost_is_flat(workload, benchmark):
+    """The engine samples ``metadata_bytes()`` on a fixed request cadence,
+    so the probe must not walk per-object state: LRU-K keeps its history
+    slot count incrementally, the feature store its gap-slot total, and
+    the GBM caches its tree walk per (re)fit.  This reports nanoseconds
+    per probe on *populated* policies and asserts the probe stays far
+    below one request's replay cost — a probe that silently went O(n)
+    would dominate packed replay, where the probe is the only per-chunk
+    Python work besides the kernel."""
+    capacity = cache_bytes("cdn-a", 512)
+    probed = {}
+    for name in ("lru", "lru-4", "lhr"):
+        policy = build_policy(name, capacity)
+        simulate(policy, workload)
+        start = time.perf_counter()
+        for _ in range(PROBE_ITERS):
+            policy.metadata_bytes()
+        per_probe = (time.perf_counter() - start) / PROBE_ITERS
+        probed[name] = per_probe
+    benchmark.pedantic(
+        lambda: build_policy("lru-4", capacity).metadata_bytes(),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {f"{name}_probe_nanoseconds": round(t * 1e9) for name, t in probed.items()}
+    )
+    print(
+        "\nmetadata probes: "
+        + ", ".join(f"{name} {t * 1e6:.2f}us" for name, t in probed.items())
+    )
+    if os.environ.get("REPRO_ASSERT_OBS_OVERHEAD", "1") != "0":
+        # Generous bound: even LHR's probe (store + model + detector)
+        # must stay under 50us — population-proportional walks measure
+        # in the hundreds of microseconds at this trace scale.
+        assert max(probed.values()) < 50e-6, (
+            f"metadata_bytes() probe costs {max(probed.values()) * 1e6:.0f}us; "
+            "a cache has degraded to walking per-object state"
+        )

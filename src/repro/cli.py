@@ -59,7 +59,7 @@ from repro.proto import (
     run_prototype,
 )
 from repro.sim import build_policy, format_table, known_policies, run_comparison, simulate
-from repro.traces import generate_production_trace, summarize_trace
+from repro.traces import PackedTrace, generate_production_trace, summarize_trace
 from repro.traces.loader import (
     load_trace_csv,
     load_trace_webcachesim,
@@ -267,11 +267,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
         heartbeat_interval = 1000
     server = _start_server(args, obs, tracker)
+    # Unobserved replays take the columnar fast path; observed ones keep
+    # the reference object stream (the engine would unpack anyway).
+    replay_trace = trace if obs.enabled else PackedTrace.from_trace(trace)
     try:
         with obs:
             result = simulate(
                 policy,
-                trace,
+                replay_trace,
                 window_requests=args.window,
                 warmup_requests=args.warmup,
                 obs=obs,
@@ -308,7 +311,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     try:
         with obs:
             results = run_comparison(
-                trace,
+                trace if obs.enabled else PackedTrace.from_trace(trace),
                 names,
                 args.capacities,
                 window_requests=args.window,

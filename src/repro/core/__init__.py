@@ -24,7 +24,14 @@ from repro.core.serialization import (
 )
 from repro.core.features import FeatureStore, feature_dim
 from repro.core.gbm import GradientBoostingRegressor
-from repro.core.hro import HroBound, HroWindow, compute_top_set, hro_bound, window_labels
+from repro.core.hro import (
+    HroBound,
+    HroWindow,
+    compute_top_set,
+    hro_bound,
+    window_labels,
+    window_labels_for_ids,
+)
 from repro.core.lhr import DLhrCache, LhrCache, NLhrCache
 from repro.core.threshold import ThresholdEstimator, WindowSample, shadow_hit_ratio
 
@@ -58,4 +65,5 @@ __all__ = [
     "hro_bound",
     "shadow_hit_ratio",
     "window_labels",
+    "window_labels_for_ids",
 ]

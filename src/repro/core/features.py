@@ -14,11 +14,14 @@ smaller ``num_irts``, which is what the Figure 6 ablation sweeps.
 
 Missing IRTs (young contents) are filled with ``missing_value`` — a large
 sentinel that the tree model can split away from real gaps.
+
+Gaps live in preallocated per-content ring buffers (most recent at the
+ring head, the appendleft order the model was designed around) so
+``vector`` fills the IRT block with at most two array-slice copies
+instead of a Python loop over a deque.
 """
 
 from __future__ import annotations
-
-from collections import deque
 
 import numpy as np
 
@@ -37,14 +40,34 @@ def feature_dim(num_irts: int) -> int:
 
 
 class _ContentRecord:
-    __slots__ = ("gaps", "last_time", "first_time", "count", "size")
+    __slots__ = ("gaps", "head", "length", "last_time", "first_time", "count", "size")
 
-    def __init__(self, max_gaps: int, req: Request):
-        self.gaps: deque[float] = deque(maxlen=max_gaps)
-        self.last_time = req.time
-        self.first_time = req.time
+    def __init__(self, max_gaps: int, time: float, size: int):
+        # Ring buffer of recent gaps, most recent at ``head`` and older
+        # entries following (wrapping); ``length`` counts the filled slots.
+        self.gaps = np.empty(max_gaps, dtype=np.float64)
+        self.head = 0
+        self.length = 0
+        self.last_time = time
+        self.first_time = time
         self.count = 1
-        self.size = req.size
+        self.size = size
+
+    def push_gap(self, gap: float) -> int:
+        """Prepend a gap (appendleft semantics); returns slots grown (0/1)."""
+        buf = self.gaps
+        capacity = buf.shape[0]
+        if capacity == 0:
+            return 0
+        head = self.head - 1
+        if head < 0:
+            head = capacity - 1
+        buf[head] = gap
+        self.head = head
+        if self.length < capacity:
+            self.length += 1
+            return 1
+        return 0
 
 
 class FeatureStore:
@@ -64,6 +87,10 @@ class FeatureStore:
         self.max_irts = max_irts
         self.missing_value = missing_value
         self._records: dict[int, _ContentRecord] = {}
+        #: Total filled gap slots across contents — maintained
+        #: incrementally so ``metadata_bytes`` is O(1) under the engine's
+        #: probe loop instead of walking every record.
+        self._gap_slots = 0
 
     def __len__(self) -> int:
         return len(self._records)
@@ -73,12 +100,16 @@ class FeatureStore:
 
     def observe(self, req: Request) -> None:
         """Record a request (call once per request, before ``vector``)."""
-        record = self._records.get(req.obj_id)
+        self.observe_scalar(req.obj_id, req.size, req.time)
+
+    def observe_scalar(self, obj_id: int, size: int, time: float) -> None:
+        """``observe`` without a ``Request`` — the columnar fast path."""
+        record = self._records.get(obj_id)
         if record is None:
-            self._records[req.obj_id] = _ContentRecord(self.max_irts - 1, req)
+            self._records[obj_id] = _ContentRecord(self.max_irts - 1, time, size)
             return
-        record.gaps.appendleft(req.time - record.last_time)
-        record.last_time = req.time
+        self._gap_slots += record.push_gap(time - record.last_time)
+        record.last_time = time
         record.count += 1
 
     def last_access(self, obj_id: int) -> float | None:
@@ -105,10 +136,17 @@ class FeatureStore:
             row[num_irts:] = 0.0
             return row
         row[0] = now - record.last_time
-        gaps = record.gaps
-        available = min(len(gaps), num_irts - 1)
-        for j in range(available):
-            row[1 + j] = gaps[j]
+        length = record.length
+        available = length if length < num_irts - 1 else num_irts - 1
+        if available:
+            buf = record.gaps
+            head = record.head
+            first = buf.shape[0] - head
+            if first >= available:
+                row[1 : 1 + available] = buf[head : head + available]
+            else:
+                row[1 : 1 + first] = buf[head:]
+                row[1 + first : 1 + available] = buf[: available - first]
         row[1 + available : num_irts] = self.missing_value
         row[num_irts] = np.log1p(record.size)
         row[num_irts + 1] = record.count
@@ -129,12 +167,9 @@ class FeatureStore:
             if now - record.last_time > horizon
         ]
         for obj_id in stale:
-            del self._records[obj_id]
+            self._gap_slots -= self._records.pop(obj_id).length
         return len(stale)
 
     def metadata_bytes(self) -> int:
         """Approximate footprint: gaps + 4 scalars per content."""
-        total = 0
-        for record in self._records.values():
-            total += 8 * (len(record.gaps) + 4)
-        return total
+        return 8 * (self._gap_slots + 4 * len(self._records))

@@ -137,6 +137,7 @@ class GradientBoostingRegressor:
         self._rng = np.random.default_rng(seed)
         self._trees: list[_Tree] = []
         self._scalar_trees: list | None = None
+        self._metadata_bytes: int | None = None
         self._base_score = 0.0
         self._fitted = False
 
@@ -204,7 +205,11 @@ class GradientBoostingRegressor:
                 elif round_index - best_round >= self.early_stopping_rounds:
                     del self._trees[best_round + 1 :]
                     break
+        # Refitting replaces the ensemble: drop every derived cache so
+        # stale scalar trees / footprint numbers cannot outlive the trees
+        # they were built from.
         self._scalar_trees = None
+        self._metadata_bytes = None
         self._fitted = True
         return self
 
@@ -303,39 +308,51 @@ class GradientBoostingRegressor:
     def _best_split(
         self, codes: np.ndarray, residuals: np.ndarray
     ) -> tuple[int, int, float] | None:
-        """Return ``(feature, bin, gain)`` of the best histogram split."""
-        num_features = codes.shape[1]
+        """Return ``(feature, bin, gain)`` of the best histogram split.
+
+        All per-feature histograms come out of two ``bincount`` calls over
+        the flattened code matrix (each feature's bins offset into its own
+        stripe) rather than 2F calls — the split search is the training
+        hot spot under online refits.  Within a bin, samples accumulate in
+        the same ascending order either way, and ``argmax`` keeps the
+        first maximum exactly like the strict ``>`` of a feature-by-
+        feature scan, so the chosen split is bit-identical to the
+        per-column form.
+        """
+        num_samples, num_features = codes.shape
+        n_bins = self.n_bins
         lam = self.l2_regularization
         total_sum = residuals.sum()
         total_count = residuals.size
         parent_score = total_sum * total_sum / (total_count + lam)
-        best_gain = 0.0
-        best: tuple[int, int, float] | None = None
-        for feat in range(num_features):
-            column = codes[:, feat]
-            counts = np.bincount(column, minlength=self.n_bins).astype(np.float64)
-            sums = np.bincount(column, weights=residuals, minlength=self.n_bins)
-            left_counts = np.cumsum(counts)[:-1]
-            left_sums = np.cumsum(sums)[:-1]
-            right_counts = total_count - left_counts
-            right_sums = total_sum - left_sums
-            valid = (left_counts >= self.min_samples_leaf) & (
-                right_counts >= self.min_samples_leaf
-            )
-            if not valid.any():
-                continue
-            gains = (
-                left_sums**2 / (left_counts + lam)
-                + right_sums**2 / (right_counts + lam)
-                - parent_score
-            )
-            gains[~valid] = -np.inf
-            split_bin = int(np.argmax(gains))
-            gain = float(gains[split_bin])
-            if gain > best_gain:
-                best_gain = gain
-                best = (feat, split_bin, gain)
-        return best
+        flat = codes + np.arange(num_features, dtype=np.intp) * n_bins
+        flat = flat.ravel()
+        length = num_features * n_bins
+        counts = np.bincount(flat, minlength=length).astype(np.float64)
+        sums = np.bincount(
+            flat, weights=np.repeat(residuals, num_features), minlength=length
+        )
+        left_counts = counts.reshape(num_features, n_bins).cumsum(axis=1)[:, :-1]
+        left_sums = sums.reshape(num_features, n_bins).cumsum(axis=1)[:, :-1]
+        right_counts = total_count - left_counts
+        right_sums = total_sum - left_sums
+        valid = (left_counts >= self.min_samples_leaf) & (
+            right_counts >= self.min_samples_leaf
+        )
+        if not valid.any():
+            return None
+        gains = (
+            left_sums**2 / (left_counts + lam)
+            + right_sums**2 / (right_counts + lam)
+            - parent_score
+        )
+        gains[~valid] = -np.inf
+        flat_best = int(np.argmax(gains))
+        feat, split_bin = divmod(flat_best, n_bins - 1)
+        gain = float(gains[feat, split_bin])
+        if gain <= 0.0:
+            return None
+        return feat, split_bin, gain
 
     # ------------------------------------------------------------------
     # Prediction
@@ -408,14 +425,21 @@ class GradientBoostingRegressor:
         return len(self._trees)
 
     def metadata_bytes(self) -> int:
-        """Model size in bytes (for the memory-overhead experiments)."""
-        total = 0
-        for tree in self._trees:
-            total += (
-                tree.feature.nbytes
-                + tree.threshold.nbytes
-                + tree.left.nbytes
-                + tree.right.nbytes
-                + tree.value.nbytes
-            )
-        return total
+        """Model size in bytes (for the memory-overhead experiments).
+
+        Trees are immutable between fits, so the walk runs once per
+        (re)fit and the result is cached — the engine's metadata probes
+        query this on a fixed cadence during replay.
+        """
+        if self._metadata_bytes is None:
+            total = 0
+            for tree in self._trees:
+                total += (
+                    tree.feature.nbytes
+                    + tree.threshold.nbytes
+                    + tree.left.nbytes
+                    + tree.right.nbytes
+                    + tree.value.nbytes
+                )
+            self._metadata_bytes = total
+        return self._metadata_bytes

@@ -37,7 +37,7 @@ from repro.obs import NULL_OBS
 from repro.traces.request import Request, Trace
 
 
-@dataclass
+@dataclass(slots=True)
 class _WindowAccumulator:
     """Running statistics of the currently open sliding window."""
 
@@ -130,6 +130,10 @@ class HroBound:
         # keeps updating as requests arrive within the open window.
         self._prev_counts: dict[int, int] = {}
         self._prev_duration = 0.0
+        #: Combined previous+current window elapsed time, refreshed once
+        #: per request (and at rotation) instead of recomputed from the
+        #: accumulator for every hazard query.
+        self._elapsed = 1e-9
         self._combined_sizes: dict[int, int] = {}
         #: Hazard admission threshold: the marginal size-normalized hazard
         #: of the fractional-knapsack prefix, refreshed at window closes.
@@ -172,30 +176,57 @@ class HroBound:
         count = self._prev_counts.get(obj_id, 0) + self._accumulator.counts.get(
             obj_id, 0
         )
-        elapsed = max(self._prev_duration + self._accumulator.duration, 1e-9)
-        return count / (elapsed * size)
+        return count / (self._elapsed * size)
 
     def _observe_irt(self, req: Request) -> None:
-        previous = self._last_time.get(req.obj_id)
-        if previous is not None and req.time > previous:
-            gaps = self._irts.get(req.obj_id)
+        self._observe_irt_scalar(req.obj_id, req.time)
+
+    def _observe_irt_scalar(self, obj_id: int, time: float) -> None:
+        previous = self._last_time.get(obj_id)
+        if previous is not None and time > previous:
+            gaps = self._irts.get(obj_id)
             if gaps is None:
                 gaps = deque(maxlen=16)
-                self._irts[req.obj_id] = gaps
-            gaps.append(req.time - previous)
+                self._irts[obj_id] = gaps
+            gaps.append(time - previous)
 
     def process(self, req: Request) -> bool:
         """Classify one request under HRO and update window state."""
-        self._accumulator.add(req)
+        return self.process_scalar(req.obj_id, req.size, req.time)
+
+    def process_scalar(self, obj_id: int, size: int, time: float) -> bool:
+        """``process`` without a ``Request`` — the columnar fast path.
+
+        The accumulator update is inlined and the combined-window elapsed
+        time cached once per request, so hazard queries stay O(1) dict
+        lookups; the classification logic is the reference ``process``
+        verbatim.
+        """
+        acc = self._accumulator
+        start = acc.start_time
+        if start is None:
+            acc.start_time = start = time
+        acc.end_time = time
+        acc.num_requests += 1
+        counts = acc.counts
+        if obj_id in counts:
+            counts[obj_id] += 1
+        else:
+            counts[obj_id] = 1
+            acc.sizes[obj_id] = size
+            acc.unique_bytes += size
+        duration = time - start
+        if duration < 1e-9:
+            duration = 1e-9
+        self._elapsed = self._prev_duration + duration
         if self.hazard_model != "poisson":
-            self._observe_irt(req)
+            self._observe_irt_scalar(obj_id, time)
         if self._have_threshold:
-            seen = req.obj_id in self._seen
+            seen = obj_id in self._seen
             if seen or self.track_decisions:
                 would_cache = (
-                    self._hazard(req.obj_id, req.size, req.time)
-                    > self._hazard_threshold
-                    or req.obj_id in self._top_set
+                    self._hazard(obj_id, size, time) > self._hazard_threshold
+                    or obj_id in self._top_set
                 )
             else:
                 # The verdict is only needed for seen contents (a first
@@ -207,20 +238,20 @@ class HroBound:
             # re-request counts (the InfiniteCap rule), which errs on the
             # generous side and so preserves the upper-bound property.
             would_cache = True
-            hit = req.obj_id in self._seen
+            hit = obj_id in self._seen
         if self.track_decisions:
             self.last_would_cache = would_cache
         if hit:
             self.hits += 1
-            self.hit_bytes += req.size
+            self.hit_bytes += size
         self.requests += 1
-        self.total_bytes += req.size
-        self._seen.add(req.obj_id)
+        self.total_bytes += size
+        self._seen.add(obj_id)
         if self.hazard_model != "poisson":
-            self._last_time[req.obj_id] = req.time
+            self._last_time[obj_id] = time
         if (
-            self._accumulator.unique_bytes >= self.window_bytes
-            and self._accumulator.num_requests >= self.min_window_requests
+            acc.unique_bytes >= self.window_bytes
+            and acc.num_requests >= self.min_window_requests
         ):
             self._close_window()
         return hit
@@ -270,6 +301,9 @@ class HroBound:
         self._prev_duration = acc.duration
         self._combined_sizes = dict(acc.sizes)
         self._accumulator = _WindowAccumulator()
+        # Fresh accumulator has zero duration: elapsed is the previous
+        # window's span (floored like the reference computation).
+        self._elapsed = max(self._prev_duration, 1e-9)
         return window
 
     def _refit_models(
@@ -415,9 +449,14 @@ def window_labels(window: HroWindow, requests: Sequence[Request]) -> np.ndarray:
     Label 1 iff the request's content belongs to the window's own top
     set — "what optimal caching would have admitted" (Section 5.2.4).
     """
-    return np.asarray(
-        [1.0 if req.obj_id in window.top_set else 0.0 for req in requests]
-    )
+    return window_labels_for_ids(window, [req.obj_id for req in requests])
+
+
+def window_labels_for_ids(window: HroWindow, obj_ids: Sequence[int]) -> np.ndarray:
+    """``window_labels`` from bare content ids (the columnar path keeps
+    per-window ids, not ``Request`` objects)."""
+    top_set = window.top_set
+    return np.asarray([1.0 if obj_id in top_set else 0.0 for obj_id in obj_ids])
 
 
 def hro_bound(

@@ -31,7 +31,7 @@ import numpy as np
 from repro.core.detection import DriftDetector
 from repro.core.features import FeatureStore, feature_dim
 from repro.core.gbm import GradientBoostingRegressor
-from repro.core.hro import HroBound, HroWindow, window_labels
+from repro.core.hro import HroBound, HroWindow, window_labels_for_ids
 from repro.core.threshold import ThresholdEstimator, WindowSample
 from repro.obs import Observation
 from repro.policies.base import CachePolicy
@@ -138,9 +138,12 @@ class LhrCache(CachePolicy):
         self._cached_ids = IndexedSet()
 
         # Per-window buffers for training and threshold estimation.
+        # Content ids (not Request objects) are enough for labelling, so
+        # the columnar path never has to materialize requests.
         self._window_rows: list[np.ndarray] = []
-        self._window_requests: list[Request] = []
+        self._window_ids: list[int] = []
         self._window_samples: list[WindowSample] = []
+        self._last_access_time = 0.0
 
         self._current_p = 1.0
         self.trainings = 0
@@ -205,7 +208,11 @@ class LhrCache(CachePolicy):
     # ------------------------------------------------------------------
 
     def _on_access(self, req: Request) -> None:
-        row = self.features.vector(req.obj_id, req.time, self.num_irts)
+        self._access_scalar(req.obj_id, req.size, req.time)
+
+    def _access_scalar(self, obj_id: int, size: int, time_: float) -> None:
+        self._last_access_time = time_
+        row = self.features.vector(obj_id, time_, self.num_irts)
         if self._model is not None:
             if self._predict_histogram is not None:
                 start = time.perf_counter()
@@ -217,13 +224,13 @@ class LhrCache(CachePolicy):
             # Bootstrap (first window): behave as admit-all with p = 1.
             p = 1.0
         self._current_p = p
-        self.features.observe(req)
+        self.features.observe_scalar(obj_id, size, time_)
         self._window_rows.append(row)
-        self._window_requests.append(req)
+        self._window_ids.append(obj_id)
         self._window_samples.append(
-            WindowSample(obj_id=req.obj_id, size=req.size, time=req.time, probability=p)
+            WindowSample(obj_id=obj_id, size=size, time=time_, probability=p)
         )
-        self.hro.process(req)
+        self.hro.process_scalar(obj_id, size, time_)
 
     def _on_hit(self, req: Request) -> None:
         p = self._current_p
@@ -265,11 +272,36 @@ class LhrCache(CachePolicy):
         return p / (self._sizes[obj_id] * irt1)
 
     def _select_victim(self, incoming: Request) -> int:
+        return self._select_victim_scalar(incoming.time)
+
+    def _select_victim_scalar(self, now: float) -> int:
         if len(self._eviction_candidates):
             pool = self._eviction_candidates.sample(self._num_candidates, self._rng)
         else:
             pool = self._cached_ids.sample(self._num_candidates, self._rng)
-        return min(pool, key=lambda oid: self._eviction_value(oid, incoming.time))
+        if self.eviction_rule != "lhr":
+            return min(pool, key=lambda oid: self._eviction_value(oid, now))
+        # Default rule, inlined: q = p / (s * IRT_1) with the same
+        # first-minimum tie-break as min().  Eviction sampling dominates
+        # LHR's steady-state cost, so the per-candidate lambda and method
+        # dispatch of the generic path are worth shedding.
+        probabilities = self._probabilities
+        records = self.features._records
+        sizes = self._sizes
+        best = -1
+        best_value = np.inf
+        for oid in pool:
+            record = records.get(oid)
+            if record is None:
+                irt1 = 1e9
+            else:
+                gap = now - record.last_time
+                irt1 = gap if gap > 1e-9 else 1e-9
+            value = probabilities.get(oid, 0.0) / (sizes[oid] * irt1)
+            if value < best_value:
+                best_value = value
+                best = oid
+        return best
 
     # ------------------------------------------------------------------
     # Window pipeline: detection -> estimation -> training
@@ -289,17 +321,17 @@ class LhrCache(CachePolicy):
                 self.estimator.update(self._window_samples, self.capacity)
             self._train(window)
         # Keep feature history bounded to a few windows of idle time.
-        if self._window_requests:
-            now = self._window_requests[-1].time
+        if self._window_ids:
+            now = self._last_access_time
             self.features.prune(now, horizon=max(window.duration * 4.0, 1e-6))
         self._window_rows.clear()
-        self._window_requests.clear()
+        self._window_ids.clear()
         self._window_samples.clear()
 
     def _train(self, window: HroWindow) -> None:
         if not self._window_rows:
             return
-        labels = window_labels(window, self._window_requests)
+        labels = window_labels_for_ids(window, self._window_ids)
         rows = np.vstack(self._window_rows)
         start = time.perf_counter()
         model = GradientBoostingRegressor(**self._gbm_params)

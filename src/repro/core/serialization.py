@@ -71,6 +71,7 @@ def gbm_from_dict(payload: dict) -> GradientBoostingRegressor:
         for tree in payload["trees"]
     ]
     model._scalar_trees = None
+    model._metadata_bytes = None
     model._fitted = True
     return model
 

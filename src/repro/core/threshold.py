@@ -29,7 +29,7 @@ from repro.obs import NULL_OBS
 STEP = 0.1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WindowSample:
     """One request as recorded for shadow replay."""
 

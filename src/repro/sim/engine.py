@@ -20,12 +20,13 @@ from repro.obs import NULL_OBS, Observation
 from repro.obs.trace import DecisionTracer
 from repro.policies.base import CachePolicy
 from repro.sim.metrics import SimulationResult, WindowMetrics
+from repro.traces.packed import PackedTrace
 from repro.traces.request import Trace
 
 
 def simulate(
     policy: CachePolicy,
-    trace: Trace,
+    trace: Trace | PackedTrace,
     window_requests: int = 0,
     warmup_requests: int = 0,
     metadata_probe_interval: int = 1000,
@@ -41,7 +42,12 @@ def simulate(
     policy:
         A fresh policy instance (the engine does not reset state).
     trace:
-        The request stream.
+        The request stream — a reference ``Trace`` or a columnar
+        :class:`~repro.traces.packed.PackedTrace`.  A packed trace runs
+        the allocation-free scalar loop when no instrumentation is
+        attached, and is transparently unpacked to the reference object
+        path otherwise (tracing and observation always see ``Request``
+        objects).
     window_requests:
         If > 0, collect per-window hit series every this many requests
         (the Figure 7 time series).
@@ -118,7 +124,7 @@ def _emit_window(obs: Observation, window: WindowMetrics) -> None:
 
 def replay_into(
     policy: CachePolicy,
-    trace: Trace,
+    trace: Trace | PackedTrace,
     result: SimulationResult,
     window_requests: int = 0,
     warmup_requests: int = 0,
@@ -137,12 +143,30 @@ def replay_into(
     branch and everything else happens once, outside the loop.  A
     ``tracer`` is attached to the policy once here; recording happens
     inside ``CachePolicy.request``.
+
+    A :class:`PackedTrace` takes the columnar fast path
+    (:func:`_replay_packed`) unless the policy carries a tracer or an
+    enabled observation handle — instrumented runs always replay the
+    reference object path, so the packed trace is unpacked first.
     """
     observing = obs.enabled
     if observing:
         policy.attach_observation(obs)
     if tracer is not None:
         policy.attach_tracer(tracer)
+    if isinstance(trace, PackedTrace):
+        if policy.tracer is None and not policy.obs.enabled and not observing:
+            return _replay_packed(
+                policy,
+                trace,
+                result,
+                window_requests=window_requests,
+                warmup_requests=warmup_requests,
+                metadata_probe_interval=metadata_probe_interval,
+                heartbeat=heartbeat,
+                heartbeat_interval=heartbeat_interval,
+            )
+        trace = trace.unpack()
     window: WindowMetrics | None = None
     start = time.perf_counter()
     peak_metadata = 0
@@ -197,4 +221,97 @@ def replay_into(
         registry.gauge(
             "sim_peak_metadata_bytes", help="peak sampled policy metadata"
         ).max(result.peak_metadata_bytes)
+    return result
+
+
+def _replay_packed(
+    policy: CachePolicy,
+    packed: PackedTrace,
+    result: SimulationResult,
+    window_requests: int = 0,
+    warmup_requests: int = 0,
+    metadata_probe_interval: int = 1000,
+    heartbeat=None,
+    heartbeat_interval: int = 0,
+) -> SimulationResult:
+    """Columnar replay: drive ``request_scalar`` straight from the packed
+    scalar columns, no per-request ``Request`` allocation.
+
+    Equivalence with the object loop is by construction and pinned by
+    ``tests/sim/test_fastpath.py``: the trace is processed in chunks
+    whose boundaries land exactly on the object loop's bookkeeping
+    points (metadata probes after index ``i % interval == 0``, window
+    rollovers every ``window_requests``, heartbeats at
+    ``(i + 1) % heartbeat_interval == 0``, the warmup edge), and all
+    aggregate/window accounting is reconstructed from the policy's own
+    monotone counters as deltas at those boundaries — every request adds
+    its size to exactly one of ``hit_bytes``/``miss_bytes``, so byte and
+    hit totals over any index range are counter differences.  Each chunk
+    goes through ``policy.replay_span`` in one call, so span-kernel
+    policies pay Python dispatch per chunk, not per request.
+    """
+    obj_ids, sizes, times = packed.scalar_columns()
+    total = len(obj_ids)
+    replay_span = policy.replay_span
+    interval = metadata_probe_interval
+    warmup = min(warmup_requests, total)
+    # Measured-aggregate base: counters at the warmup edge (policies may
+    # enter with non-zero totals; resumable replays accumulate).
+    base_hits = policy.hits
+    base_hit_bytes = policy.hit_bytes
+    base_bytes = policy.hit_bytes + policy.miss_bytes
+    window: WindowMetrics | None = None
+    window_begin = 0
+    win_hits = win_hit_bytes = win_bytes = 0
+    start = time.perf_counter()
+    peak_metadata = 0
+    i = 0
+    while i < total:
+        stop = total
+        if interval:
+            aligned = ((i + interval - 1) // interval) * interval + 1
+            if aligned < stop:
+                stop = aligned
+        if window_requests:
+            if i % window_requests == 0:
+                window = WindowMetrics(index=len(result.windows))
+                result.windows.append(window)
+                window_begin = i
+                win_hits = policy.hits
+                win_hit_bytes = policy.hit_bytes
+                win_bytes = policy.hit_bytes + policy.miss_bytes
+            boundary = (i // window_requests + 1) * window_requests
+            if boundary < stop:
+                stop = boundary
+        if heartbeat_interval:
+            boundary = (i // heartbeat_interval + 1) * heartbeat_interval
+            if boundary < stop:
+                stop = boundary
+        if i < warmup < stop:
+            stop = warmup
+        replay_span(obj_ids, sizes, times, i, stop)
+        if window is not None:
+            window.requests = stop - window_begin
+            window.hits = policy.hits - win_hits
+            window.hit_bytes = policy.hit_bytes - win_hit_bytes
+            window.total_bytes = policy.hit_bytes + policy.miss_bytes - win_bytes
+        if stop == warmup:
+            base_hits = policy.hits
+            base_hit_bytes = policy.hit_bytes
+            base_bytes = policy.hit_bytes + policy.miss_bytes
+        if interval and (stop - 1) % interval == 0:
+            metadata = policy.metadata_bytes()
+            if metadata > peak_metadata:
+                peak_metadata = metadata
+        if heartbeat_interval and stop % heartbeat_interval == 0:
+            heartbeat(stop)
+        i = stop
+    result.runtime_seconds = time.perf_counter() - start
+    result.peak_metadata_bytes = max(peak_metadata, policy.metadata_bytes())
+    result.evictions = policy.evictions
+    result.admissions = policy.admissions
+    result.requests += total - warmup
+    result.hits += policy.hits - base_hits
+    result.hit_bytes += policy.hit_bytes - base_hit_bytes
+    result.total_bytes += policy.hit_bytes + policy.miss_bytes - base_bytes
     return result

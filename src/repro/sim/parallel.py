@@ -10,9 +10,14 @@ worker processes.  Design constraints, in order:
   from a picklable :class:`CellSpec`, so every cell starts from the same
   seeded state it would have serially.
 * **Cheap trace sharing** — the trace is columnarized into three NumPy
-  arrays (:class:`PackedTrace`) and shipped once per worker via the pool
-  initializer, not once per cell; workers rebuild the ``Trace`` a single
-  time and reuse it for all their cells.
+  arrays (:class:`~repro.traces.packed.PackedTrace`) and placed in one
+  POSIX shared-memory segment; workers map it read-only through the pool
+  initializer, so the request stream crosses the process boundary zero
+  times (a short descriptor pickles instead).  Platforms without usable
+  shared memory fall back to pickling the packed arrays once per worker.
+  Workers replay the columns directly through the engine's scalar fast
+  path; cells that need ``Request`` objects (observed or traced runs)
+  unpack once per worker and reuse the rebuilt ``Trace``.
 * **Failure containment** — a cell that raises is captured in the worker
   (policy name, capacity and full traceback) and reported after every
   sibling cell has finished; one bad cell never hangs the pool or
@@ -36,16 +41,20 @@ import traceback
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field, replace
-
-import numpy as np
+from dataclasses import dataclass, replace
 
 from repro.obs import NULL_OBS, MemoryRecorder, MetricsRegistry, Observation
 from repro.obs.server import ProgressTracker, current_rss_bytes
 from repro.obs.trace import TraceConfig
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult, grid_order
-from repro.traces.request import Request, Trace
+from repro.traces.packed import (
+    PackedTrace,
+    SharedTraceBuffers,
+    SharedTraceDescriptor,
+    attach_shared_trace,
+)
+from repro.traces.request import Trace
 
 #: Default worker heartbeat cadence, in replayed requests per cell.
 DEFAULT_HEARTBEAT_INTERVAL = 1000
@@ -54,45 +63,13 @@ DEFAULT_HEARTBEAT_INTERVAL = 1000
 DEFAULT_STALL_TIMEOUT = 30.0
 
 
-@dataclass(frozen=True)
-class PackedTrace:
-    """Columnar trace representation that pickles cheaply.
-
-    A ``Trace`` is a list of ``Request`` dataclass instances; pickling it
-    costs per-object overhead that dwarfs the payload.  Three primitive
-    arrays carry the same information in a few contiguous buffers.
-    """
-
-    times: np.ndarray
-    obj_ids: np.ndarray
-    sizes: np.ndarray
-    name: str
-    metadata: dict = field(default_factory=dict)
-
-    @classmethod
-    def from_trace(cls, trace: Trace) -> "PackedTrace":
-        count = len(trace)
-        times = np.empty(count, dtype=np.float64)
-        obj_ids = np.empty(count, dtype=np.int64)
-        sizes = np.empty(count, dtype=np.int64)
-        for i, req in enumerate(trace):
-            times[i] = req.time
-            obj_ids[i] = req.obj_id
-            sizes[i] = req.size
-        return cls(times, obj_ids, sizes, trace.name, dict(trace.metadata))
-
-    def unpack(self) -> Trace:
-        """Rebuild the full ``Trace`` (done once per worker process)."""
-        requests = [
-            Request(time=t, obj_id=o, size=s, index=i)
-            for i, (t, o, s) in enumerate(
-                zip(self.times.tolist(), self.obj_ids.tolist(), self.sizes.tolist())
-            )
-        ]
-        return Trace(requests, name=self.name, metadata=dict(self.metadata))
-
-    def __len__(self) -> int:
-        return int(self.times.shape[0])
+__all__ = [
+    "CellFailure",
+    "CellSpec",
+    "PackedTrace",  # re-exported; the class lives in repro.traces.packed
+    "SweepCellError",
+    "run_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -175,7 +152,17 @@ class SweepCellError(RuntimeError):
 
 #: The shared trace, installed once per worker by the pool initializer
 #: (or pointed at the caller's trace directly for in-process execution).
-_WORKER_TRACE: Trace | None = None
+#: Workers hold the columnar representation; cells that need ``Request``
+#: objects go through :func:`_cell_trace`.
+_WORKER_TRACE: Trace | PackedTrace | None = None
+
+#: Worker-local cache of the unpacked ``Trace`` — built at most once per
+#: worker, only when an observed/traced cell needs the object path.
+_WORKER_UNPACKED: Trace | None = None
+
+#: The worker's handle on the shared-memory segment; kept alive for the
+#: worker's lifetime because dropping it invalidates the mapped columns.
+_WORKER_SHM = None
 
 #: The heartbeat queue (a manager-queue proxy), installed alongside the
 #: trace when the driver monitors progress; None otherwise.
@@ -183,9 +170,33 @@ _WORKER_HEARTBEAT_QUEUE = None
 
 
 def _init_worker(packed: PackedTrace, heartbeat_queue=None) -> None:
-    global _WORKER_TRACE, _WORKER_HEARTBEAT_QUEUE
-    _WORKER_TRACE = packed.unpack()
+    global _WORKER_TRACE, _WORKER_UNPACKED, _WORKER_HEARTBEAT_QUEUE
+    _WORKER_TRACE = packed
+    _WORKER_UNPACKED = None
     _WORKER_HEARTBEAT_QUEUE = heartbeat_queue
+
+
+def _init_worker_shared(
+    descriptor: SharedTraceDescriptor, heartbeat_queue=None
+) -> None:
+    """Pool initializer for the zero-copy path: map the driver's shared
+    segment read-only instead of unpickling a trace copy."""
+    global _WORKER_SHM
+    packed, shm = attach_shared_trace(descriptor)
+    _WORKER_SHM = shm
+    _init_worker(packed, heartbeat_queue)
+
+
+def _cell_trace(needs_objects: bool) -> Trace | PackedTrace:
+    """The worker's trace, unpacked on demand (and cached) when a cell
+    runs observed/traced and therefore replays the object path."""
+    global _WORKER_UNPACKED
+    trace = _WORKER_TRACE
+    if not needs_objects or not isinstance(trace, PackedTrace):
+        return trace
+    if _WORKER_UNPACKED is None:
+        _WORKER_UNPACKED = trace.unpack()
+    return _WORKER_UNPACKED
 
 
 #: One worker cell's outcome: ``(index, result, failure, events, registry)``.
@@ -267,7 +278,7 @@ def _run_cell(
         heartbeat = _heartbeat_for(spec, policy, heartbeat_interval, heartbeat_sink)
         result = simulate(
             policy,
-            _WORKER_TRACE,
+            _cell_trace(observe or trace_config is not None),
             window_requests=window_requests,
             warmup_requests=warmup_requests,
             obs=cell_obs,
@@ -298,7 +309,7 @@ def _run_cell(
 
 
 def run_sweep(
-    trace: Trace,
+    trace: Trace | PackedTrace,
     specs: Sequence[CellSpec],
     window_requests: int = 0,
     warmup_requests: int = 0,
@@ -427,7 +438,7 @@ def _merge_observations(
 
 
 def _run_inline(
-    trace: Trace,
+    trace: Trace | PackedTrace,
     specs: Sequence[CellSpec],
     window_requests: int,
     warmup_requests: int,
@@ -439,9 +450,11 @@ def _run_inline(
     """Serial execution sharing the worker code path (and its capture).
 
     With a tracker, heartbeats skip the queue and feed it directly."""
-    global _WORKER_TRACE
+    global _WORKER_TRACE, _WORKER_UNPACKED
     previous = _WORKER_TRACE
+    previous_unpacked = _WORKER_UNPACKED
     _WORKER_TRACE = trace
+    _WORKER_UNPACKED = None
     sink = (
         (lambda message: progress.heartbeat(**message))
         if progress is not None
@@ -460,6 +473,7 @@ def _run_inline(
         return outcomes
     finally:
         _WORKER_TRACE = previous
+        _WORKER_UNPACKED = previous_unpacked
 
 
 def _track_outcome(progress: ProgressTracker, outcome: CellOutcome) -> None:
@@ -525,7 +539,7 @@ def _check_stalls(
 
 
 def _run_pooled(
-    trace: Trace,
+    trace: Trace | PackedTrace,
     specs: Sequence[CellSpec],
     window_requests: int,
     warmup_requests: int,
@@ -538,14 +552,21 @@ def _run_pooled(
     stall_timeout_seconds: float = DEFAULT_STALL_TIMEOUT,
     obs: Observation = NULL_OBS,
 ) -> list[CellOutcome]:
-    """Fan cells out over worker processes; the trace ships once per worker.
+    """Fan cells out over worker processes; the trace crosses the process
+    boundary zero times via shared memory (or once per worker as pickled
+    arrays where shared memory is unavailable).
 
     With a tracker, a ``Manager`` queue proxy ships to every worker via
     the pool initializer (a plain ``multiprocessing.Queue`` cannot ride
     ``initargs``) and a driver-side thread drains it into the tracker,
     checking for stalled cells between reads.
+
+    The driver owns the shared segment: the ``finally`` below releases it
+    on normal completion, worker death (``BrokenProcessPool``) and
+    ``KeyboardInterrupt`` alike — ``tests/sim/test_parallel.py`` checks
+    :func:`~repro.traces.packed.live_segment_names` stays empty.
     """
-    packed = PackedTrace.from_trace(trace)
+    packed = trace if isinstance(trace, PackedTrace) else PackedTrace.from_trace(trace)
     workers = min(jobs, len(specs))
     outcomes: list[CellOutcome] = []
 
@@ -563,12 +584,23 @@ def _run_pooled(
             daemon=True,
         )
         drainer.start()
-    initargs = (packed,) if hb_queue is None else (packed, hb_queue)
+    shared = None
+    try:
+        shared = SharedTraceBuffers.create(packed)
+    except (OSError, ValueError):
+        shared = None  # no usable /dev/shm — ship the arrays by pickle
+    if shared is not None:
+        initializer = _init_worker_shared
+        payload = shared.descriptor
+    else:
+        initializer = _init_worker
+        payload = packed
+    initargs = (payload,) if hb_queue is None else (payload, hb_queue)
     try:
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=mp_context,
-            initializer=_init_worker,
+            initializer=initializer,
             initargs=initargs,
         ) as pool:
             futures = {
@@ -607,6 +639,8 @@ def _run_pooled(
             results[by_index[outcome[0]]] = outcome[1]
         raise SweepCellError(failures, results) from exc
     finally:
+        if shared is not None:
+            shared.release()
         if drainer is not None:
             stop_drain.set()
             drainer.join(timeout=5.0)

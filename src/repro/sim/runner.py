@@ -24,6 +24,7 @@ from repro.sim.parallel import (
     CellSpec,
     run_sweep,
 )
+from repro.traces.packed import PackedTrace
 from repro.traces.request import Trace
 
 _CORE_REGISTRY = {
@@ -82,7 +83,7 @@ def sweep_specs(
 
 
 def run_comparison(
-    trace: Trace,
+    trace: Trace | PackedTrace,
     policy_names: Sequence[str],
     capacities: Iterable[int],
     window_requests: int = 0,

@@ -8,6 +8,12 @@ for the substitution rationale.
 """
 
 from repro.traces.loader import load_trace_csv, save_trace_csv
+from repro.traces.packed import (
+    PackedTrace,
+    SharedTraceBuffers,
+    SharedTraceDescriptor,
+    attach_shared_trace,
+)
 from repro.traces.production import (
     PRODUCTION_SPECS,
     TraceSpec,
@@ -25,7 +31,11 @@ from repro.traces.synthetic import (
 __all__ = [
     "MarkovModulatedGenerator",
     "PRODUCTION_SPECS",
+    "PackedTrace",
     "Request",
+    "SharedTraceBuffers",
+    "SharedTraceDescriptor",
+    "attach_shared_trace",
     "Trace",
     "TraceSpec",
     "TraceSummary",

@@ -1,0 +1,262 @@
+"""Columnar trace representation — the replay engine's native format.
+
+A ``Trace`` is a list of ``Request`` dataclass instances; that is the
+*reference* representation every policy understands.  ``PackedTrace``
+carries the same information as three primitive NumPy columns
+``(times, obj_ids, sizes)``:
+
+* it pickles in a few contiguous buffers instead of per-object records,
+* :func:`repro.sim.engine.replay_into` drives policies straight from the
+  columns through ``CachePolicy.request_scalar`` — no per-request
+  ``Request`` allocation on the hot path,
+* :class:`SharedTraceBuffers` places the columns in POSIX shared memory
+  once so sweep workers map them read-only instead of unpickling their
+  own copy of a million-request trace.
+
+The object path remains the semantic reference: ``unpack()`` rebuilds the
+exact ``Trace`` and the equivalence suite (``tests/sim/test_fastpath.py``)
+pins both paths to bit-identical hit/miss streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.traces.request import Request, Trace
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def _int64_column(values, column: str) -> np.ndarray:
+    """Convert ``values`` to an int64 array, naming the offender on overflow."""
+    try:
+        return np.asarray(values, dtype=np.int64)
+    except OverflowError as exc:
+        for index, value in enumerate(values):
+            if not _INT64_MIN <= value <= _INT64_MAX:
+                raise ValueError(
+                    f"request {index}: {column}={value} does not fit the "
+                    f"packed int64 column (range [{_INT64_MIN}, {_INT64_MAX}])"
+                ) from exc
+        raise
+
+
+@dataclass(frozen=True)
+class PackedTrace:
+    """Columnar ``(times, obj_ids, sizes)`` view of a request trace.
+
+    ``times`` is float64; ``obj_ids`` and ``sizes`` are int64, so ids and
+    sizes beyond 2**63 - 1 are rejected at packing time with a clear
+    error rather than wrapping silently.
+    """
+
+    times: np.ndarray
+    obj_ids: np.ndarray
+    sizes: np.ndarray
+    name: str
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {
+            self.times.shape[0],
+            self.obj_ids.shape[0],
+            self.sizes.shape[0],
+        }
+        if len(lengths) != 1:
+            raise ValueError(
+                "packed columns disagree on length: "
+                f"times={self.times.shape[0]}, obj_ids={self.obj_ids.shape[0]}, "
+                f"sizes={self.sizes.shape[0]}"
+            )
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "PackedTrace":
+        times = np.asarray([req.time for req in trace], dtype=np.float64)
+        obj_ids = _int64_column([req.obj_id for req in trace], "obj_id")
+        sizes = _int64_column([req.size for req in trace], "size")
+        return cls(times, obj_ids, sizes, trace.name, dict(trace.metadata))
+
+    @classmethod
+    def from_arrays(
+        cls,
+        times,
+        obj_ids,
+        sizes,
+        name: str = "trace",
+        metadata: dict | None = None,
+    ) -> "PackedTrace":
+        """Build from array-likes, validating what ``Request`` would."""
+        times = np.asarray(times, dtype=np.float64)
+        obj_ids = _int64_column(obj_ids, "obj_id")
+        sizes = _int64_column(sizes, "size")
+        packed = cls(times, obj_ids, sizes, name, dict(metadata or {}))
+        if len(packed) and float(times.min()) < 0:
+            index = int(np.argmin(times))
+            raise ValueError(
+                f"request {index}: time must be non-negative, got {times[index]}"
+            )
+        if len(packed) and int(sizes.min()) <= 0:
+            index = int(np.argmin(sizes))
+            raise ValueError(
+                f"request {index}: size must be positive, got {sizes[index]}"
+            )
+        return packed
+
+    def unpack(self) -> Trace:
+        """Rebuild the reference ``Trace`` (requests carry their indices)."""
+        requests = [
+            Request(time=t, obj_id=o, size=s, index=i)
+            for i, (t, o, s) in enumerate(
+                zip(self.times.tolist(), self.obj_ids.tolist(), self.sizes.tolist())
+            )
+        ]
+        return Trace(requests, name=self.name, metadata=dict(self.metadata))
+
+    def scalar_columns(self) -> tuple[list, list, list]:
+        """``(obj_ids, sizes, times)`` as plain Python lists.
+
+        Plain lists of ints/floats are the fastest iteration substrate for
+        the scalar replay loop (NumPy scalar extraction boxes per element);
+        the conversion happens once and is cached on the instance.
+        """
+        scalars = self.__dict__.get("_scalars")
+        if scalars is None:
+            scalars = (
+                self.obj_ids.tolist(),
+                self.sizes.tolist(),
+                self.times.tolist(),
+            )
+            object.__setattr__(self, "_scalars", scalars)
+        return scalars
+
+    def iter_scalars(self):
+        """Yield ``(obj_id, size, time)`` per request, in trace order."""
+        obj_ids, sizes, times = self.scalar_columns()
+        return zip(obj_ids, sizes, times)
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+    def __getstate__(self):
+        # The scalar-column cache can triple the payload; rebuild lazily
+        # on the receiving side instead of shipping it.
+        state = dict(self.__dict__)
+        state.pop("_scalars", None)
+        return state
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport (driver creates, workers attach read-only)
+# ----------------------------------------------------------------------
+
+#: Segment names created by this process and not yet released — the leak
+#: check surface for tests and post-mortem debugging.
+_LIVE_SEGMENTS: set[str] = set()
+
+
+def live_segment_names() -> tuple[str, ...]:
+    """Names of shared trace segments this process currently owns."""
+    return tuple(sorted(_LIVE_SEGMENTS))
+
+
+@dataclass(frozen=True)
+class SharedTraceDescriptor:
+    """Picklable handle a worker needs to map a shared packed trace."""
+
+    segment: str
+    count: int
+    name: str
+    metadata: dict = field(default_factory=dict)
+
+
+class SharedTraceBuffers:
+    """Driver-side owner of one shared-memory segment holding the packed
+    columns back to back (``times | obj_ids | sizes``, 24 bytes/request).
+
+    The creating process owns the segment's lifetime: ``release()`` (or
+    process exit via the resource tracker) unlinks it.  Workers attach
+    through :func:`attach_shared_trace` with the picklable ``descriptor``.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, descriptor: SharedTraceDescriptor):
+        self._shm = shm
+        self.descriptor = descriptor
+        self._released = False
+
+    @classmethod
+    def create(cls, packed: PackedTrace) -> "SharedTraceBuffers":
+        count = len(packed)
+        # A zero-length segment is invalid; one spare byte keeps the empty
+        # trace on the same code path.
+        shm = shared_memory.SharedMemory(create=True, size=max(24 * count, 1))
+        try:
+            np.ndarray(count, dtype=np.float64, buffer=shm.buf)[:] = packed.times
+            np.ndarray(count, dtype=np.int64, buffer=shm.buf, offset=8 * count)[
+                :
+            ] = packed.obj_ids
+            np.ndarray(count, dtype=np.int64, buffer=shm.buf, offset=16 * count)[
+                :
+            ] = packed.sizes
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        descriptor = SharedTraceDescriptor(
+            segment=shm.name,
+            count=count,
+            name=packed.name,
+            metadata=dict(packed.metadata),
+        )
+        _LIVE_SEGMENTS.add(shm.name)
+        return cls(shm, descriptor)
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Close and unlink the segment; safe to call more than once."""
+        if self._released:
+            return
+        self._released = True
+        _LIVE_SEGMENTS.discard(self._shm.name)
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover — already gone
+            pass
+
+
+def attach_shared_trace(
+    descriptor: SharedTraceDescriptor,
+) -> tuple[PackedTrace, shared_memory.SharedMemory]:
+    """Map a shared packed trace read-only (worker side).
+
+    Returns the columnar view plus the ``SharedMemory`` handle the caller
+    must keep alive while the arrays are in use (dropping it invalidates
+    the buffer).
+
+    Resource-tracker note: ``SharedMemory`` registers every attach with
+    the resource tracker, which sweep workers *share* with the driver
+    (both fork and spawn children inherit the tracker process), so the
+    duplicate registration is an idempotent set-add there.  The driver's
+    ``release()`` unlinks and removes the single cache entry; explicitly
+    unregistering here would strip the driver's registration instead —
+    producing tracker KeyError noise at exit and losing the crash
+    protection that unlinks the segment if the driver dies hard.
+    """
+    shm = shared_memory.SharedMemory(name=descriptor.segment)
+    count = descriptor.count
+    times = np.ndarray(count, dtype=np.float64, buffer=shm.buf)
+    obj_ids = np.ndarray(count, dtype=np.int64, buffer=shm.buf, offset=8 * count)
+    sizes = np.ndarray(count, dtype=np.int64, buffer=shm.buf, offset=16 * count)
+    for column in (times, obj_ids, sizes):
+        column.flags.writeable = False
+    packed = PackedTrace(
+        times, obj_ids, sizes, descriptor.name, dict(descriptor.metadata)
+    )
+    return packed, shm

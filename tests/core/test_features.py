@@ -77,6 +77,40 @@ class TestVectorSemantics:
         for k in (10, 20, 30):
             assert store.vector(1, now=1.0, num_irts=k).shape == (feature_dim(k),)
 
+    def test_ring_buffer_matches_deque_semantics_at_every_step(self):
+        """The preallocated ring must reproduce appendleft order exactly,
+        including across the wraparound point — checked against a naive
+        list model after every observation."""
+        from collections import deque
+
+        max_irts = 5
+        store = FeatureStore(max_irts=max_irts)
+        model = deque(maxlen=max_irts - 1)  # most recent gap first
+        times = [0.0, 0.5, 2.0, 2.25, 7.0, 7.5, 10.0, 11.0, 11.5, 20.0, 21.0]
+        last = None
+        for t in times:
+            store.observe(req(1, time=t))
+            if last is not None:
+                model.appendleft(t - last)
+            last = t
+            row = store.vector(1, now=t + 1.0, num_irts=max_irts)
+            expected = list(model) + [DEFAULT_MISSING] * (
+                max_irts - 1 - len(model)
+            )
+            assert row[0] == pytest.approx(1.0)
+            assert row[1:max_irts] == pytest.approx(expected)
+
+    def test_vector_wraparound_split_copy(self):
+        """A read that straddles the ring's physical end uses two slice
+        copies; both halves must land in the right order."""
+        store = FeatureStore(max_irts=4)  # 3 gap slots
+        # Gaps pushed: 1, 2, 4, 8 — the ring holds [8, 4, 2] logically,
+        # with the head somewhere mid-buffer after the fourth push.
+        for t in (0.0, 1.0, 3.0, 7.0, 15.0):
+            store.observe(req(1, time=t))
+        row = store.vector(1, now=16.0, num_irts=4)
+        assert row[:4] == pytest.approx([1.0, 8.0, 4.0, 2.0])
+
 
 class TestAccessors:
     def test_last_access_and_count(self):
@@ -115,3 +149,24 @@ class TestPruning:
         for i in range(10):
             store.observe(req(i, time=float(i)))
         assert store.metadata_bytes() > 0
+
+    def test_incremental_metadata_matches_recomputation(self):
+        """``metadata_bytes`` is maintained as a running counter (the
+        engine probes it mid-replay); it must equal a from-scratch walk
+        of the records after observes, ring saturation, and prunes."""
+
+        def recompute(store):
+            return 8 * sum(
+                record.length + 4 for record in store._records.values()
+            )
+
+        store = FeatureStore(max_irts=3)
+        for step in range(30):
+            store.observe(req(step % 5, time=float(step)))
+            assert store.metadata_bytes() == recompute(store)
+        store.observe(req(99, time=100.0))
+        store.prune(now=101.0, horizon=50.0)  # drops contents 0..4
+        assert 99 in store and len(store) == 1
+        assert store.metadata_bytes() == recompute(store)
+        store.prune(now=1e6, horizon=1.0)  # drops everything
+        assert store.metadata_bytes() == 0 == recompute(store)

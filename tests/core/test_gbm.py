@@ -148,6 +148,33 @@ class TestPredictApi:
         second = model.predict(X[:10])
         assert not np.allclose(first, second)
 
+    def test_refit_invalidates_derived_caches(self, xor_data):
+        """Regression: ``predict_one``'s flattened trees and the
+        ``metadata_bytes`` total are caches over ``_trees``; a refit must
+        drop both or the scalar path keeps scoring with the old model."""
+        X, y = xor_data
+        model = GradientBoostingRegressor(n_estimators=5)
+        model.fit(X, y)
+        model.predict_one(X[0])  # populate the scalar-tree cache
+        first_meta = model.metadata_bytes()
+        assert model._scalar_trees is not None
+        assert model._metadata_bytes == first_meta
+
+        model.fit(X, 1.0 - y)
+        assert model._scalar_trees is None
+        assert model._metadata_bytes is None
+        # The rebuilt caches reflect the new ensemble, not the old one.
+        scalar = np.array([model.predict_one(X[i]) for i in range(50)])
+        assert np.allclose(model.predict(X[:50]), scalar, atol=1e-12)
+        assert model.metadata_bytes() > 0
+
+    def test_metadata_bytes_cached_and_stable(self, xor_data):
+        X, y = xor_data
+        model = GradientBoostingRegressor(n_estimators=6).fit(X, y)
+        assert model.metadata_bytes() == model.metadata_bytes()
+        smaller = GradientBoostingRegressor(n_estimators=2).fit(X, y)
+        assert smaller.metadata_bytes() < model.metadata_bytes()
+
 
 @settings(max_examples=20, deadline=None)
 @given(st.integers(min_value=1, max_value=2**31 - 1))

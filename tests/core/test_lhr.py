@@ -234,7 +234,7 @@ class TestDeeperBehaviour:
     def test_hro_labels_nontrivial(self, production_trace, production_capacity):
         """The supervision signal must contain both classes, otherwise the
         learner degenerates to a constant."""
-        from repro.core.hro import window_labels
+        from repro.core.hro import window_labels_for_ids
 
         cache = LhrCache(production_capacity, seed=8)
         labels_seen = []
@@ -242,7 +242,7 @@ class TestDeeperBehaviour:
 
         def spy(window):
             labels_seen.append(
-                float(window_labels(window, cache._window_requests).mean())
+                float(window_labels_for_ids(window, cache._window_ids).mean())
             )
             original(window)
 

@@ -23,6 +23,7 @@ from repro.sim import (
     run_comparison,
     run_sweep,
 )
+from repro.traces.packed import SharedTraceBuffers, live_segment_names
 from repro.traces.request import Request
 from repro.traces.synthetic import irm_trace
 
@@ -469,3 +470,91 @@ class TestSweepHeartbeats:
         finally:
             parallel_module._heartbeat_for = original
         assert calls == [0, 0]
+
+
+class TestSharedMemorySweep:
+    """The zero-copy transport: pooled sweeps ship a descriptor, not the
+    trace, and the driver never leaks a segment — normal exit, worker
+    failure, or KeyboardInterrupt."""
+
+    def test_pooled_sweep_uses_shared_memory(
+        self, sweep_trace, sweep_capacity, monkeypatch
+    ):
+        created = []
+        original_create = SharedTraceBuffers.create.__func__
+
+        def spy_create(cls, packed):
+            shared = original_create(cls, packed)
+            created.append(shared)
+            return shared
+
+        monkeypatch.setattr(
+            SharedTraceBuffers, "create", classmethod(spy_create)
+        )
+        serial = run_comparison(sweep_trace, ["lru", "lfu"], [sweep_capacity])
+        assert not created  # serial runs never touch shared memory
+        pooled = run_comparison(
+            sweep_trace, ["lru", "lfu"], [sweep_capacity], parallel=2
+        )
+        assert len(created) == 1
+        assert created[0].released
+        assert [result_key(r) for r in pooled] == [result_key(r) for r in serial]
+        assert live_segment_names() == ()
+
+    def test_pickle_fallback_when_shared_memory_unavailable(
+        self, sweep_trace, sweep_capacity, monkeypatch
+    ):
+        """Platforms without usable /dev/shm still sweep correctly."""
+
+        def refuse(cls, packed):
+            raise OSError("no shared memory on this platform")
+
+        monkeypatch.setattr(SharedTraceBuffers, "create", classmethod(refuse))
+        serial = run_comparison(sweep_trace, ["lru", "lfu"], [sweep_capacity])
+        pooled = run_comparison(
+            sweep_trace, ["lru", "lfu"], [sweep_capacity], parallel=2
+        )
+        assert [result_key(r) for r in pooled] == [result_key(r) for r in serial]
+
+    def test_no_leak_after_normal_completion(self, sweep_trace, sweep_capacity):
+        run_comparison(sweep_trace, ["lru", "lfu"], [sweep_capacity], parallel=2)
+        assert live_segment_names() == ()
+
+    def test_no_leak_after_worker_failure(
+        self, sweep_trace, sweep_capacity, exploding_policy
+    ):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork to inherit the test-local policy")
+        fork = multiprocessing.get_context("fork")
+        with pytest.raises(SweepCellError):
+            run_comparison(
+                sweep_trace,
+                [exploding_policy, "lru"],
+                [sweep_capacity],
+                parallel=2,
+                mp_context=fork,
+            )
+        assert live_segment_names() == ()
+
+    def test_no_leak_after_keyboard_interrupt(
+        self, sweep_trace, sweep_capacity, monkeypatch
+    ):
+        import repro.sim.parallel as parallel_module
+
+        def interrupt(futures):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(parallel_module, "as_completed", interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            run_comparison(
+                sweep_trace, ["lru", "lfu"], [sweep_capacity], parallel=2
+            )
+        assert live_segment_names() == ()
+
+    def test_prepacked_trace_sweeps_identically(self, sweep_trace, sweep_capacity):
+        """Callers may hand the sweep a PackedTrace directly."""
+        packed = PackedTrace.from_trace(sweep_trace)
+        serial = run_comparison(sweep_trace, ["lru", "lhd"], [sweep_capacity])
+        pooled = run_comparison(packed, ["lru", "lhd"], [sweep_capacity], parallel=2)
+        assert [result_key(r) for r in pooled] == [result_key(r) for r in serial]
+        assert live_segment_names() == ()
