@@ -1,0 +1,53 @@
+"""Non-stationary workload lab benchmark: one churn scenario cell.
+
+Not a paper experiment — this pins the lab's end-to-end cost and hit
+ratios for a representative churn cell so ``repro bench-compare`` can
+gate it like the stationary sweeps: the policy grid runs over a
+churn scenario via the same ``run_comparison`` engine the benchmarks
+use, and the telemetry sidecar (``BENCH_workloads.json``) carries the
+per-cell hit ratios plus the drift/retrain counts in ``extra``.
+"""
+
+from benchmarks.common import COLLECTOR, JOBS, SCALE, SEED, emit, format_rows
+from repro.workloads import ScenarioConfig, run_workload_lab
+
+#: The lab grid for the sentinel cell: the classic baseline, the paper's
+#: cache, and the sketch-based filter — cheap enough for CI at any scale.
+POLICIES = ("lru", "lhr", "w-tinylfu")
+
+#: Churn length scales with REPRO_SCALE like every other benchmark
+#: (default 0.01 -> 8k requests; paper-ish scale at 1.0 -> 800k).
+NUM_REQUESTS = max(int(800_000 * SCALE), 4000)
+
+
+def run_lab():
+    config = ScenarioConfig.make("churn", NUM_REQUESTS, SEED)
+    return run_workload_lab([config], list(POLICIES), jobs=JOBS)
+
+
+def test_workload_churn_cell(benchmark):
+    report = benchmark.pedantic(run_lab, rounds=1, iterations=1)
+    scenario = report.scenario("churn")
+    rows = [cell.as_dict() for cell in scenario.cells]
+    # The lab bypasses common.compare(), so feed the collector directly —
+    # ScenarioCell carries the policy/capacity/hit-ratio fields the
+    # telemetry sweep record reads.
+    COLLECTOR.record_sweep(scenario.cells, benchmark.stats.stats.total)
+    emit(
+        "workloads",
+        format_rows(rows),
+        extra={
+            "scenario": "churn",
+            "num_requests": scenario.num_requests,
+            "capacity": scenario.capacity,
+            "cells": rows,
+        },
+    )
+
+    lru = scenario.cell("lru")
+    lhr = scenario.cell("lhr")
+    # Churn is where learning from HRO pays: LHR must beat LRU, and its
+    # drift pipeline must actually have run.
+    assert lhr.object_hit_ratio > lru.object_hit_ratio
+    assert lhr.drift_windows > 0
+    assert lhr.retrains > 0

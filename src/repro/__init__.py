@@ -43,6 +43,11 @@ from repro.traces import (
     syn_one_trace,
     syn_two_trace,
 )
+from repro.workloads import (
+    ScenarioConfig,
+    known_scenarios,
+    run_workload_lab,
+)
 
 __version__ = "1.0.0"
 
@@ -56,15 +61,18 @@ __all__ = [
     "PRODUCTION_SPECS",
     "Request",
     "SOTA_POLICIES",
+    "ScenarioConfig",
     "Trace",
     "__version__",
     "build_policy",
     "generate_production_trace",
     "hro_bound",
     "irm_trace",
+    "known_scenarios",
     "make_policy",
     "measure_latency",
     "run_comparison",
+    "run_workload_lab",
     "simulate",
     "summarize_trace",
     "syn_one_trace",

@@ -18,6 +18,11 @@ Subcommands cover the everyday workflows:
   per-phase cost table plus a collapsed-stack (flamegraph) file.
 * ``bench-compare`` — regression-check two or more ``repro-bench/1``
   telemetry files against each other (the benchmark sentinel).
+* ``workload list|describe|generate|run`` — the non-stationary workload
+  lab: enumerate the scenario registry, inspect a scenario's parameters,
+  materialize a scenario trace, or sweep a policy grid over a scenario
+  matrix and report hit ratios plus drift/retrain activity
+  (``docs/WORKLOADS.md``).
 
 ``simulate`` and ``compare`` additionally take ``--serve PORT`` to
 expose ``/metrics``, ``/healthz`` and ``/progress`` over HTTP while the
@@ -68,6 +73,13 @@ from repro.traces.loader import (
 )
 from repro.traces.production import PRODUCTION_SPECS
 from repro.traces.request import Trace
+from repro.workloads import (
+    ScenarioConfig,
+    generate_trace,
+    get_scenario,
+    known_scenarios,
+    run_workload_lab,
+)
 
 _SIZE_SUFFIXES = {
     "kb": 1 << 10,
@@ -484,6 +496,104 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# Workload lab (repro workload ...)
+# ----------------------------------------------------------------------
+
+
+def _parse_scenario_params(pairs: list[str] | None) -> dict:
+    """Parse repeated ``--param key=value`` overrides (numbers only)."""
+    params: dict = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"error: --param expects key=value, got {pair!r}")
+        try:
+            value: float = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                raise SystemExit(
+                    f"error: --param {key} expects a number, got {raw!r}"
+                ) from None
+        params[key] = value
+    return params
+
+
+def _scenario_configs(args: argparse.Namespace) -> list[ScenarioConfig]:
+    """Resolve ``--scenario`` (name, comma list or ``all``) into configs."""
+    names = [name.strip() for name in args.scenario.split(",") if name.strip()]
+    if "all" in names:
+        names = known_scenarios()
+    params = _parse_scenario_params(getattr(args, "param", None))
+    try:
+        return [
+            ScenarioConfig.make(name, args.requests, args.seed, **params)
+            for name in names
+        ]
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
+def cmd_workload_list(args: argparse.Namespace) -> int:
+    """One line per registered scenario."""
+    for name in known_scenarios():
+        print(f"{name:<16} {get_scenario(name).description}")
+    return 0
+
+
+def cmd_workload_describe(args: argparse.Namespace) -> int:
+    """Parameters and defaults for one scenario."""
+    try:
+        scenario = get_scenario(args.scenario)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(f"{scenario.name}: {scenario.description}")
+    print("parameters (name = default):")
+    for key, value in sorted(scenario.defaults.items()):
+        print(f"  {key} = {value}")
+    return 0
+
+
+def cmd_workload_generate(args: argparse.Namespace) -> int:
+    """Materialize one scenario trace and write it to disk."""
+    configs = _scenario_configs(args)
+    if len(configs) != 1:
+        raise SystemExit("error: generate takes exactly one --scenario")
+    trace = generate_trace(configs[0])
+    _save_any_trace(trace, args.output, args.format)
+    print(
+        f"wrote {len(trace)} requests ({configs[0].describe()}) to {args.output}"
+    )
+    return 0
+
+
+def cmd_workload_run(args: argparse.Namespace) -> int:
+    """Sweep the policy grid over a scenario matrix; print the lab report."""
+    configs = _scenario_configs(args)
+    policies = [name.strip() for name in args.policies.split(",") if name.strip()]
+    try:
+        report = run_workload_lab(
+            configs,
+            policies,
+            capacity_fraction=args.capacity_fraction,
+            jobs=args.jobs,
+            window_requests=args.window,
+            analyze=args.analyze,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    if args.json_out:
+        Path(args.json_out).write_text(report.to_json() + "\n")
+        print(f"wrote lab report to {args.json_out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
 
@@ -653,6 +763,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="report regressions but exit 0 (CI advisory mode)",
     )
     bench.set_defaults(func=cmd_bench_compare)
+
+    workload = sub.add_parser(
+        "workload",
+        help="non-stationary scenario lab: list / describe / generate / run",
+    )
+    workload_sub = workload.add_subparsers(dest="workload_command", required=True)
+
+    wl_list = workload_sub.add_parser("list", help="registered scenarios")
+    wl_list.set_defaults(func=cmd_workload_list)
+
+    wl_desc = workload_sub.add_parser(
+        "describe", help="parameters and defaults for one scenario"
+    )
+    wl_desc.add_argument("--scenario", required=True)
+    wl_desc.set_defaults(func=cmd_workload_describe)
+
+    wl_gen = workload_sub.add_parser(
+        "generate", help="materialize one scenario trace to a file"
+    )
+    wl_gen.add_argument("--scenario", required=True)
+    wl_gen.add_argument("--requests", type=int, default=4000)
+    wl_gen.add_argument("--seed", type=int, default=0)
+    wl_gen.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="override a scenario parameter (repeatable)",
+    )
+    wl_gen.add_argument("--format", choices=("csv", "webcachesim"), default="csv")
+    wl_gen.add_argument("--output", "-o", required=True)
+    wl_gen.set_defaults(func=cmd_workload_generate)
+
+    wl_run = workload_sub.add_parser(
+        "run", help="policy grid over a scenario matrix (the drift stress grid)"
+    )
+    wl_run.add_argument(
+        "--scenario", default="all",
+        help="scenario name, comma-separated list, or 'all'",
+    )
+    wl_run.add_argument(
+        "--policies", default="lhr,lru,w-tinylfu", help="comma-separated names"
+    )
+    wl_run.add_argument("--requests", type=int, default=4000)
+    wl_run.add_argument("--seed", type=int, default=0)
+    wl_run.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="override a scenario parameter for every scenario (repeatable)",
+    )
+    wl_run.add_argument(
+        "--capacity-fraction", type=float, default=0.1,
+        help="cache capacity as a fraction of each scenario's unique bytes",
+    )
+    wl_run.add_argument(
+        "--jobs", "-j", type=int, default=0,
+        help="worker processes per sweep (0/1 = serial; bit-identical)",
+    )
+    wl_run.add_argument("--window", type=int, default=0, help="sliding window size")
+    wl_run.add_argument(
+        "--analyze", action="store_true",
+        help="also run the LHR-vs-HRO divergence audit per scenario",
+    )
+    wl_run.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout report format",
+    )
+    wl_run.add_argument(
+        "--json", dest="json_out", metavar="PATH", default=None,
+        help="also write the full report as JSON here",
+    )
+    wl_run.set_defaults(func=cmd_workload_run)
 
     return parser
 

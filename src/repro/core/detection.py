@@ -123,3 +123,32 @@ class DriftDetector:
     def alphas(self) -> list[float]:
         """Per-window alpha estimates (Figure 12's time series)."""
         return [record.alpha for record in self.records]
+
+    # ------------------------------------------------------------------
+    # Introspection for the workload lab and the non-stationarity tests
+    # ------------------------------------------------------------------
+
+    def drifted_windows(self) -> list[int]:
+        """Indices of the windows that triggered retraining, in order.
+
+        The drift-latency tests use this to assert a detection lands
+        within a bounded number of windows of an injected popularity
+        change (and nowhere else on a stationary control).
+        """
+        return [record.window_index for record in self.records if record.drifted]
+
+    @property
+    def last_detection_window(self) -> int | None:
+        """The most recent drifted window index, or None before any."""
+        for record in reversed(self.records):
+            if record.drifted:
+                return record.window_index
+        return None
+
+    def summary(self) -> dict:
+        """Counters the workload lab reports per policy cell."""
+        return {
+            "windows": len(self.records),
+            "detections": self.num_detections,
+            "last_detection_window": self.last_detection_window,
+        }

@@ -320,6 +320,7 @@ def run_sweep(
     progress: ProgressTracker | None = None,
     heartbeat_interval_requests: int = DEFAULT_HEARTBEAT_INTERVAL,
     stall_timeout_seconds: float = DEFAULT_STALL_TIMEOUT,
+    event_fields: dict | None = None,
 ) -> list[SimulationResult]:
     """Run every cell of ``specs`` over ``trace``; return grid-ordered results.
 
@@ -349,6 +350,13 @@ def run_sweep(
     feed only the tracker — never the recorder stream — so observed
     serial/parallel equivalence is untouched, and with ``progress=None``
     the sweep runs the exact unmonitored code path.
+
+    ``event_fields`` stamps extra constant fields onto every event the
+    sweep contributes to ``obs`` (cell lifecycle events and the re-merged
+    worker streams alike).  The workload lab uses it to tag each sweep of
+    a scenario matrix with ``scenario=<name>`` so one recorder stream can
+    be sliced per scenario afterwards; ``None`` (the default) emits the
+    exact historical stream.
     """
     specs = [
         spec if spec.index >= 0 else replace(spec, index=i)
@@ -366,6 +374,7 @@ def run_sweep(
         )
 
     observing = obs.enabled
+    tag = dict(event_fields or {})
     if observing:
         for spec in sorted(specs, key=lambda s: s.index):
             obs.emit(
@@ -373,6 +382,7 @@ def run_sweep(
                 cell=spec.index,
                 policy=spec.policy,
                 capacity=spec.capacity,
+                **tag,
             )
 
     heartbeat_interval = (
@@ -393,7 +403,7 @@ def run_sweep(
     by_index = {outcome[0]: outcome for outcome in outcomes}
     ordered = [by_index[spec.index] for spec in specs]
     if observing:
-        _merge_observations(obs, specs, by_index)
+        _merge_observations(obs, specs, by_index, tag)
     failures = [outcome[2] for outcome in ordered if outcome[2] is not None]
     results = [outcome[1] for outcome in ordered]
     if failures:
@@ -405,15 +415,22 @@ def _merge_observations(
     obs: Observation,
     specs: Sequence[CellSpec],
     by_index: dict[int, CellOutcome],
+    tag: dict | None = None,
 ) -> None:
-    """Fold per-cell events and registries into the parent, grid-ordered."""
+    """Fold per-cell events and registries into the parent, grid-ordered.
+
+    ``tag`` fields (e.g. ``scenario=<name>``) are stamped onto every
+    re-emitted event; an empty/None tag reproduces the historical stream
+    byte for byte.
+    """
+    tag = tag or {}
     for spec in sorted(specs, key=lambda s: s.index):
         index, result, failure, events, registry = by_index[spec.index]
         for event in events or ():
             fields = {
                 k: v for k, v in event.items() if k not in ("event", "seq")
             }
-            obs.emit(event["event"], cell=index, **fields)
+            obs.emit(event["event"], cell=index, **fields, **tag)
         if registry is not None:
             obs.registry.merge(registry)
         if failure is not None:
@@ -423,6 +440,7 @@ def _merge_observations(
                 policy=spec.policy,
                 capacity=spec.capacity,
                 error=failure.error,
+                **tag,
             )
         elif result is not None:
             obs.emit(
@@ -434,6 +452,7 @@ def _merge_observations(
                 hits=result.hits,
                 hit_ratio=round(result.object_hit_ratio, 6),
                 runtime_seconds=round(result.runtime_seconds, 6),
+                **tag,
             )
 
 

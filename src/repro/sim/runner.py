@@ -96,6 +96,7 @@ def run_comparison(
     progress: ProgressTracker | None = None,
     heartbeat_interval_requests: int = DEFAULT_HEARTBEAT_INTERVAL,
     stall_timeout_seconds: float = DEFAULT_STALL_TIMEOUT,
+    event_fields: dict | None = None,
 ) -> list[SimulationResult]:
     """Run every (policy, capacity) combination over ``trace``.
 
@@ -112,6 +113,8 @@ def run_comparison(
     every cell under its own decision tracer, returned on each result's
     ``decision_trace``.  A ``progress`` tracker enables live heartbeats
     and stall detection — the surface ``--serve`` exposes.
+    ``event_fields`` stamps constant fields onto every observed event
+    (the workload lab tags scenario-matrix sweeps with it).
     """
     specs = sweep_specs(policy_names, capacities, policy_kwargs)
     return run_sweep(
@@ -126,6 +129,7 @@ def run_comparison(
         progress=progress,
         heartbeat_interval_requests=heartbeat_interval_requests,
         stall_timeout_seconds=stall_timeout_seconds,
+        event_fields=event_fields,
     )
 
 

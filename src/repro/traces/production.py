@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.traces.request import Request, Trace
-from repro.util.sampling import lognormal_sizes, zipf_weights
+from repro.util.sampling import lognormal_sizes, require_seed, zipf_weights
 
 GB = 1 << 30
 MB = 1 << 20
@@ -173,7 +173,7 @@ def _popularity_with_one_hit_mass(
 def generate_production_trace(
     spec: TraceSpec | str,
     scale: float = 1.0,
-    seed: int = 0,
+    seed: int | None = 0,
 ) -> Trace:
     """Generate a synthetic stand-in trace for ``spec`` at ``scale``.
 
@@ -187,6 +187,7 @@ def generate_production_trace(
         spec = PRODUCTION_SPECS[spec.lower()]
     if scale <= 0:
         raise ValueError("scale must be positive")
+    seed = require_seed(seed)
     rng = np.random.default_rng(seed)
 
     num_requests = max(int(spec.total_requests * scale), 1000)

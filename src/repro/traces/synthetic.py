@@ -19,7 +19,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.traces.request import Request, Trace
-from repro.util.sampling import ZipfSampler, lognormal_sizes
+from repro.util.sampling import ZipfSampler, lognormal_sizes, require_seed
 
 
 def _draw_sizes(
@@ -46,7 +46,7 @@ def irm_trace(
     size_sigma: float = 1.5,
     max_size: float = 1 << 30,
     equal_size: int | None = None,
-    seed: int = 0,
+    seed: int | None = 0,
     name: str = "irm",
 ) -> Trace:
     """Independent Reference Model trace: Zipf popularity, Poisson arrivals.
@@ -66,6 +66,7 @@ def irm_trace(
     """
     if num_requests <= 0:
         raise ValueError("num_requests must be positive")
+    seed = require_seed(seed)
     rng = np.random.default_rng(seed)
     sampler = ZipfSampler(num_contents, alpha, rng=rng)
     sizes = _draw_sizes(num_contents, rng, mean_size, size_sigma, max_size, equal_size)
@@ -100,7 +101,7 @@ class MarkovModulatedGenerator:
         transitions: np.ndarray | None = None,
         cycle: Sequence[int] | None = None,
         rng: np.random.Generator | None = None,
-        seed: int = 0,
+        seed: int | None = 0,
     ):
         if not samplers:
             raise ValueError("need at least one per-state sampler")
@@ -110,7 +111,7 @@ class MarkovModulatedGenerator:
             raise ValueError("provide exactly one of transitions or cycle")
         self._samplers = list(samplers)
         self._requests_per_state = requests_per_state
-        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._rng = rng if rng is not None else np.random.default_rng(require_seed(seed))
         self._cycle = list(cycle) if cycle is not None else None
         if transitions is not None:
             matrix = np.asarray(transitions, dtype=np.float64)
@@ -181,13 +182,13 @@ def syn_one_trace(
     requests_per_state: int = 200_000,
     alpha: float = 0.9,
     mean_size: float = 16 << 20,
-    seed: int = 0,
+    seed: int | None = 0,
 ) -> Trace:
     """"Syn One" (Section 7.6): two-state chain alternating between a Zipf
     distribution in increasing rank order and the same distribution with
     the ranking reversed, switching every ``requests_per_state`` requests.
     """
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(require_seed(seed))
     samplers = [
         ZipfSampler(num_contents, alpha, reverse=False, rng=rng),
         ZipfSampler(num_contents, alpha, reverse=True, rng=rng),
@@ -208,12 +209,12 @@ def syn_two_trace(
     requests_per_state: int = 200_000,
     alphas: Sequence[float] = (0.7, 0.9, 1.1),
     mean_size: float = 16 << 20,
-    seed: int = 0,
+    seed: int | None = 0,
 ) -> Trace:
     """"Syn Two" (Section 7.6): three Zipf states with alpha in
     ``alphas``, visited deterministically 0 -> 1 -> 2 -> 1 -> 0 -> ...
     """
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(require_seed(seed))
     samplers = [ZipfSampler(num_contents, a, rng=rng) for a in alphas]
     sizes = lognormal_sizes(num_contents, mean_size, 1.2, 64 * mean_size, rng=rng)
     generator = MarkovModulatedGenerator(

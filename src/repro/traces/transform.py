@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.traces.request import Request, Trace
+from repro.util.sampling import require_seed
 
 
 def time_scale(trace: Trace, factor: float, name: str | None = None) -> Trace:
@@ -66,7 +67,7 @@ def filter_by_size(
     )
 
 
-def subsample(trace: Trace, fraction: float, seed: int = 0) -> Trace:
+def subsample(trace: Trace, fraction: float, seed: int | None = 0) -> Trace:
     """Content-consistent subsampling: keep a random ``fraction`` of
     *contents* and every request to them.
 
@@ -76,6 +77,7 @@ def subsample(trace: Trace, fraction: float, seed: int = 0) -> Trace:
     """
     if not 0.0 < fraction <= 1.0:
         raise ValueError("fraction must lie in (0, 1]")
+    seed = require_seed(seed)
     rng = np.random.default_rng(seed)
     contents = sorted(trace.unique_contents())
     keep = {

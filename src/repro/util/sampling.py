@@ -13,6 +13,22 @@ from __future__ import annotations
 import numpy as np
 
 
+def require_seed(seed: int | None) -> int:
+    """Validate an explicit generator seed.
+
+    ``None`` means "use OS entropy" to ``numpy`` — two such runs would
+    silently diverge, which a regression corpus cannot tolerate.  Every
+    trace/scenario generation path therefore demands a real integer (or
+    an explicit ``rng``, whose provenance is the caller's business).
+    """
+    if seed is None:
+        raise ValueError(
+            "trace generation requires an explicit integer seed; "
+            "seed=None would draw OS entropy and silently diverge between runs"
+        )
+    return int(seed)
+
+
 def zipf_weights(num_contents: int, alpha: float) -> np.ndarray:
     """Normalized Zipf probabilities ``A / i^alpha`` for ranks 1..N."""
     if num_contents <= 0:
@@ -52,7 +68,7 @@ class ZipfSampler:
         alpha: float,
         reverse: bool = False,
         rng: np.random.Generator | None = None,
-        seed: int = 0,
+        seed: int | None = 0,
     ):
         self.num_contents = num_contents
         self.alpha = alpha
@@ -63,7 +79,7 @@ class ZipfSampler:
         self._weights = weights
         self._cdf = np.cumsum(weights)
         self._cdf[-1] = 1.0
-        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._rng = rng if rng is not None else np.random.default_rng(require_seed(seed))
 
     @property
     def weights(self) -> np.ndarray:
@@ -88,7 +104,7 @@ def lognormal_sizes(
     max_bytes: float,
     min_bytes: float = 1024.0,
     rng: np.random.Generator | None = None,
-    seed: int = 0,
+    seed: int | None = 0,
 ) -> np.ndarray:
     """Heavy-tailed content sizes matching production CDN characteristics.
 
@@ -101,7 +117,7 @@ def lognormal_sizes(
         raise ValueError("count must be positive")
     if mean_bytes <= 0 or max_bytes < mean_bytes:
         raise ValueError("need 0 < mean_bytes <= max_bytes")
-    generator = rng if rng is not None else np.random.default_rng(seed)
+    generator = rng if rng is not None else np.random.default_rng(require_seed(seed))
     mu = np.log(mean_bytes) - sigma**2 / 2.0
     sizes = generator.lognormal(mean=mu, sigma=sigma, size=count)
     sizes = np.clip(sizes, min_bytes, max_bytes)

@@ -1,0 +1,42 @@
+"""Non-stationary workload lab: scenario registry, generators and the
+scenario-matrix experiment runner.
+
+See ``docs/WORKLOADS.md`` for the scenario catalogue and the drift-thrash
+findings, and ``repro workload --help`` for the CLI surface.
+"""
+
+from repro.workloads.lab import (
+    ScenarioCell,
+    ScenarioReport,
+    WorkloadLabReport,
+    packed_unique_bytes,
+    run_workload_lab,
+)
+from repro.workloads.scenarios import (
+    SCENARIO_REGISTRY,
+    Scenario,
+    ScenarioConfig,
+    generate_packed,
+    generate_trace,
+    get_scenario,
+    known_scenarios,
+    register_scenario,
+    require_seed,
+)
+
+__all__ = [
+    "SCENARIO_REGISTRY",
+    "Scenario",
+    "ScenarioCell",
+    "ScenarioConfig",
+    "ScenarioReport",
+    "WorkloadLabReport",
+    "generate_packed",
+    "generate_trace",
+    "get_scenario",
+    "known_scenarios",
+    "packed_unique_bytes",
+    "register_scenario",
+    "require_seed",
+    "run_workload_lab",
+]

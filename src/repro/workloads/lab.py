@@ -1,0 +1,320 @@
+"""The non-stationary workload lab: scenario matrix × policy grid.
+
+``run_workload_lab`` drives the full policy grid over a matrix of
+registered scenarios through the existing parallel sweep engine and
+folds the results into an icarus-style experiment report: per-scenario,
+per-policy hit ratios plus the drift/retrain activity the
+:mod:`repro.obs` event stream recorded for each cell (``lhr.drift`` /
+``lhr.retrain``), and — optionally — the LHR-vs-HRO divergence summary
+from :mod:`repro.obs.analyze`.
+
+The report is what pins *where the drift detector saves LHR versus where
+it thrashes*: a cell whose retrain count tracks the scenario's injected
+change points is adapting; one that retrains every window on a
+stationary scenario is thrashing (see ``docs/WORKLOADS.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import MemoryRecorder, MetricsRegistry, Observation
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import run_comparison
+from repro.traces.packed import PackedTrace
+from repro.workloads.scenarios import ScenarioConfig, generate_packed
+
+__all__ = [
+    "ScenarioCell",
+    "ScenarioReport",
+    "WorkloadLabReport",
+    "packed_unique_bytes",
+    "run_workload_lab",
+]
+
+
+def packed_unique_bytes(packed: PackedTrace) -> int:
+    """Sum of distinct-content sizes, straight from the columns."""
+    _, first_index = np.unique(packed.obj_ids, return_index=True)
+    return int(packed.sizes[first_index].sum())
+
+
+@dataclass
+class ScenarioCell:
+    """One (scenario, policy) cell of the lab grid."""
+
+    policy: str
+    capacity: int
+    requests: int
+    hits: int
+    object_hit_ratio: float
+    byte_hit_ratio: float
+    evictions: int
+    admissions: int
+    #: Windows the drift detector inspected / flagged, and GBM refits —
+    #: from the cell's ``lhr.drift``/``lhr.retrain`` events (0 for
+    #: policies without a drift pipeline).
+    drift_windows: int = 0
+    drift_detections: int = 0
+    retrains: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "capacity": self.capacity,
+            "requests": self.requests,
+            "hits": self.hits,
+            "object_hit_ratio": round(self.object_hit_ratio, 6),
+            "byte_hit_ratio": round(self.byte_hit_ratio, 6),
+            "evictions": self.evictions,
+            "admissions": self.admissions,
+            "drift_windows": self.drift_windows,
+            "drift_detections": self.drift_detections,
+            "retrains": self.retrains,
+        }
+
+
+@dataclass
+class ScenarioReport:
+    """All policy cells for one scenario instance."""
+
+    scenario: str
+    config: dict
+    capacity: int
+    unique_bytes: int
+    num_requests: int
+    #: Scenario defaults overlaid with the config's overrides.
+    params: dict = field(default_factory=dict)
+    cells: list[ScenarioCell] = field(default_factory=list)
+    #: Compact LHR-vs-HRO divergence summary (``repro analyze``), present
+    #: only when the lab ran with ``analyze=True``.
+    divergence: dict | None = None
+
+    def cell(self, policy: str) -> ScenarioCell:
+        for cell in self.cells:
+            if cell.policy == policy:
+                return cell
+        raise KeyError(f"no cell for policy {policy!r} in {self.scenario!r}")
+
+    def as_dict(self) -> dict:
+        payload = {
+            "scenario": self.scenario,
+            "config": self.config,
+            "params": self.params,
+            "capacity": self.capacity,
+            "unique_bytes": self.unique_bytes,
+            "num_requests": self.num_requests,
+            "cells": [cell.as_dict() for cell in self.cells],
+        }
+        if self.divergence is not None:
+            payload["divergence"] = self.divergence
+        return payload
+
+
+@dataclass
+class WorkloadLabReport:
+    """The lab's full scenario × policy experiment tree."""
+
+    reports: list[ScenarioReport]
+    policies: list[str]
+    capacity_fraction: float
+
+    def scenario(self, name: str) -> ScenarioReport:
+        for report in self.reports:
+            if report.scenario == name:
+                return report
+        raise KeyError(f"no scenario {name!r} in this report")
+
+    def as_dict(self) -> dict:
+        return {
+            "policies": list(self.policies),
+            "capacity_fraction": self.capacity_fraction,
+            "scenarios": [report.as_dict() for report in self.reports],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def render_text(self) -> str:
+        """icarus-style experiment tree: one block per scenario, one row
+        per policy cell."""
+        lines: list[str] = []
+        for report in self.reports:
+            param_text = ", ".join(
+                f"{key}={value}" for key, value in sorted(report.params.items())
+            )
+            lines.append(
+                f"scenario {report.scenario}  (length={report.num_requests}, "
+                f"seed={report.config.get('seed')}, {param_text})"
+            )
+            lines.append(
+                f"  capacity {report.capacity} bytes "
+                f"({self.capacity_fraction:.0%} of {report.unique_bytes} "
+                f"unique bytes)"
+            )
+            header = (
+                f"  {'policy':<12}{'hit':>8}{'byte-hit':>10}{'evict':>8}"
+                f"{'windows':>9}{'drift':>7}{'retrain':>9}"
+            )
+            lines.append(header)
+            lines.append("  " + "-" * (len(header) - 2))
+            for cell in report.cells:
+                lines.append(
+                    f"  {cell.policy:<12}{cell.object_hit_ratio:>8.4f}"
+                    f"{cell.byte_hit_ratio:>10.4f}{cell.evictions:>8}"
+                    f"{cell.drift_windows:>9}{cell.drift_detections:>7}"
+                    f"{cell.retrains:>9}"
+                )
+            if report.divergence is not None:
+                div = report.divergence
+                lines.append(
+                    f"  divergence vs hro ({div['policy']}): "
+                    f"agreement {div['agreement_rate']:.4f}  "
+                    f"policy hit {div['policy_hit_ratio']:.4f}  "
+                    f"hro hit {div['hro_hit_ratio']:.4f}"
+                )
+            lines.append("")
+        return "\n".join(lines).rstrip("\n")
+
+
+def _event_counts(events: Sequence[dict], lab_run: int) -> dict[int, dict]:
+    """Per-cell drift/retrain tallies from one lab recorder stream.
+
+    Sweeps are tagged ``scenario=<name>, lab_run=<index>``
+    (``run_comparison``'s ``event_fields``), so a single recorder holds
+    the whole matrix and repeated configs of one scenario stay distinct.
+    """
+    counts: dict[int, dict] = {}
+    for event in events:
+        if event.get("lab_run") != lab_run:
+            continue
+        cell = event.get("cell")
+        if cell is None:
+            continue
+        tally = counts.setdefault(
+            cell, {"drift_windows": 0, "drift_detections": 0, "retrains": 0}
+        )
+        if event["event"] == "lhr.drift":
+            tally["drift_windows"] += 1
+            if event.get("drifted"):
+                tally["drift_detections"] += 1
+        elif event["event"] == "lhr.retrain":
+            tally["retrains"] += 1
+    return counts
+
+
+def _divergence_summary(
+    trace, capacity: int, policy: str, window_requests: int
+) -> dict:
+    """Compact ``repro analyze`` digest for one scenario."""
+    from repro.obs.analyze import analyze_trace
+
+    report = analyze_trace(
+        trace, capacity, policy=policy, window_requests=window_requests
+    )
+    totals = report.divergence.totals
+    return {
+        "policy": report.policy,
+        "agreement_rate": round(totals.agreement_rate, 6),
+        "false_admits": totals.false_admits,
+        "false_rejects": totals.false_rejects,
+        "policy_hit_ratio": round(report.policy_hit_ratio, 6),
+        "hro_hit_ratio": round(report.hro_hit_ratio, 6),
+        "miss_taxonomy": report.policy_taxonomy.as_dict(),
+    }
+
+
+def run_workload_lab(
+    configs: Sequence[ScenarioConfig],
+    policies: Sequence[str],
+    capacity_fraction: float = 0.1,
+    jobs: int = 0,
+    window_requests: int = 0,
+    policy_kwargs: dict[str, dict] | None = None,
+    analyze: bool = False,
+    analyze_policy: str = "lhr",
+    analyze_window: int = 1000,
+    recorder: MemoryRecorder | None = None,
+) -> WorkloadLabReport:
+    """Run ``policies`` over every scenario in ``configs``.
+
+    Each scenario generates its packed trace, derives the cell capacity
+    as ``capacity_fraction`` of the scenario's unique bytes, and fans the
+    policy grid out through :func:`~repro.sim.runner.run_comparison`
+    (``jobs`` workers; serial and parallel runs are bit-identical).  The
+    whole matrix runs under one observed recorder with sweeps tagged by
+    scenario, so drift/retrain counts per cell come straight from the
+    ``lhr.drift``/``lhr.retrain`` events.
+
+    With ``analyze=True`` each scenario additionally runs the
+    decision-trace divergence audit (``repro analyze``) for
+    ``analyze_policy`` — slower, but it pins *why* the learned policy
+    lost hits where it did.
+
+    Pass a ``recorder`` to keep the raw event stream (e.g. to write it
+    out as JSONL afterwards); one is created internally otherwise.
+    """
+    if not configs:
+        raise ValueError("no scenario configs to run")
+    if not 0.0 < capacity_fraction <= 1.0:
+        raise ValueError("capacity_fraction must be in (0, 1]")
+    recorder = recorder if recorder is not None else MemoryRecorder()
+    obs = Observation(recorder=recorder, registry=MetricsRegistry())
+    policies = list(policies)
+    reports: list[ScenarioReport] = []
+    for lab_run, config in enumerate(configs):
+        packed = generate_packed(config)
+        unique_bytes = packed_unique_bytes(packed)
+        capacity = max(int(capacity_fraction * unique_bytes), 1)
+        results: list[SimulationResult] = run_comparison(
+            packed,
+            policies,
+            [capacity],
+            window_requests=window_requests,
+            policy_kwargs=policy_kwargs,
+            parallel=jobs,
+            obs=obs,
+            event_fields={"scenario": config.scenario, "lab_run": lab_run},
+        )
+        counts = _event_counts(recorder.events, lab_run)
+        cells = []
+        for index, (policy, result) in enumerate(zip(policies, results)):
+            tally = counts.get(index, {})
+            cells.append(
+                ScenarioCell(
+                    policy=policy,
+                    capacity=capacity,
+                    requests=result.requests,
+                    hits=result.hits,
+                    object_hit_ratio=result.object_hit_ratio,
+                    byte_hit_ratio=result.byte_hit_ratio,
+                    evictions=result.evictions,
+                    admissions=result.admissions,
+                    drift_windows=tally.get("drift_windows", 0),
+                    drift_detections=tally.get("drift_detections", 0),
+                    retrains=tally.get("retrains", 0),
+                )
+            )
+        report = ScenarioReport(
+            scenario=config.scenario,
+            config=config.as_dict(),
+            capacity=capacity,
+            unique_bytes=unique_bytes,
+            num_requests=len(packed),
+            params=config.resolved_params(),
+            cells=cells,
+        )
+        if analyze and analyze_policy in policies:
+            report.divergence = _divergence_summary(
+                packed.unpack(), capacity, analyze_policy, analyze_window
+            )
+        reports.append(report)
+    return WorkloadLabReport(
+        reports=reports,
+        policies=policies,
+        capacity_fraction=capacity_fraction,
+    )

@@ -87,3 +87,75 @@ class TestRecords:
         detector = DriftDetector(epsilon=0.01)
         detector.observe_window(window_counts(0.9, num_requests=100_000, seed=10))
         assert detector.current_alpha == pytest.approx(0.9, abs=0.2)
+
+
+class TestIntrospection:
+    def test_drifted_windows_indices(self):
+        detector = DriftDetector(epsilon=0.05)
+        detector.observe_window(window_counts(0.7, seed=0))   # first: trains
+        detector.observe_window(window_counts(0.7, seed=1))   # stable
+        detector.observe_window(window_counts(1.2, seed=2))   # jump
+        assert detector.drifted_windows() == [0, 2]
+        assert detector.last_detection_window == 2
+
+    def test_last_detection_window_none_before_any(self):
+        assert DriftDetector(epsilon=0.05).last_detection_window is None
+
+    def test_summary_counters(self):
+        detector = DriftDetector(epsilon=0.05)
+        detector.observe_window(window_counts(0.7, seed=0))
+        detector.observe_window(window_counts(0.7, seed=1))
+        assert detector.summary() == {
+            "windows": 2,
+            "detections": 1,
+            "last_detection_window": 0,
+        }
+
+
+class TestSyntheticChurn:
+    """Detection latency under injected non-stationarity.
+
+    The detector fits alpha from the window's count *values*, so the
+    change signal must be a skew (alpha) change — a pure rank permutation
+    leaves the count multiset untouched and is invisible by design.
+    """
+
+    #: Windows the detector may lag an injected change by.  The fit sees
+    #: the change in the first window that straddles it, so one window of
+    #: slack is the contract; more means the detector regressed.
+    DETECTION_WINDOW_BOUND = 1
+
+    def _window_stream(self, alphas, seed=0):
+        return [
+            window_counts(alpha, num_requests=30_000, seed=seed + i)
+            for i, alpha in enumerate(alphas)
+        ]
+
+    def test_detection_within_bounded_window_of_flip(self):
+        # Stationary prefix, then the skew flips 0.7 -> 1.1 at window 5.
+        flip_at = 5
+        alphas = [0.7] * flip_at + [1.1] * 4
+        detector = DriftDetector(epsilon=0.05)
+        for counts in self._window_stream(alphas):
+            detector.observe_window(counts)
+        post_flip = [w for w in detector.drifted_windows() if w >= flip_at]
+        assert post_flip, "injected alpha flip never detected"
+        assert post_flip[0] - flip_at <= self.DETECTION_WINDOW_BOUND
+
+    def test_no_detection_on_stationary_control(self):
+        # Same pipeline, no injected change: nothing after window 0 (the
+        # mandatory first-window training) may fire.
+        detector = DriftDetector(epsilon=0.05)
+        for counts in self._window_stream([0.9] * 9, seed=100):
+            detector.observe_window(counts)
+        assert detector.drifted_windows() == [0]
+
+    def test_detection_rate_scales_with_flips(self):
+        # Alternating skew should fire on (at least) every boundary.
+        alphas = [0.7, 0.7, 1.1, 1.1, 0.7, 0.7, 1.1, 1.1]
+        detector = DriftDetector(epsilon=0.05)
+        for counts in self._window_stream(alphas, seed=200):
+            detector.observe_window(counts)
+        fired = set(detector.drifted_windows())
+        assert {2, 4, 6}.issubset(fired)
+        assert 3 not in fired and 5 not in fired

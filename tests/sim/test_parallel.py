@@ -206,6 +206,38 @@ class TestObservedEquivalence:
         ]
         assert [e["policy"] for e in done] == ["lru"]
 
+    @pytest.mark.parametrize("parallel", [0, 2])
+    def test_event_fields_stamp_whole_stream(
+        self, sweep_trace, sweep_capacity, parallel
+    ):
+        # The workload lab tags each sweep's events (scenario, lab_run);
+        # every event of the stream must carry the tag in both modes.
+        obs = Observation(recorder=MemoryRecorder())
+        run_comparison(
+            sweep_trace,
+            ["lru", "lhr"],
+            [sweep_capacity],
+            policy_kwargs=SWEEP_KWARGS,
+            parallel=parallel,
+            obs=obs,
+            event_fields={"scenario": "churn", "lab_run": 4},
+        )
+        assert obs.recorder.events
+        for event in obs.recorder.events:
+            assert event["scenario"] == "churn"
+            assert event["lab_run"] == 4
+
+    def test_no_event_fields_leaves_stream_untagged(
+        self, sweep_trace, sweep_capacity
+    ):
+        obs = Observation(recorder=MemoryRecorder())
+        run_comparison(
+            sweep_trace, ["lru"], [sweep_capacity],
+            policy_kwargs=SWEEP_KWARGS, obs=obs,
+        )
+        assert obs.recorder.events
+        assert all("scenario" not in e for e in obs.recorder.events)
+
 
 class TestGridOrder:
     def test_results_in_capacity_major_grid_order(self, sweep_trace, sweep_capacity):

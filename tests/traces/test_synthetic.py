@@ -160,3 +160,50 @@ class TestSynTraces:
         # Section 7.6: 1M requests, N=1000 contents, r=200k per state.
         trace = syn_one_trace(num_requests=1_000, requests_per_state=500, num_contents=50)
         assert trace.name == "syn-one"
+
+
+class TestSeedDiscipline:
+    """``seed=None`` must raise, never silently draw OS entropy.
+
+    Every generator keeps a seeded default (0) for back-compat, but an
+    *explicit* None used to fall through to ``np.random.default_rng(None)``
+    and produce a different trace on every call — poison for a regression
+    corpus.
+    """
+
+    def test_irm_trace_rejects_none_seed(self):
+        with pytest.raises(ValueError, match="seed"):
+            irm_trace(100, 10, seed=None)
+
+    def test_syn_traces_reject_none_seed(self):
+        with pytest.raises(ValueError, match="seed"):
+            syn_one_trace(100, 10, 50, seed=None)
+        with pytest.raises(ValueError, match="seed"):
+            syn_two_trace(100, 10, 50, seed=None)
+
+    def test_markov_generator_rejects_none_seed(self):
+        rng = np.random.default_rng(0)
+        samplers = [ZipfSampler(10, 0.9, rng=rng)]
+        with pytest.raises(ValueError, match="seed"):
+            MarkovModulatedGenerator(samplers, 10, cycle=[0], seed=None)
+
+    def test_sampler_and_sizes_reject_none_seed(self):
+        with pytest.raises(ValueError, match="seed"):
+            ZipfSampler(10, 0.9, seed=None)
+        with pytest.raises(ValueError, match="seed"):
+            lognormal_sizes(10, 1e6, 1.0, 1e8, seed=None)
+
+    def test_explicit_rng_still_accepted(self):
+        # An rng handle is the caller's responsibility; only the seed
+        # fallback path enforces explicitness.
+        rng = np.random.default_rng(0)
+        assert len(ZipfSampler(10, 0.9, rng=rng).sample(5)) == 5
+
+    def test_production_and_subsample_reject_none_seed(self):
+        from repro.traces.production import generate_production_trace
+        from repro.traces.transform import subsample
+
+        with pytest.raises(ValueError, match="seed"):
+            generate_production_trace("wiki", scale=0.001, seed=None)
+        with pytest.raises(ValueError, match="seed"):
+            subsample(irm_trace(50, 10, seed=0), 0.5, seed=None)
