@@ -29,7 +29,14 @@ import pytest
 
 from benchmarks.common import JOBS, SCALE, SEED, cache_bytes, trace
 from benchmarks.telemetry import build_payload, emit_telemetry
-from repro.obs import NULL_OBS, DecisionTracer, MemoryRecorder, Observation
+from repro.obs import (
+    NULL_OBS,
+    DecisionTracer,
+    MemoryRecorder,
+    Observation,
+    RunLedger,
+    record_from_results,
+)
 from repro.sim import build_policy, simulate
 
 #: Repeats per variant; medians tame scheduler noise on shared runners.
@@ -169,6 +176,72 @@ def test_noop_recorder_overhead_under_two_percent(workload, benchmark):
             f"disabled-path guards cost {100 * overhead_ratio:.2f}% of "
             "per-request replay time (>2%); the NULL_OBS fast path has "
             "grown per-request cost"
+        )
+
+
+def test_ledger_record_overhead_under_two_percent(workload, benchmark, tmp_path):
+    """Persisting a RunRecord costs <2% of the sweep it records.
+
+    The run ledger defaults to on, so its write path (series packing,
+    uncompressed npz, manifest rename) rides every ``simulate`` /
+    ``compare`` invocation — but it runs **once per invocation**, not per
+    cell, so the honest denominator is what one ledgered invocation
+    replays: the default ``repro compare`` policy grid.  This pins the
+    budget that justified skipping npz compression.  Waive with
+    ``REPRO_ASSERT_OBS_OVERHEAD=0``.
+    """
+    from repro.sim import run_comparison
+
+    capacity = cache_bytes("cdn-a", 512)
+    window = max(len(workload) // 64, 1)
+    policies = ["lhr", "lru", "w-tinylfu"]  # the CLI's default grid
+    config = {
+        "trace": "cdn-a",
+        "policies": policies,
+        "capacities": [capacity],
+        "window": window,
+    }
+    rounds = 3  # the sweep dominates wall time; 3 medians suffice
+    replay_samples, record_samples = [], []
+    for round_index in range(rounds):
+        start = time.perf_counter()
+        results = run_comparison(
+            workload, policies, [capacity], window_requests=window
+        )
+        replay_samples.append(time.perf_counter() - start)
+        # A fresh root per round keeps directory size out of the timing.
+        ledger = RunLedger(tmp_path / f"ledger{round_index}")
+        start = time.perf_counter()
+        ledger.record(record_from_results("compare", config, results))
+        record_samples.append(time.perf_counter() - start)
+    result = results[0]
+    replay = _median(replay_samples)
+    recording = _median(record_samples)
+    overhead_ratio = recording / replay
+
+    benchmark.pedantic(
+        lambda: RunLedger(tmp_path / "bench").record(
+            record_from_results("compare", config, results)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        requests=len(workload),
+        windows=len(result.windows),
+        replay_seconds=round(replay, 4),
+        record_seconds=round(recording, 5),
+        ledger_overhead_percent=round(100 * overhead_ratio, 3),
+    )
+    print(
+        f"\nledger record: {recording * 1e3:.2f}ms vs {replay * 1e3:.1f}ms "
+        f"windowed replay ({len(result.windows)} windows) -> "
+        f"{100 * overhead_ratio:.3f}% overhead"
+    )
+    if os.environ.get("REPRO_ASSERT_OBS_OVERHEAD", "1") != "0":
+        assert overhead_ratio < 0.02, (
+            f"run-ledger persistence costs {100 * overhead_ratio:.2f}% of a "
+            "windowed replay (>2%); the default-on write path has grown"
         )
 
 

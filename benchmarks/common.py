@@ -113,6 +113,7 @@ def emit(
     if written is not None:
         print(f"telemetry -> {written}")
         _check_against_baseline(payload)
+        _check_against_history(payload)
 
 
 def _check_against_baseline(payload: dict) -> None:
@@ -133,6 +134,35 @@ def _check_against_baseline(payload: dict) -> None:
     print(verdict.render_text())
     if verdict.regressed:
         print("(warn-only: the CI gate is `repro bench-compare`)")
+
+
+def _check_against_history(payload: dict) -> None:
+    """Warn-only trend check of fresh telemetry vs the run-ledger history.
+
+    Compares against the rolling median of the last three recorded runs
+    of the same benchmark (excluding the payload just recorded) when
+    ``$REPRO_LEDGER_DIR`` is set; the enforcing equivalent is
+    ``repro bench-compare --ledger`` in CI.
+    """
+    root = os.environ.get("REPRO_LEDGER_DIR")
+    if not root:
+        return
+    from repro.obs.baseline import compare_with_history
+    from repro.obs.runs import RunLedger
+
+    try:
+        history = RunLedger(root).bench_history(
+            payload["name"], limit=3, exclude=payload.get("run_id") or None
+        )
+        if not history:
+            return
+        verdict = compare_with_history(history, payload)
+    except (OSError, ValueError) as exc:
+        print(f"history check skipped: {exc}")
+        return
+    print(verdict.render_text())
+    if verdict.regressed:
+        print("(warn-only: the CI gate is `repro bench-compare --ledger`)")
 
 
 def format_rows(rows: list[dict]) -> str:

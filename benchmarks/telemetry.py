@@ -4,9 +4,11 @@ Every benchmark already prints a human-readable table; this module adds
 a machine-readable sidecar so runs can seed a regression trajectory —
 CI archives the files as artifacts and later sessions diff them.
 
-The schema (``repro-bench/1``) is deliberately small and flat:
+The schema (``repro-bench/2``) is deliberately small and flat:
 
 * ``name`` / ``scale`` / ``seed`` / ``jobs`` — the run's identity.
+* ``run_id`` / ``git_rev`` / ``config_digest`` — provenance (new in v2),
+  linking a payload to the run ledger and the source revision.
 * ``wall_seconds`` / ``requests`` / ``throughput_rps`` — how fast the
   simulated request stream replayed, summed over the run's sweeps.
 * ``peak_rss_bytes`` — the process peak resident set (``getrusage``).
@@ -18,9 +20,12 @@ The schema (``repro-bench/1``) is deliberately small and flat:
 
 Emission is opt-in via ``REPRO_TELEMETRY=1`` (the collector is always
 cheap enough to leave wired in); files land in ``benchmarks/results/``
-or ``$REPRO_TELEMETRY_DIR``.
+or ``$REPRO_TELEMETRY_DIR``.  When ``$REPRO_LEDGER_DIR`` is also set,
+each emitted payload is additionally recorded into the run ledger
+(``command="bench"``) so ``repro bench-compare --ledger`` can trend new
+runs against the rolling history.
 
-The ``repro-bench/1`` schema contract itself lives in
+The ``repro-bench/2`` schema contract itself lives in
 :mod:`repro.obs.baseline` (the regression sentinel that consumes these
 files); ``SCHEMA`` and :func:`validate_telemetry` are re-exported here
 so the emission side and the comparison side can never disagree.
@@ -34,9 +39,11 @@ import platform
 import resource
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.obs.baseline import SCHEMA, validate_telemetry
+from repro.obs.runs import RunRecord, config_digest, current_git_rev
 
 __all__ = [
     "SCHEMA",
@@ -129,12 +136,21 @@ def build_payload(
     """Assemble a schema-valid telemetry payload."""
     if throughput_rps is None:
         throughput_rps = round(requests / wall_seconds, 1) if wall_seconds else 0.0
+    digest = config_digest(
+        {"name": name, "scale": scale, "seed": seed, "jobs": jobs}
+    )
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%S.%fZ")
     return {
         "schema": SCHEMA,
         "name": name,
         "scale": scale,
         "seed": seed,
         "jobs": jobs,
+        # v2 provenance: a ledger-style run id, the source revision, and
+        # the digest of the run's identity knobs.
+        "run_id": f"{stamp}-{digest[:8]}",
+        "git_rev": current_git_rev(),
+        "config_digest": digest,
         "wall_seconds": round(wall_seconds, 4),
         "requests": requests,
         "throughput_rps": throughput_rps,
@@ -154,6 +170,9 @@ def emit_telemetry(payload: dict, out_dir: Path | None = None) -> Path | None:
     """Validate and write ``payload`` as ``BENCH_<name>.json``.
 
     Returns the written path, or ``None`` when telemetry is disabled.
+    When ``$REPRO_LEDGER_DIR`` is set the payload is also recorded into
+    the run ledger, growing the rolling history that
+    ``repro bench-compare --ledger`` trends against.
     """
     if not telemetry_enabled():
         return None
@@ -162,4 +181,37 @@ def emit_telemetry(payload: dict, out_dir: Path | None = None) -> Path | None:
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{payload['name']}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _record_in_ledger(payload)
     return path
+
+
+def _record_in_ledger(payload: dict) -> None:
+    """Append the payload to the run ledger named by ``$REPRO_LEDGER_DIR``.
+
+    Best-effort: a ledger failure must never fail a benchmark whose
+    telemetry file is already on disk.
+    """
+    root = os.environ.get("REPRO_LEDGER_DIR")
+    if not root:
+        return
+    from repro.obs.runs import RunLedger
+
+    try:
+        RunLedger(root).record(
+            RunRecord(
+                command="bench",
+                name=payload["name"],
+                run_id=payload.get("run_id", ""),
+                git_rev=payload.get("git_rev", ""),
+                config_digest=payload.get("config_digest", ""),
+                config={
+                    "name": payload["name"],
+                    "scale": payload.get("scale"),
+                    "seed": payload.get("seed"),
+                    "jobs": payload.get("jobs"),
+                },
+                metrics=dict(payload),
+            )
+        )
+    except Exception as exc:  # noqa: BLE001 — bookkeeping only
+        print(f"warning: bench ledger write failed: {exc}", file=sys.stderr)

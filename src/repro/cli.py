@@ -47,13 +47,22 @@ from repro.obs import (
     BaselineTolerance,
     FanoutRecorder,
     JsonlRecorder,
+    MemoryRecorder,
+    NullRecorder,
     Observation,
     ObsServer,
     ProgressTracker,
+    RunLedger,
+    SloSpec,
     TextRecorder,
     compare_files,
+    compare_with_history,
     current_rss_bytes,
+    diff_records,
+    evaluate_slo,
+    load_telemetry,
     profile_simulation,
+    record_from_results,
 )
 from repro.proto import (
     AtsServer,
@@ -204,22 +213,102 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
 def _add_serve_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--serve", metavar="PORT", type=int, default=None,
-        help="serve /metrics, /healthz and /progress over HTTP on this "
-        "port for the duration of the run (0 = any free port)",
+        help="serve /metrics, /healthz, /progress (and /runs when the "
+        "ledger is on) over HTTP on this port for the duration of the "
+        "run (0 = any free port)",
     )
 
 
 def _start_server(
-    args: argparse.Namespace, obs: Observation, tracker: ProgressTracker | None
+    args: argparse.Namespace,
+    obs: Observation,
+    tracker: ProgressTracker | None,
+    ledger: RunLedger | None = None,
 ) -> ObsServer | None:
     """Start the HTTP exporter when ``--serve`` was given."""
     port = getattr(args, "serve", None)
     if port is None:
         return None
-    server = ObsServer(registry=obs.registry, tracker=tracker, port=port)
+    server = ObsServer(
+        registry=obs.registry, tracker=tracker, port=port, ledger=ledger
+    )
     server.start()
     print(f"serving /metrics /healthz /progress at {server.url}", flush=True)
     return server
+
+
+# ----------------------------------------------------------------------
+# Run-ledger plumbing (--ledger / --no-ledger, `repro runs ...`)
+# ----------------------------------------------------------------------
+
+
+def _add_ledger_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="run-ledger directory (default: $REPRO_LEDGER_DIR or "
+        ".repro/runs); every run appends a RunRecord there",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not persist a RunRecord for this invocation",
+    )
+
+
+def _ledger_for(args: argparse.Namespace) -> RunLedger | None:
+    """The ledger this invocation records to, or None with ``--no-ledger``."""
+    if getattr(args, "no_ledger", False):
+        return None
+    return RunLedger(getattr(args, "ledger", None))
+
+
+def _capture_events(obs: Observation) -> MemoryRecorder | None:
+    """Splice a :class:`MemoryRecorder` into an enabled observation so
+    the ledger can digest the event stream; returns the recorder, or
+    None when ``obs`` is disabled (an unledgered event digest is better
+    than forcing every run off the packed fast path)."""
+    if not obs.enabled:
+        return None
+    capture = MemoryRecorder()
+    base = obs.recorder
+    if type(base) is NullRecorder:
+        obs.recorder = capture
+    else:
+        obs.recorder = FanoutRecorder(base, capture)
+    return capture
+
+
+def _record_run(
+    ledger: RunLedger | None,
+    command: str,
+    config: dict,
+    results,
+    name: str = "",
+    capture: MemoryRecorder | None = None,
+    cell_tags=None,
+) -> None:
+    """Persist one RunRecord; a ledger failure warns, never kills a run
+    whose results are already in hand."""
+    if ledger is None:
+        return
+    try:
+        record = record_from_results(
+            command,
+            config,
+            results,
+            name=name,
+            events=capture.events if capture is not None else None,
+            cell_tags=cell_tags,
+        )
+        run_id = ledger.record(record)
+    except Exception as exc:  # noqa: BLE001 — bookkeeping must not fail the run
+        print(f"warning: run ledger write failed: {exc}", file=sys.stderr)
+        return
+    print(f"run ledger: recorded {run_id} in {ledger.root}", file=sys.stderr)
+
+
+def _open_ledger(args: argparse.Namespace) -> RunLedger:
+    """The ledger a ``repro runs`` subcommand operates on."""
+    return RunLedger(getattr(args, "ledger", None))
 
 
 # ----------------------------------------------------------------------
@@ -261,6 +350,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     policy = build_policy(args.policy, args.capacity)
     serving = args.serve is not None
     obs = _build_observation(args, require=serving)
+    ledger = _ledger_for(args)
+    capture = _capture_events(obs) if ledger is not None else None
     tracker = None
     heartbeat = None
     heartbeat_interval = 0
@@ -274,11 +365,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 requests=requests_done,
                 hits=policy.hits,
                 hit_ratio=policy.object_hit_ratio,
+                evictions=policy.evictions,
                 rss_bytes=current_rss_bytes(),
             )
 
         heartbeat_interval = 1000
-    server = _start_server(args, obs, tracker)
+    server = _start_server(args, obs, tracker, ledger)
     # Unobserved replays take the columnar fast path; observed ones keep
     # the reference object stream (the engine would unpack anyway).
     replay_trace = trace if obs.enabled else PackedTrace.from_trace(trace)
@@ -305,6 +397,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         if server is not None:
             server.stop()
         _finish_observation(obs, args)
+    _record_run(
+        ledger,
+        "simulate",
+        {
+            "trace": args.trace,
+            "policy": args.policy,
+            "capacity": args.capacity,
+            "window": args.window,
+            "warmup": args.warmup,
+        },
+        [result],
+        name=Path(args.trace).name,
+        capture=capture,
+    )
     print(format_table([result]))
     if args.window and result.windows:
         series = "  ".join(f"{w.hit_ratio:.3f}" for w in result.windows)
@@ -318,8 +424,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
     names = [name.strip() for name in args.policies.split(",") if name.strip()]
     serving = args.serve is not None
     obs = _build_observation(args, require=serving)
+    ledger = _ledger_for(args)
+    capture = _capture_events(obs) if ledger is not None else None
     tracker = ProgressTracker(registry=obs.registry) if serving else None
-    server = _start_server(args, obs, tracker)
+    server = _start_server(args, obs, tracker, ledger)
     try:
         with obs:
             results = run_comparison(
@@ -338,6 +446,21 @@ def cmd_compare(args: argparse.Namespace) -> int:
         if server is not None:
             server.stop()
         _finish_observation(obs, args)
+    _record_run(
+        ledger,
+        "compare",
+        {
+            "trace": args.trace,
+            "policies": names,
+            "capacities": list(args.capacities),
+            "window": args.window,
+            "warmup": args.warmup,
+            "jobs": args.jobs,
+        },
+        results,
+        name=Path(args.trace).name,
+        capture=capture,
+    )
     print(format_table(results))
     return 0
 
@@ -468,14 +591,34 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_compare(args: argparse.Namespace) -> int:
-    """Regression-check consecutive pairs of telemetry files."""
+    """Regression-check telemetry: consecutive file pairs, or one new
+    payload against the rolling ledger history (``--ledger``)."""
     try:
         tolerance = BaselineTolerance(
             throughput_drop_pct=args.throughput_tolerance,
             rss_growth_pct=args.rss_tolerance,
             hit_ratio_drop=args.hit_ratio_tolerance,
         )
-        verdicts = compare_files(args.files, tolerance)
+        if args.ledger is not None:
+            if len(args.files) != 1:
+                raise ValueError(
+                    "--ledger compares exactly one new telemetry file "
+                    "against the recorded history"
+                )
+            current = load_telemetry(args.files[0])
+            history = RunLedger(args.ledger).bench_history(
+                current["name"],
+                limit=args.history,
+                exclude=current.get("run_id") or None,
+            )
+            if not history:
+                raise ValueError(
+                    f"no prior {current['name']!r} benchmark runs recorded "
+                    f"in ledger {args.ledger}"
+                )
+            verdicts = [compare_with_history(history, current, tolerance)]
+        else:
+            verdicts = compare_files(args.files, tolerance)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
     if args.format == "json":
@@ -493,6 +636,138 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
         print("warn-only: regression detected but exiting 0", file=sys.stderr)
         return 0
     return 1 if regressed else 0
+
+
+# ----------------------------------------------------------------------
+# Run ledger (repro runs ...)
+# ----------------------------------------------------------------------
+
+
+def cmd_runs_list(args: argparse.Namespace) -> int:
+    """One line per recorded run, oldest first."""
+    ledger = _open_ledger(args)
+    rows = ledger.summaries(limit=args.limit)
+    if args.format == "json":
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print(f"run ledger {ledger.root}: no runs recorded")
+        return 0
+    header = (
+        f"{'run id':<34}{'created (utc)':<22}{'command':<10}"
+        f"{'cells':>6}{'windows':>9}  name"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['run_id']:<34}{row['created_utc']:<22}"
+            f"{row['command']:<10}{row['cells']:>6}{row['windows']:>9}"
+            f"  {row['name']}"
+        )
+    return 0
+
+
+def cmd_runs_show(args: argparse.Namespace) -> int:
+    """Full manifest (and per-cell table) of one run."""
+    ledger = _open_ledger(args)
+    try:
+        record = ledger.load(args.run)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.format == "json":
+        print(json.dumps(record.manifest(), indent=2, sort_keys=True))
+        return 0
+    print(f"run {record.run_id}  ({record.command}: {record.name})")
+    print(f"  created  {record.created_utc}")
+    print(f"  git rev  {record.git_rev}")
+    print(f"  config   {record.config_digest}")
+    for key, value in sorted(record.metrics.items()):
+        print(f"  {key:<22} {value}")
+    for key, value in sorted(record.events.items()):
+        print(f"  events.{key:<15} {value}")
+    if record.cells:
+        header = (
+            f"  {'policy':<14}{'capacity':>12}{'hit':>8}{'byte-hit':>10}"
+            f"{'evict':>8}{'windows':>9}"
+        )
+        print(header)
+        print("  " + "-" * (len(header) - 2))
+        for cell in record.cells:
+            label = cell.get("policy", "?")
+            if cell.get("scenario"):
+                label = f"{cell['scenario']}/{label}"
+            print(
+                f"  {label:<14}{cell.get('capacity', 0):>12}"
+                f"{cell.get('object_hit_ratio', 0.0):>8.4f}"
+                f"{cell.get('byte_hit_ratio', 0.0):>10.4f}"
+                f"{cell.get('evictions', 0):>8}{cell.get('windows', 0):>9}"
+            )
+    return 0
+
+
+def cmd_runs_diff(args: argparse.Namespace) -> int:
+    """Per-cell and per-window deltas between two runs."""
+    ledger = _open_ledger(args)
+    try:
+        diff = diff_records(ledger.load(args.run_a), ledger.load(args.run_b))
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.format == "json":
+        print(json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.render_text())
+    return 0
+
+
+def cmd_runs_export(args: argparse.Namespace) -> int:
+    """Flatten one run's window series to CSV."""
+    ledger = _open_ledger(args)
+    try:
+        rows = ledger.export_csv(args.run, args.csv)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(f"wrote {rows} window rows to {args.csv}")
+    return 0
+
+
+def cmd_runs_check(args: argparse.Namespace) -> int:
+    """Evaluate an SLO spec against one run; exit 1 on violation
+    (matching ``bench-compare`` semantics)."""
+    ledger = _open_ledger(args)
+    try:
+        spec = SloSpec.from_file(args.slo)
+        record = ledger.load(args.run, series=False)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {args.slo}: {exc}") from None
+    report = evaluate_slo(spec, record)
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    if not report.ok and args.warn_only:
+        print("warn-only: SLO violated but exiting 0", file=sys.stderr)
+        return 0
+    return 0 if report.ok else 1
+
+
+def cmd_runs_gc(args: argparse.Namespace) -> int:
+    """Prune all but the newest ``--keep`` runs."""
+    ledger = _open_ledger(args)
+    try:
+        doomed = ledger.gc(args.keep, dry_run=args.dry_run)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    verb = "would prune" if args.dry_run else "pruned"
+    print(
+        f"{verb} {len(doomed)} run(s), kept {len(ledger.run_ids())} "
+        f"in {ledger.root}"
+    )
+    for run_id in doomed:
+        print(f"  {run_id}")
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -572,6 +847,8 @@ def cmd_workload_run(args: argparse.Namespace) -> int:
     """Sweep the policy grid over a scenario matrix; print the lab report."""
     configs = _scenario_configs(args)
     policies = [name.strip() for name in args.policies.split(",") if name.strip()]
+    ledger = _ledger_for(args)
+    recorder = MemoryRecorder()
     try:
         report = run_workload_lab(
             configs,
@@ -580,9 +857,42 @@ def cmd_workload_run(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             window_requests=args.window,
             analyze=args.analyze,
+            recorder=recorder,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
+    if ledger is not None:
+        # Flatten the scenario × policy matrix into one cell grid; each
+        # cell carries its scenario tag so diffs/SLOs can select on it.
+        results = []
+        tags = []
+        for scenario_report in report.reports:
+            for cell in scenario_report.cells:
+                if cell.result is None:
+                    continue
+                results.append(cell.result)
+                tags.append(
+                    {
+                        "scenario": scenario_report.scenario,
+                        "drift_windows": cell.drift_windows,
+                        "drift_detections": cell.drift_detections,
+                        "retrains": cell.retrains,
+                    }
+                )
+        _record_run(
+            ledger,
+            "workload",
+            {
+                "scenarios": [config.as_dict() for config in configs],
+                "policies": policies,
+                "capacity_fraction": args.capacity_fraction,
+                "window": args.window,
+            },
+            results,
+            name=",".join(config.scenario for config in configs),
+            capture=recorder,
+            cell_tags=tags,
+        )
     if args.format == "json":
         print(report.to_json())
     else:
@@ -638,6 +948,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(sim)
     _add_serve_flag(sim)
+    _add_ledger_flags(sim)
     sim.set_defaults(func=cmd_simulate)
 
     comp = sub.add_parser("compare", help="sweep policies x cache sizes")
@@ -660,6 +971,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(comp)
     _add_serve_flag(comp)
+    _add_ledger_flags(comp)
     comp.set_defaults(func=cmd_compare)
 
     analyze = sub.add_parser(
@@ -762,6 +1074,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--warn-only", action="store_true",
         help="report regressions but exit 0 (CI advisory mode)",
     )
+    bench.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="compare one new telemetry file against the rolling median of "
+        "prior runs recorded in this run-ledger directory",
+    )
+    bench.add_argument(
+        "--history", type=int, default=3, metavar="N",
+        help="number of prior ledger runs in the rolling baseline "
+        "(default 3)",
+    )
     bench.set_defaults(func=cmd_bench_compare)
 
     workload = sub.add_parser(
@@ -830,7 +1152,95 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_out", metavar="PATH", default=None,
         help="also write the full report as JSON here",
     )
+    _add_ledger_flags(wl_run)
     wl_run.set_defaults(func=cmd_workload_run)
+
+    runs = sub.add_parser(
+        "runs",
+        help="run ledger: list / show / diff / export / check / gc",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def _runs_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--ledger", metavar="DIR", default=None,
+            help="ledger directory (default $REPRO_LEDGER_DIR or .repro/runs)",
+        )
+
+    r_list = runs_sub.add_parser("list", help="one line per recorded run")
+    _runs_common(r_list)
+    r_list.add_argument(
+        "--limit", type=int, default=0, metavar="N",
+        help="only the newest N runs (0 = all)",
+    )
+    r_list.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    r_list.set_defaults(func=cmd_runs_list)
+
+    r_show = runs_sub.add_parser("show", help="full manifest of one run")
+    _runs_common(r_show)
+    r_show.add_argument(
+        "run", help="run id, unique prefix, 'latest', or 'latest~N'"
+    )
+    r_show.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    r_show.set_defaults(func=cmd_runs_show)
+
+    r_diff = runs_sub.add_parser(
+        "diff", help="per-cell and per-window deltas between two runs"
+    )
+    _runs_common(r_diff)
+    r_diff.add_argument("run_a", help="baseline run ref")
+    r_diff.add_argument("run_b", help="candidate run ref")
+    r_diff.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    r_diff.set_defaults(func=cmd_runs_diff)
+
+    r_export = runs_sub.add_parser(
+        "export", help="flatten one run's window series to CSV"
+    )
+    _runs_common(r_export)
+    r_export.add_argument("run", help="run ref (see 'runs show')")
+    r_export.add_argument(
+        "--csv", metavar="PATH", required=True, help="output CSV path"
+    )
+    r_export.set_defaults(func=cmd_runs_export)
+
+    r_check = runs_sub.add_parser(
+        "check", help="evaluate an SLO spec against one run (exit 1 on "
+        "violation)"
+    )
+    _runs_common(r_check)
+    r_check.add_argument("run", help="run ref (see 'runs show')")
+    r_check.add_argument(
+        "--slo", metavar="PATH", required=True,
+        help="repro-slo/1 JSON spec file",
+    )
+    r_check.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    r_check.add_argument(
+        "--warn-only", action="store_true",
+        help="report violations but exit 0 (CI advisory mode)",
+    )
+    r_check.set_defaults(func=cmd_runs_check)
+
+    r_gc = runs_sub.add_parser(
+        "gc", help="prune all but the newest --keep runs"
+    )
+    _runs_common(r_gc)
+    r_gc.add_argument(
+        "--keep", type=int, required=True, metavar="N",
+        help="number of newest runs to keep",
+    )
+    r_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be pruned without deleting",
+    )
+    r_gc.set_defaults(func=cmd_runs_gc)
 
     return parser
 

@@ -1,10 +1,11 @@
 """Observability substrate: metrics registry, structured events, timers,
 plus the live ops surface (HTTP exporter, sampling profiler, benchmark
-regression sentinel).
+regression sentinel) and the persistent run ledger (cross-run experiment
+tracking, SLO checks, history-aware regression trends).
 
 See ``docs/OBSERVABILITY.md`` for the event catalog, metric naming and
 CLI usage (``--log-json``, ``--metrics-out``, ``--verbose``, ``--serve``,
-``repro profile``, ``repro bench-compare``).
+``repro profile``, ``repro bench-compare``, ``repro runs``).
 """
 
 from repro.obs.baseline import (
@@ -12,7 +13,10 @@ from repro.obs.baseline import (
     BaselineVerdict,
     compare_files,
     compare_payloads,
+    compare_with_history,
+    history_payload,
     load_telemetry,
+    upgrade_payload,
     validate_telemetry,
 )
 from repro.obs.events import (
@@ -22,6 +26,7 @@ from repro.obs.events import (
     MemoryRecorder,
     NullRecorder,
     TextRecorder,
+    read_events_jsonl,
     register_event_type,
 )
 from repro.obs.observation import NULL_OBS, Observation
@@ -39,7 +44,19 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.runs import (
+    RunDiff,
+    RunLedger,
+    RunRecord,
+    config_digest,
+    current_git_rev,
+    default_ledger_root,
+    diff_records,
+    digest_events,
+    record_from_results,
+)
 from repro.obs.server import ObsServer, ProgressTracker, current_rss_bytes
+from repro.obs.slo import SloReport, SloRule, SloSpec, evaluate_slo
 from repro.obs.timers import NULL_TIMER, ScopedTimer
 from repro.obs.trace import (
     MISS_CLASSES,
@@ -73,16 +90,33 @@ __all__ = [
     "PhaseRow",
     "ProfileReport",
     "ProgressTracker",
+    "RunDiff",
+    "RunLedger",
+    "RunRecord",
     "SamplingProfiler",
     "ScopedTimer",
+    "SloReport",
+    "SloRule",
+    "SloSpec",
     "TextRecorder",
     "TraceConfig",
     "compare_files",
     "compare_payloads",
+    "compare_with_history",
+    "config_digest",
+    "current_git_rev",
     "current_rss_bytes",
+    "default_ledger_root",
+    "diff_records",
+    "digest_events",
+    "evaluate_slo",
+    "history_payload",
     "load_telemetry",
     "phase_breakdown",
     "profile_simulation",
+    "read_events_jsonl",
+    "record_from_results",
     "register_event_type",
+    "upgrade_payload",
     "validate_telemetry",
 ]

@@ -1,4 +1,4 @@
-"""Benchmark regression sentinel over ``repro-bench/1`` telemetry.
+"""Benchmark regression sentinel over ``repro-bench`` telemetry.
 
 :mod:`benchmarks.telemetry` writes one normalized ``BENCH_<name>.json``
 per benchmark run; this module is the other half of that trajectory —
@@ -20,20 +20,39 @@ with more than two files each consecutive pair is compared so a whole
 committed trajectory can be audited in one call.  CI runs it warn-only
 against ``benchmarks/baselines/`` (see ``.github/workflows/ci.yml``).
 
-This module also owns the ``repro-bench/1`` schema contract
+This module also owns the ``repro-bench`` schema contract
 (:func:`validate_telemetry`); ``benchmarks.telemetry`` re-exports it so
 the emission side and the comparison side can never disagree about what
-a valid payload looks like.
+a valid payload looks like.  The current schema is ``repro-bench/2``,
+which stamps run-ledger provenance (``run_id``, ``git_rev``,
+``config_digest``) into every payload; ``repro-bench/1`` payloads (the
+committed baselines predate the ledger) remain fully readable and
+comparable — :func:`upgrade_payload` lifts them with empty provenance.
+
+Beyond the frozen-file comparison, :func:`compare_with_history` checks a
+new payload against the **median** of a rolling window of prior runs
+(e.g. the last 3 ledger-recorded benchmarks of the same name): a frozen
+baseline pins one blessed machine-state forever, while a rolling median
+tracks the trend and absorbs one-off noise spikes without letting slow
+drift hide — ``repro bench-compare --ledger`` is the CLI surface.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import statistics
 from dataclasses import dataclass, field
 from pathlib import Path
 
-SCHEMA = "repro-bench/1"
+#: Current emission schema (with ledger provenance).
+SCHEMA = "repro-bench/2"
+
+#: The pre-ledger schema, still accepted everywhere payloads are read.
+SCHEMA_V1 = "repro-bench/1"
+
+#: Provenance fields required (as strings) by ``repro-bench/2``.
+_PROVENANCE_FIELDS = ("run_id", "git_rev", "config_digest")
 
 #: Required payload keys and the types a valid value may take.
 _REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
@@ -65,7 +84,8 @@ _FINITE_NON_NEGATIVE = (
 
 
 def validate_telemetry(payload: dict) -> None:
-    """Raise ``ValueError`` unless ``payload`` matches ``repro-bench/1``."""
+    """Raise ``ValueError`` unless ``payload`` is valid ``repro-bench/2``
+    (or legacy ``repro-bench/1``, which lacks the provenance fields)."""
     if not isinstance(payload, dict):
         raise ValueError(f"telemetry payload must be a dict, got {type(payload)}")
     missing = sorted(set(_REQUIRED_FIELDS) - set(payload))
@@ -78,10 +98,23 @@ def validate_telemetry(payload: dict) -> None:
                 f"telemetry field {key!r} has type {type(value).__name__}, "
                 f"expected one of {[k.__name__ for k in kinds]}"
             )
-    if payload["schema"] != SCHEMA:
+    if payload["schema"] not in (SCHEMA, SCHEMA_V1):
         raise ValueError(
-            f"unknown telemetry schema {payload['schema']!r}; expected {SCHEMA!r}"
+            f"unknown telemetry schema {payload['schema']!r}; "
+            f"expected {SCHEMA!r} (or legacy {SCHEMA_V1!r})"
         )
+    if payload["schema"] == SCHEMA:
+        prov_missing = sorted(set(_PROVENANCE_FIELDS) - set(payload))
+        if prov_missing:
+            raise ValueError(
+                f"telemetry payload missing fields: {prov_missing}"
+            )
+        for key in _PROVENANCE_FIELDS:
+            if not isinstance(payload[key], str):
+                raise ValueError(
+                    f"telemetry field {key!r} has type "
+                    f"{type(payload[key]).__name__}, expected one of ['str']"
+                )
     if not payload["name"]:
         raise ValueError("telemetry name must be non-empty")
     for key in _FINITE_NON_NEGATIVE:
@@ -118,6 +151,23 @@ def load_telemetry(path: str | Path) -> dict:
     except ValueError as exc:
         raise ValueError(f"{path}: {exc}") from None
     return payload
+
+
+def upgrade_payload(payload: dict) -> dict:
+    """The compatibility reader: lift a valid payload to ``repro-bench/2``.
+
+    A legacy ``repro-bench/1`` payload (e.g. a committed baseline) gets
+    the current schema tag and empty provenance strings — empty meaning
+    "recorded before the run ledger existed", which comparisons treat as
+    unknown rather than mismatched.  A v2 payload comes back as an
+    unmodified copy.
+    """
+    validate_telemetry(payload)
+    upgraded = dict(payload)
+    upgraded["schema"] = SCHEMA
+    for key in _PROVENANCE_FIELDS:
+        upgraded.setdefault(key, "")
+    return upgraded
 
 
 # ----------------------------------------------------------------------
@@ -242,6 +292,13 @@ def compare_payloads(
             verdict.notes.append(
                 f"{key} differs ({baseline[key]!r} vs {current[key]!r})"
             )
+    digest_a = baseline.get("config_digest", "")
+    digest_b = current.get("config_digest", "")
+    if digest_a and digest_b and digest_a != digest_b:
+        verdict.notes.append(
+            f"config digests differ ({digest_a} vs {digest_b}); the runs "
+            "were not configured identically"
+        )
 
     change = _pct_change(baseline["throughput_rps"], current["throughput_rps"])
     verdict.deltas.append(
@@ -305,3 +362,74 @@ def compare_files(
         compare_payloads(older, newer, tolerance)
         for older, newer in zip(payloads, payloads[1:])
     ]
+
+
+# ----------------------------------------------------------------------
+# History-aware comparison (rolling ledger window, not a frozen file)
+# ----------------------------------------------------------------------
+
+
+def history_payload(payloads) -> dict:
+    """Synthesize one baseline payload from a rolling history of runs.
+
+    Every numeric headline is the **median** across ``payloads`` (and
+    per-cell medians for hit ratios, over the payloads that ran each
+    cell), so one outlier run — a noisy machine, a cold cache — cannot
+    move the baseline, while a sustained trend shifts it within
+    ``len(payloads) // 2 + 1`` runs.  Metadata (name/scale/seed/jobs)
+    comes from the newest payload; provenance is blanked because a
+    median has no single source run (the contributing run ids ride in
+    ``extra.history_run_ids``).
+    """
+    payloads = list(payloads)
+    if not payloads:
+        raise ValueError("history_payload needs at least one prior payload")
+    for payload in payloads:
+        validate_telemetry(payload)
+    base = upgrade_payload(payloads[-1])
+    base["wall_seconds"] = float(
+        statistics.median(p["wall_seconds"] for p in payloads)
+    )
+    base["throughput_rps"] = float(
+        statistics.median(p["throughput_rps"] for p in payloads)
+    )
+    base["requests"] = int(statistics.median(p["requests"] for p in payloads))
+    base["peak_rss_bytes"] = int(
+        statistics.median(p["peak_rss_bytes"] for p in payloads)
+    )
+    cells: dict[str, list[float]] = {}
+    for payload in payloads:
+        for cell, ratio in payload["hit_ratios"].items():
+            cells.setdefault(cell, []).append(ratio)
+    base["hit_ratios"] = {
+        cell: float(statistics.median(ratios))
+        for cell, ratios in sorted(cells.items())
+    }
+    for key in _PROVENANCE_FIELDS:
+        base[key] = ""
+    base["extra"] = {
+        "history_size": len(payloads),
+        "history_run_ids": [p.get("run_id", "") for p in payloads],
+    }
+    return base
+
+
+def compare_with_history(
+    history,
+    current: dict,
+    tolerance: BaselineTolerance | None = None,
+) -> BaselineVerdict:
+    """Compare ``current`` against the median of prior payloads.
+
+    ``history`` is the rolling window, oldest→newest (e.g. from
+    :meth:`repro.obs.runs.RunLedger.bench_history`).  Same tolerance and
+    verdict semantics as :func:`compare_payloads`; the baseline name
+    makes the synthetic origin explicit.
+    """
+    history = list(history)
+    baseline = history_payload(history)
+    verdict = compare_payloads(baseline, current, tolerance)
+    verdict.baseline_name = (
+        f"{baseline['name']} (median of {len(history)} prior runs)"
+    )
+    return verdict

@@ -24,6 +24,7 @@ The catalog (see ``docs/OBSERVABILITY.md`` for field-level details):
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import IO
 
@@ -116,12 +117,23 @@ def _json_default(value):
 
 
 class JsonlRecorder(NullRecorder):
-    """Appends one JSON object per event to a file (JSON Lines)."""
+    """Appends one JSON object per event to a file (JSON Lines).
+
+    Durability: ``flush`` pushes buffered events to the OS and ``close``
+    (hence context-manager exit) always flushes first, so a run that
+    exits cleanly — or crashes anywhere outside a partially buffered
+    write — leaves a replayable log the run ledger can ingest.  Pass
+    ``fsync=True`` to additionally ``os.fsync`` on every flush/close for
+    power-loss durability (measurably slower; off by default).  A log
+    truncated mid-line by a hard kill is still readable via
+    :func:`read_events_jsonl` with ``strict=False``.
+    """
 
     enabled = True
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, fsync: bool = False):
         self.path = Path(path)
+        self.fsync = fsync
         self._file: IO[str] | None = self.path.open("w")
         self._seq = 0
 
@@ -139,11 +151,39 @@ class JsonlRecorder(NullRecorder):
     def flush(self) -> None:
         if self._file is not None:
             self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
 
     def close(self) -> None:
         if self._file is not None:
+            self.flush()
             self._file.close()
             self._file = None
+
+
+def read_events_jsonl(path: str | Path, strict: bool = True) -> list[dict]:
+    """Read an event log written by :class:`JsonlRecorder`.
+
+    With ``strict=False`` a final line truncated mid-write (the process
+    was killed between a flush and the next one) is skipped instead of
+    raising, so a crashed run's log remains ingestible; malformed JSON
+    anywhere *before* the last line still raises — that is corruption,
+    not a crash artifact.
+    """
+    lines = Path(path).read_text().splitlines()
+    events: list[dict] = []
+    for number, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if not strict and number == len(lines) - 1:
+                break  # torn trailing write from a killed process
+            raise ValueError(
+                f"{path}: line {number + 1} is not valid JSON: {line[:80]!r}"
+            ) from None
+    return events
 
 
 class TextRecorder(NullRecorder):

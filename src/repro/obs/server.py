@@ -13,7 +13,9 @@ final table.  This module makes long runs scrapable while they run:
   - ``/metrics``  — Prometheus text exposition of the registry,
   - ``/healthz``  — liveness JSON (status, uptime, pid),
   - ``/progress`` — sweep progress JSON (cells done/running/failed,
-    requests/sec, ETA).
+    requests/sec, ETA),
+  - ``/runs``     — run-ledger lineage (newest run summaries), when the
+    server was given a :class:`~repro.obs.runs.RunLedger`.
 
   Enabled from the CLI via ``--serve PORT`` on ``simulate``/``compare``.
 
@@ -41,16 +43,23 @@ def current_rss_bytes() -> int:
 
     Reads ``/proc/self/statm`` where available (Linux); falls back to the
     ``getrusage`` peak (macOS and others) — a peak is still a usable
-    memory signal for heartbeats, just a monotone one.
+    memory signal for heartbeats, just a monotone one.  On platforms with
+    neither (no procfs *and* no ``resource`` module, e.g. Windows) it
+    returns 0: RSS is a monitoring nicety and must never raise into a
+    heartbeat path.
     """
     try:
         with open("/proc/self/statm") as handle:
             return int(handle.read().split()[1]) * os.sysconf("SC_PAGE_SIZE")
     except (OSError, IndexError, ValueError):
+        pass
+    try:
         import resource
 
         peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         return int(peak if sys.platform == "darwin" else peak * 1024)
+    except Exception:  # noqa: BLE001 — absent module, broken syscall: report 0
+        return 0
 
 
 #: Cell lifecycle states, in the order they normally progress.
@@ -68,6 +77,7 @@ class CellProgress:
     requests: int = 0
     hits: int = 0
     hit_ratio: float = 0.0
+    evictions: int = 0
     rss_bytes: int = 0
     error: str = ""
     #: Monotonic time of the last heartbeat (None until the first one).
@@ -84,6 +94,7 @@ class CellProgress:
             "requests": self.requests,
             "hits": self.hits,
             "hit_ratio": round(self.hit_ratio, 6),
+            "evictions": self.evictions,
             "rss_bytes": self.rss_bytes,
             "stalled": self.stalled,
             **({"error": self.error} if self.error else {}),
@@ -144,6 +155,7 @@ class ProgressTracker:
         requests: int = 0,
         hits: int = 0,
         hit_ratio: float = 0.0,
+        evictions: int = 0,
         rss_bytes: int = 0,
     ) -> None:
         """Record one worker heartbeat for ``cell``."""
@@ -156,6 +168,7 @@ class ProgressTracker:
             progress.requests = max(progress.requests, int(requests))
             progress.hits = int(hits)
             progress.hit_ratio = float(hit_ratio)
+            progress.evictions = int(evictions)
             progress.rss_bytes = int(rss_bytes)
             progress.last_heartbeat = self._clock()
             progress.stalled = False
@@ -290,6 +303,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path in ("/", "/healthz"):
+            endpoints = ["/metrics", "/healthz", "/progress"]
+            if self.server.obs_ledger is not None:
+                endpoints.append("/runs")
             self._send_json(
                 {
                     "status": "ok",
@@ -297,7 +313,7 @@ class _Handler(BaseHTTPRequestHandler):
                         time.monotonic() - self.server.obs_started, 3
                     ),
                     "pid": os.getpid(),
-                    "endpoints": ["/metrics", "/healthz", "/progress"],
+                    "endpoints": endpoints,
                 }
             )
         elif path == "/metrics":
@@ -318,6 +334,23 @@ class _Handler(BaseHTTPRequestHandler):
                 if tracker is not None
                 else {"cells": [], "cells_total": 0}
             )
+        elif path == "/runs":
+            # Read-only run-ledger lineage: newest 50 run summaries.  The
+            # ledger is duck-typed (``summaries(limit=)``) so this module
+            # stays decoupled from repro.obs.runs.
+            ledger = self.server.obs_ledger
+            if ledger is None:
+                self._send_json({"ledger": None, "runs": []})
+            else:
+                try:
+                    runs = ledger.summaries(limit=50)
+                except Exception as exc:  # noqa: BLE001 — scrape must not 500
+                    self._send_json(
+                        {"ledger": str(ledger.root), "error": str(exc)},
+                        status=500,
+                    )
+                    return
+                self._send_json({"ledger": str(ledger.root), "runs": runs})
         else:
             self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
 
@@ -348,9 +381,13 @@ class ObsServer:
         tracker: ProgressTracker | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        ledger=None,
     ) -> None:
         self.registry = registry
         self.tracker = tracker
+        #: Optional :class:`~repro.obs.runs.RunLedger` behind ``/runs``
+        #: (duck-typed: anything with ``root`` and ``summaries(limit=)``).
+        self.ledger = ledger
         self.host = host
         self.port = port
         self._server: ThreadingHTTPServer | None = None
@@ -363,6 +400,7 @@ class ObsServer:
         server.daemon_threads = True
         server.obs_registry = self.registry
         server.obs_tracker = self.tracker
+        server.obs_ledger = self.ledger
         server.obs_started = time.monotonic()
         self._server = server
         self.port = server.server_address[1]

@@ -168,12 +168,18 @@ def replay_into(
             )
         trace = trace.unpack()
     window: WindowMetrics | None = None
+    evict_mark = 0
     start = time.perf_counter()
     peak_metadata = 0
     for i, req in enumerate(trace):
         if window_requests and (window is None or window.requests >= window_requests):
-            if observing and window is not None:
-                _emit_window(obs, window)
+            if window is not None:
+                # Eviction pressure per window: delta of the policy's
+                # monotone eviction counter at the window edges.
+                window.evictions = policy.evictions - evict_mark
+                if observing:
+                    _emit_window(obs, window)
+            evict_mark = policy.evictions
             window = WindowMetrics(index=len(result.windows))
             result.windows.append(window)
         hit = policy.request(req)
@@ -197,6 +203,8 @@ def replay_into(
     result.peak_metadata_bytes = max(peak_metadata, policy.metadata_bytes())
     result.evictions = policy.evictions
     result.admissions = policy.admissions
+    if window is not None:
+        window.evictions = policy.evictions - evict_mark
     if tracer is not None:
         result.decision_trace = tracer
     if observing:
@@ -262,7 +270,7 @@ def _replay_packed(
     base_bytes = policy.hit_bytes + policy.miss_bytes
     window: WindowMetrics | None = None
     window_begin = 0
-    win_hits = win_hit_bytes = win_bytes = 0
+    win_hits = win_hit_bytes = win_bytes = win_evictions = 0
     start = time.perf_counter()
     peak_metadata = 0
     i = 0
@@ -280,6 +288,7 @@ def _replay_packed(
                 win_hits = policy.hits
                 win_hit_bytes = policy.hit_bytes
                 win_bytes = policy.hit_bytes + policy.miss_bytes
+                win_evictions = policy.evictions
             boundary = (i // window_requests + 1) * window_requests
             if boundary < stop:
                 stop = boundary
@@ -295,6 +304,7 @@ def _replay_packed(
             window.hits = policy.hits - win_hits
             window.hit_bytes = policy.hit_bytes - win_hit_bytes
             window.total_bytes = policy.hit_bytes + policy.miss_bytes - win_bytes
+            window.evictions = policy.evictions - win_evictions
         if stop == warmup:
             base_hits = policy.hits
             base_hit_bytes = policy.hit_bytes

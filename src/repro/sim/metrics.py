@@ -22,6 +22,10 @@ class WindowMetrics:
     hits: int = 0
     hit_bytes: int = 0
     total_bytes: int = 0
+    #: Evictions performed during this window (delta of the policy's
+    #: monotone eviction counter at the window edges) — the per-window
+    #: "eviction pressure" column the run ledger persists.
+    evictions: int = 0
 
     @property
     def hit_ratio(self) -> float:

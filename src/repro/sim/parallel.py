@@ -238,6 +238,7 @@ def _heartbeat_for(spec: CellSpec, policy, interval: int, sink):
                 "requests": requests_done,
                 "hits": policy.hits,
                 "hit_ratio": policy.object_hit_ratio,
+                "evictions": policy.evictions,
                 "rss_bytes": current_rss_bytes(),
             }
         )

@@ -61,6 +61,13 @@ class ScenarioCell:
     drift_windows: int = 0
     drift_detections: int = 0
     retrains: int = 0
+    #: The cell's full :class:`~repro.sim.metrics.SimulationResult`
+    #: (window series included) — kept for the run ledger; deliberately
+    #: excluded from ``as_dict`` so report JSON (and the golden corpus)
+    #: is unchanged.
+    result: SimulationResult | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def as_dict(self) -> dict:
         return {
@@ -297,6 +304,7 @@ def run_workload_lab(
                     drift_windows=tally.get("drift_windows", 0),
                     drift_detections=tally.get("drift_detections", 0),
                     retrains=tally.get("retrains", 0),
+                    result=result,
                 )
             )
         report = ScenarioReport(

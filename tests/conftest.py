@@ -8,6 +8,13 @@ from repro.traces import generate_production_trace, irm_trace
 from repro.traces.request import Request, Trace
 
 
+@pytest.fixture(autouse=True)
+def _ledger_in_tmp(monkeypatch, tmp_path):
+    """Point the default-on run ledger at a throwaway directory so tests
+    that drive the CLI in-process never write ``.repro/runs`` in CWD."""
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "run-ledger"))
+
+
 @pytest.fixture(scope="session")
 def equal_size_trace() -> Trace:
     """Unit-size IRM trace — the classic paging model."""

@@ -7,10 +7,16 @@ import json
 import pytest
 
 from repro.obs.baseline import (
+    SCHEMA,
+    SCHEMA_V1,
     BaselineTolerance,
     compare_files,
     compare_payloads,
+    compare_with_history,
+    history_payload,
     load_telemetry,
+    upgrade_payload,
+    validate_telemetry,
 )
 
 
@@ -161,3 +167,119 @@ class TestFiles:
         a = self._write(tmp_path / "a.json", make_payload())
         with pytest.raises(ValueError, match="at least two"):
             compare_files([a])
+
+
+def make_v2(**overrides) -> dict:
+    payload = make_payload(
+        schema=SCHEMA,
+        run_id="20260102T030405.000000Z-abcd1234",
+        git_rev="deadbeef" * 5,
+        config_digest="abcd1234abcd1234",
+    )
+    payload.update(overrides)
+    return payload
+
+
+class TestSchemaV2:
+    def test_v2_payload_validates(self):
+        validate_telemetry(make_v2())
+
+    def test_legacy_v1_still_validates(self):
+        assert SCHEMA_V1 == "repro-bench/1"
+        validate_telemetry(make_payload())
+
+    def test_v2_requires_provenance(self):
+        bad = make_v2()
+        del bad["run_id"]
+        with pytest.raises(ValueError, match="missing fields.*run_id"):
+            validate_telemetry(bad)
+        with pytest.raises(ValueError, match="expected one of"):
+            validate_telemetry(make_v2(git_rev=123))
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="unknown telemetry schema"):
+            validate_telemetry(make_payload(schema="repro-bench/9"))
+
+    def test_upgrade_lifts_v1_with_blank_provenance(self):
+        upgraded = upgrade_payload(make_payload())
+        assert upgraded["schema"] == SCHEMA
+        assert upgraded["run_id"] == ""
+        assert upgraded["git_rev"] == ""
+        assert upgraded["config_digest"] == ""
+        validate_telemetry(upgraded)
+
+    def test_upgrade_keeps_v2_intact(self):
+        original = make_v2()
+        upgraded = upgrade_payload(original)
+        assert upgraded == original
+        assert upgraded is not original
+
+    def test_config_digest_mismatch_noted(self):
+        verdict = compare_payloads(
+            make_v2(), make_v2(config_digest="ffff0000ffff0000")
+        )
+        assert any("config digest" in note for note in verdict.notes)
+
+
+class TestHistory:
+    def test_history_payload_takes_medians(self):
+        history = [
+            make_v2(throughput_rps=900.0, requests=9000,
+                    peak_rss_bytes=90, wall_seconds=9.0,
+                    hit_ratios={"lru@1000": 0.38}),
+            make_v2(throughput_rps=1000.0, requests=10000,
+                    peak_rss_bytes=100, wall_seconds=10.0,
+                    hit_ratios={"lru@1000": 0.40}),
+            make_v2(throughput_rps=5000.0, requests=50000,
+                    peak_rss_bytes=500, wall_seconds=50.0,
+                    hit_ratios={"lru@1000": 0.90}),  # the outlier
+        ]
+        baseline = history_payload(history)
+        assert baseline["throughput_rps"] == 1000.0
+        assert baseline["requests"] == 10000
+        assert baseline["peak_rss_bytes"] == 100
+        assert baseline["hit_ratios"] == {"lru@1000": 0.40}
+        assert baseline["run_id"] == ""  # a median has no source run
+        assert baseline["extra"]["history_size"] == 3
+        validate_telemetry(baseline)
+
+    def test_history_payload_needs_input(self):
+        with pytest.raises(ValueError, match="at least one"):
+            history_payload([])
+
+    def test_regression_vs_rolling_history(self):
+        """The acceptance bar: an injected regression is flagged against
+        the median of three prior runs."""
+        history = [
+            make_v2(throughput_rps=t) for t in (980.0, 1000.0, 1020.0)
+        ]
+        bad = make_v2(throughput_rps=500.0)
+        verdict = compare_with_history(history, bad)
+        assert verdict.regressed
+        assert "median of 3 prior runs" in verdict.baseline_name
+        (delta,) = [
+            d for d in verdict.regressions if d.metric == "throughput_rps"
+        ]
+        assert delta.baseline == 1000.0
+
+    def test_healthy_run_passes_history(self):
+        history = [
+            make_v2(throughput_rps=t) for t in (980.0, 1000.0, 1020.0)
+        ]
+        verdict = compare_with_history(history, make_v2(throughput_rps=1010.0))
+        assert not verdict.regressed
+
+    def test_one_outlier_cannot_move_the_baseline(self):
+        history = [
+            make_v2(throughput_rps=1000.0),
+            make_v2(throughput_rps=1.0),  # one catastrophic run
+            make_v2(throughput_rps=1000.0),
+        ]
+        verdict = compare_with_history(history, make_v2(throughput_rps=990.0))
+        assert not verdict.regressed
+
+    def test_mixed_v1_v2_history(self):
+        """Pre-ledger v1 payloads participate in the rolling window."""
+        history = [make_payload(throughput_rps=1000.0), make_v2()]
+        verdict = compare_with_history(history, make_v2(throughput_rps=100.0))
+        assert verdict.regressed

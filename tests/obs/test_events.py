@@ -327,3 +327,93 @@ class TestScopedTimerReentrancy:
         with timer:
             pass
         assert timer.last_seconds >= 0.0
+
+
+class TestJsonlDurability:
+    """Satellite: flush/close durability and torn-write recovery."""
+
+    def test_close_flushes_buffered_events(self, tmp_path):
+        from repro.obs import read_events_jsonl
+
+        path = tmp_path / "events.jsonl"
+        recorder = JsonlRecorder(path)
+        recorder.emit("sim.window", policy="lru")
+        recorder.close()
+        events = read_events_jsonl(path)
+        assert events == [{"event": "sim.window", "seq": 0, "policy": "lru"}]
+
+    def test_flush_makes_events_visible_before_close(self, tmp_path):
+        from repro.obs import read_events_jsonl
+
+        path = tmp_path / "events.jsonl"
+        recorder = JsonlRecorder(path)
+        recorder.emit("sim.window", policy="lru")
+        recorder.flush()
+        # Readable by a concurrent process while the recorder stays open.
+        assert len(read_events_jsonl(path)) == 1
+        recorder.close()
+
+    def test_fsync_flag_fsyncs_on_flush(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        synced = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            "repro.obs.events.os.fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd))[-1],
+        )
+        recorder = JsonlRecorder(tmp_path / "events.jsonl", fsync=True)
+        recorder.emit("sim.window", policy="lru")
+        recorder.close()
+        assert synced  # close -> flush -> fsync
+
+    def test_emit_after_close_raises(self, tmp_path):
+        recorder = JsonlRecorder(tmp_path / "events.jsonl")
+        recorder.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            recorder.emit("sim.window")
+
+    def test_kill_mid_write_leaves_replayable_log(self, tmp_path):
+        """Regression: a process killed mid-write must not corrupt the
+        flushed prefix, and the tolerant reader must recover it."""
+        import subprocess
+        import sys
+
+        path = tmp_path / "events.jsonl"
+        script = f"""
+import os, sys
+sys.path.insert(0, {str((tmp_path / '..').resolve())!r})
+from repro.obs import JsonlRecorder
+
+recorder = JsonlRecorder({str(path)!r})
+for i in range(50):
+    recorder.emit("sim.window", index=i)
+recorder.flush()
+# Simulate a torn write: raw partial line after the flushed prefix,
+# then die without close() as SIGKILL would.
+recorder._file.write('{{"event": "sim.window", "index": 50, "trunc')
+recorder._file.flush()
+os._exit(9)
+"""
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd="/root/repo",
+        )
+        assert proc.returncode == 9, proc.stderr
+        from repro.obs import read_events_jsonl
+
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_events_jsonl(path)  # strict: corruption is loud
+        events = read_events_jsonl(path, strict=False)
+        assert [e["index"] for e in events] == list(range(50))
+
+    def test_strict_false_only_forgives_the_last_line(self, tmp_path):
+        from repro.obs import read_events_jsonl
+
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "a"}\n{broken\n{"event": "b"}\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_events_jsonl(path, strict=False)

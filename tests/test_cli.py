@@ -427,3 +427,225 @@ class TestLiveOpsCli:
         assert main(
             ["bench-compare", a, b, "--throughput-tolerance", "25"]
         ) == 0
+
+
+class TestRunLedgerCli:
+    """The tentpole surface: default-on recording + the runs family."""
+
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(irm_trace(600, 50, mean_size=1 << 10, seed=4), path)
+        return str(path)
+
+    def _compare(self, trace_file, seed_trace=None):
+        return main(
+            ["compare", "--trace", seed_trace or trace_file,
+             "--policies", "lru,s4lru", "--capacities", "8kb",
+             "--window", "150"]
+        )
+
+    def test_compare_records_run_and_list_shows_it(
+        self, trace_file, capsys, monkeypatch
+    ):
+        assert self._compare(trace_file) == 0
+        err = capsys.readouterr().err
+        assert "run ledger: recorded" in err
+        assert main(["runs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "compare" in out
+        assert "trace.csv" in out
+
+    def test_ledger_output_stays_off_stdout(self, trace_file, capsys):
+        """Stdout is compared across serial/parallel runs elsewhere; the
+        ledger must only ever talk on stderr."""
+        assert self._compare(trace_file) == 0
+        captured = capsys.readouterr()
+        assert "run ledger" not in captured.out
+        assert "run ledger" in captured.err
+
+    def test_no_ledger_opt_out(self, trace_file, capsys, tmp_path):
+        assert main(
+            ["compare", "--trace", trace_file, "--policies", "lru",
+             "--capacities", "8kb", "--no-ledger"]
+        ) == 0
+        assert "run ledger" not in capsys.readouterr().err
+        assert main(["runs", "list"]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_show_and_diff_identical_runs(self, trace_file, capsys):
+        assert self._compare(trace_file) == 0
+        assert self._compare(trace_file) == 0
+        capsys.readouterr()
+        assert main(["runs", "show", "latest"]) == 0
+        shown = capsys.readouterr().out
+        assert "lru" in shown and "s4lru" in shown
+        assert main(["runs", "diff", "latest~1", "latest"]) == 0
+        assert "verdict: IDENTICAL" in capsys.readouterr().out
+
+    def test_diff_different_seeds_is_nonzero_per_window(
+        self, trace_file, tmp_path, capsys
+    ):
+        other = tmp_path / "other.csv"
+        save_trace_csv(irm_trace(600, 50, mean_size=1 << 10, seed=9), other)
+        assert self._compare(trace_file) == 0
+        assert self._compare(trace_file, seed_trace=str(other)) == 0
+        capsys.readouterr()
+        assert main(["runs", "diff", "latest~1", "latest", "--format", "json"]) == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["identical"] is False
+        assert any(c["windows_differing"] > 0 for c in diff["cells"])
+
+    def test_check_exit_codes_match_bench_compare(
+        self, trace_file, tmp_path, capsys
+    ):
+        assert self._compare(trace_file) == 0
+        ok_spec = tmp_path / "ok.json"
+        ok_spec.write_text(json.dumps({
+            "schema": "repro-slo/1",
+            "rules": [{"metric": "object_hit_ratio", "min": 0.0},
+                      {"metric": "stalls", "max": 0}],
+        }))
+        bad_spec = tmp_path / "bad.json"
+        bad_spec.write_text(json.dumps({
+            "schema": "repro-slo/1",
+            "rules": [{"metric": "object_hit_ratio", "min": 0.99}],
+        }))
+        assert main(["runs", "check", "latest", "--slo", str(ok_spec)]) == 0
+        assert "verdict: OK" in capsys.readouterr().out
+        assert main(["runs", "check", "latest", "--slo", str(bad_spec)]) == 1
+        assert "verdict: VIOLATED" in capsys.readouterr().out
+        assert main(
+            ["runs", "check", "latest", "--slo", str(bad_spec), "--warn-only"]
+        ) == 0
+
+    def test_check_bad_spec_is_a_clean_error(self, trace_file, tmp_path):
+        assert self._compare(trace_file) == 0
+        spec = tmp_path / "nonsense.json"
+        spec.write_text(json.dumps({"schema": "repro-slo/1", "rules": [
+            {"metric": "no_such_metric", "max": 1}]}))
+        with pytest.raises(SystemExit, match="unknown SLO metric"):
+            main(["runs", "check", "latest", "--slo", str(spec)])
+
+    def test_export_csv(self, trace_file, tmp_path, capsys):
+        assert self._compare(trace_file) == 0
+        out = tmp_path / "series.csv"
+        assert main(["runs", "export", "latest", "--csv", str(out)]) == 0
+        assert "window rows" in capsys.readouterr().out
+        header = out.read_text().splitlines()[0]
+        assert header.startswith("cell,policy,capacity,window,requests")
+
+    def test_gc_keeps_newest(self, trace_file, capsys):
+        for _ in range(3):
+            assert self._compare(trace_file) == 0
+        capsys.readouterr()
+        assert main(["runs", "gc", "--keep", "1"]) == 0
+        assert "pruned 2 run(s), kept 1" in capsys.readouterr().out
+
+    def test_unknown_ref_is_a_clean_error(self, trace_file):
+        assert self._compare(trace_file) == 0
+        with pytest.raises(SystemExit, match="no run matching"):
+            main(["runs", "show", "zzz"])
+
+    def test_simulate_records_too(self, trace_file, capsys):
+        assert main(
+            ["simulate", "--trace", trace_file, "--policy", "lru",
+             "--capacity", "8kb", "--window", "150"]
+        ) == 0
+        assert "run ledger: recorded" in capsys.readouterr().err
+        assert main(["runs", "list"]) == 0
+        assert "simulate" in capsys.readouterr().out
+
+
+class TestBenchCompareLedger:
+    """bench-compare --ledger: rolling-history regression trends."""
+
+    def _payload(self, throughput, run_id):
+        return {
+            "schema": "repro-bench/2",
+            "name": "throughput",
+            "scale": 0.01,
+            "seed": 1,
+            "jobs": 0,
+            "run_id": run_id,
+            "git_rev": "deadbeef",
+            "config_digest": "abcd1234abcd1234",
+            "wall_seconds": 2.0,
+            "requests": 20000,
+            "throughput_rps": throughput,
+            "peak_rss_bytes": 100 << 20,
+            "hit_ratios": {"lru@1000": 0.40},
+            "obs_overhead_percent": None,
+            "extra": {},
+        }
+
+    @pytest.fixture()
+    def ledger_with_history(self, tmp_path):
+        from repro.obs import RunLedger, RunRecord
+
+        root = tmp_path / "bench-ledger"
+        ledger = RunLedger(root)
+        for i, tput in enumerate((980.0, 1000.0, 1020.0)):
+            payload = self._payload(tput, f"hist-{i}")
+            ledger.record(
+                RunRecord(
+                    command="bench", name="throughput",
+                    run_id=payload["run_id"], metrics=payload,
+                )
+            )
+        return root
+
+    def test_injected_regression_flagged(
+        self, tmp_path, ledger_with_history, capsys
+    ):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps(self._payload(500.0, "candidate")))
+        assert main(
+            ["bench-compare", str(bad), "--ledger", str(ledger_with_history)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "median of 3 prior runs" in out
+        assert "REGRESS" in out
+
+    def test_healthy_run_passes(self, tmp_path, ledger_with_history, capsys):
+        good = tmp_path / "BENCH_good.json"
+        good.write_text(json.dumps(self._payload(1010.0, "candidate")))
+        assert main(
+            ["bench-compare", str(good), "--ledger", str(ledger_with_history)]
+        ) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_candidate_never_its_own_history(
+        self, tmp_path, ledger_with_history
+    ):
+        """A payload already recorded in the ledger is excluded from the
+        history it is compared against."""
+        from repro.obs import RunLedger, RunRecord
+
+        payload = self._payload(500.0, "candidate")
+        RunLedger(ledger_with_history).record(
+            RunRecord(command="bench", name="throughput",
+                      run_id="candidate", metrics=payload)
+        )
+        current = tmp_path / "BENCH_current.json"
+        current.write_text(json.dumps(payload))
+        assert main(
+            ["bench-compare", str(current), "--ledger",
+             str(ledger_with_history)]
+        ) == 1  # still judged against the three healthy runs
+
+    def test_ledger_mode_requires_one_file(self, tmp_path, ledger_with_history):
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps(self._payload(1000.0, "a")))
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps(self._payload(1000.0, "b")))
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["bench-compare", str(a), str(b), "--ledger",
+                  str(ledger_with_history)])
+
+    def test_empty_history_is_a_clean_error(self, tmp_path):
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps(self._payload(1000.0, "a")))
+        with pytest.raises(SystemExit, match="no prior"):
+            main(["bench-compare", str(a), "--ledger",
+                  str(tmp_path / "empty-ledger")])
