@@ -24,9 +24,15 @@ Subcommands cover the everyday workflows:
   matrix and report hit ratios plus drift/retrain activity
   (``docs/WORKLOADS.md``).
 
+* ``timeline`` — phase self-time breakdown, critical path, per-worker
+  utilization and straggler cells of a run recorded with
+  ``--trace-out`` (see ``docs/OBSERVABILITY.md``).
+
 ``simulate`` and ``compare`` additionally take ``--serve PORT`` to
 expose ``/metrics``, ``/healthz`` and ``/progress`` over HTTP while the
-run is live (see ``docs/OBSERVABILITY.md``).
+run is live, and — together with ``workload run`` — ``--trace-out
+PATH`` to record a cross-process span timeline and export it as Chrome
+trace-event JSON (see ``docs/OBSERVABILITY.md``).
 
 Capacities accept human-readable suffixes: ``512MB``, ``4GB``, ``1TB``,
 or a plain byte count.
@@ -54,7 +60,9 @@ from repro.obs import (
     ProgressTracker,
     RunLedger,
     SloSpec,
+    SpanRecorder,
     TextRecorder,
+    analyze_spans,
     compare_files,
     compare_with_history,
     current_rss_bytes,
@@ -151,15 +159,21 @@ def _save_any_trace(trace: Trace, path: str, fmt: str) -> None:
 
 
 def _build_observation(
-    args: argparse.Namespace, require: bool = False
+    args: argparse.Namespace,
+    require: bool = False,
+    spans: SpanRecorder | None = None,
 ) -> Observation:
     """Assemble the observation handle the flags ask for.
 
     Returns :data:`NULL_OBS` (the zero-overhead disabled handle) when no
     observability flag is set, unless ``require`` forces an enabled
     handle (``--serve`` needs a live registry to scrape even without any
-    logging flag).  If a later recorder constructor fails, the ones
-    already built are closed — no leaked file handles on bad flags.
+    logging flag).  A ``spans`` recorder (``--trace-out``) rides the
+    handle as a third sink; when it is the *only* thing asked for, the
+    handle stays disabled (``Observation.spans_only``) so the replay
+    keeps the packed fast path and spans land at chunk granularity.  If
+    a later recorder constructor fails, the ones already built are
+    closed — no leaked file handles on bad flags.
     """
     recorders = []
     try:
@@ -172,13 +186,15 @@ def _build_observation(
             recorder.close()
         raise
     if not recorders and not getattr(args, "metrics_out", None) and not require:
+        if spans is not None:
+            return Observation.spans_only(spans)
         return NULL_OBS
     recorder = None
     if len(recorders) == 1:
         recorder = recorders[0]
     elif recorders:
         recorder = FanoutRecorder(*recorders)
-    return Observation(recorder=recorder)
+    return Observation(recorder=recorder, spans=spans)
 
 
 def _finish_observation(obs: Observation, args: argparse.Namespace) -> None:
@@ -208,6 +224,30 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
         "--verbose", "-v", action="store_true",
         help="print each structured event to stderr as it happens",
     )
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="record a span timeline of this run and write it here as "
+        "Chrome trace-event JSON (loadable in Perfetto / chrome://tracing); "
+        "the spans also land in the run ledger for `repro timeline`",
+    )
+
+
+def _span_recorder_for(args: argparse.Namespace) -> SpanRecorder | None:
+    """A driver-side span recorder when ``--trace-out`` asked for one."""
+    if getattr(args, "trace_out", None):
+        return SpanRecorder(role="driver")
+    return None
+
+
+def _write_trace(spans: SpanRecorder | None, args: argparse.Namespace) -> None:
+    """Write the recorded timeline as Chrome trace-event JSON, if asked."""
+    if spans is None:
+        return
+    spans.write_chrome_trace(args.trace_out)
+    print(f"wrote timeline trace ({len(spans)} spans) to {args.trace_out}")
 
 
 def _add_serve_flag(parser: argparse.ArgumentParser) -> None:
@@ -285,6 +325,7 @@ def _record_run(
     name: str = "",
     capture: MemoryRecorder | None = None,
     cell_tags=None,
+    spans: SpanRecorder | None = None,
 ) -> None:
     """Persist one RunRecord; a ledger failure warns, never kills a run
     whose results are already in hand."""
@@ -298,6 +339,7 @@ def _record_run(
             name=name,
             events=capture.events if capture is not None else None,
             cell_tags=cell_tags,
+            spans=spans.as_dicts() if spans is not None else None,
         )
         run_id = ledger.record(record)
     except Exception as exc:  # noqa: BLE001 — bookkeeping must not fail the run
@@ -349,7 +391,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     trace = load_any_trace(args.trace)
     policy = build_policy(args.policy, args.capacity)
     serving = args.serve is not None
-    obs = _build_observation(args, require=serving)
+    spans = _span_recorder_for(args)
+    obs = _build_observation(args, require=serving, spans=spans)
     ledger = _ledger_for(args)
     capture = _capture_events(obs) if ledger is not None else None
     tracker = None
@@ -376,15 +419,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     replay_trace = trace if obs.enabled else PackedTrace.from_trace(trace)
     try:
         with obs:
-            result = simulate(
-                policy,
-                replay_trace,
-                window_requests=args.window,
-                warmup_requests=args.warmup,
-                obs=obs,
-                heartbeat=heartbeat,
-                heartbeat_interval=heartbeat_interval,
-            )
+            with obs.spans.span("cli.simulate", cat="cli", trace=args.trace):
+                result = simulate(
+                    policy,
+                    replay_trace,
+                    window_requests=args.window,
+                    warmup_requests=args.warmup,
+                    obs=obs,
+                    heartbeat=heartbeat,
+                    heartbeat_interval=heartbeat_interval,
+                )
             if tracker is not None:
                 tracker.cell_done(
                     0,
@@ -410,7 +454,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         [result],
         name=Path(args.trace).name,
         capture=capture,
+        spans=spans,
     )
+    _write_trace(spans, args)
     print(format_table([result]))
     if args.window and result.windows:
         series = "  ".join(f"{w.hit_ratio:.3f}" for w in result.windows)
@@ -423,23 +469,25 @@ def cmd_compare(args: argparse.Namespace) -> int:
     trace = load_any_trace(args.trace)
     names = [name.strip() for name in args.policies.split(",") if name.strip()]
     serving = args.serve is not None
-    obs = _build_observation(args, require=serving)
+    spans = _span_recorder_for(args)
+    obs = _build_observation(args, require=serving, spans=spans)
     ledger = _ledger_for(args)
     capture = _capture_events(obs) if ledger is not None else None
     tracker = ProgressTracker(registry=obs.registry) if serving else None
     server = _start_server(args, obs, tracker, ledger)
     try:
         with obs:
-            results = run_comparison(
-                trace if obs.enabled else PackedTrace.from_trace(trace),
-                names,
-                args.capacities,
-                window_requests=args.window,
-                warmup_requests=args.warmup,
-                parallel=args.jobs,
-                obs=obs,
-                progress=tracker,
-            )
+            with obs.spans.span("cli.compare", cat="cli", trace=args.trace):
+                results = run_comparison(
+                    trace if obs.enabled else PackedTrace.from_trace(trace),
+                    names,
+                    args.capacities,
+                    window_requests=args.window,
+                    warmup_requests=args.warmup,
+                    parallel=args.jobs,
+                    obs=obs,
+                    progress=tracker,
+                )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
     finally:
@@ -460,7 +508,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
         results,
         name=Path(args.trace).name,
         capture=capture,
+        spans=spans,
     )
+    _write_trace(spans, args)
     print(format_table(results))
     return 0
 
@@ -686,6 +736,11 @@ def cmd_runs_show(args: argparse.Namespace) -> int:
         print(f"  {key:<22} {value}")
     for key, value in sorted(record.events.items()):
         print(f"  events.{key:<15} {value}")
+    if record.span_count():
+        print(
+            f"  spans    {record.span_count()} recorded  "
+            f"(view: repro timeline {record.run_id})"
+        )
     if record.cells:
         header = (
             f"  {'policy':<14}{'capacity':>12}{'hit':>8}{'byte-hit':>10}"
@@ -751,6 +806,29 @@ def cmd_runs_check(args: argparse.Namespace) -> int:
         print("warn-only: SLO violated but exiting 0", file=sys.stderr)
         return 0
     return 0 if report.ok else 1
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Phase breakdown, critical path and straggler stats of one traced
+    run (recorded with ``--trace-out``)."""
+    ledger = _open_ledger(args)
+    try:
+        record = ledger.load(args.run, series=False)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if not record.spans:
+        raise SystemExit(
+            f"error: run {record.run_id} recorded no spans; re-run with "
+            "--trace-out to capture a timeline"
+        )
+    report = analyze_spans(record.spans)
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"timeline of run {record.run_id}  ({record.command}: "
+              f"{record.name})")
+        print(report.render_text())
+    return 0
 
 
 def cmd_runs_gc(args: argparse.Namespace) -> int:
@@ -849,6 +927,12 @@ def cmd_workload_run(args: argparse.Namespace) -> int:
     policies = [name.strip() for name in args.policies.split(",") if name.strip()]
     ledger = _ledger_for(args)
     recorder = MemoryRecorder()
+    spans = _span_recorder_for(args)
+    root_span = (
+        spans.begin("cli.workload-run", cat="cli", scenarios=len(configs))
+        if spans is not None
+        else None
+    )
     try:
         report = run_workload_lab(
             configs,
@@ -858,9 +942,12 @@ def cmd_workload_run(args: argparse.Namespace) -> int:
             window_requests=args.window,
             analyze=args.analyze,
             recorder=recorder,
+            spans=spans,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
+    if root_span is not None:
+        spans.end(root_span)
     if ledger is not None:
         # Flatten the scenario × policy matrix into one cell grid; each
         # cell carries its scenario tag so diffs/SLOs can select on it.
@@ -892,7 +979,9 @@ def cmd_workload_run(args: argparse.Namespace) -> int:
             name=",".join(config.scenario for config in configs),
             capture=recorder,
             cell_tags=tags,
+            spans=spans,
         )
+    _write_trace(spans, args)
     if args.format == "json":
         print(report.to_json())
     else:
@@ -947,6 +1036,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests replayed before metrics start counting",
     )
     _add_observability_flags(sim)
+    _add_trace_flag(sim)
     _add_serve_flag(sim)
     _add_ledger_flags(sim)
     sim.set_defaults(func=cmd_simulate)
@@ -970,6 +1060,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests replayed before metrics start counting",
     )
     _add_observability_flags(comp)
+    _add_trace_flag(comp)
     _add_serve_flag(comp)
     _add_ledger_flags(comp)
     comp.set_defaults(func=cmd_compare)
@@ -1152,6 +1243,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_out", metavar="PATH", default=None,
         help="also write the full report as JSON here",
     )
+    _add_trace_flag(wl_run)
     _add_ledger_flags(wl_run)
     wl_run.set_defaults(func=cmd_workload_run)
 
@@ -1241,6 +1333,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="report what would be pruned without deleting",
     )
     r_gc.set_defaults(func=cmd_runs_gc)
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="phase breakdown, critical path and stragglers of a traced run",
+    )
+    timeline.add_argument(
+        "run", nargs="?", default="latest",
+        help="run ref (id, unique prefix, 'latest', 'latest~N'); "
+        "default latest",
+    )
+    timeline.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="ledger directory (default $REPRO_LEDGER_DIR or .repro/runs)",
+    )
+    timeline.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    timeline.set_defaults(func=cmd_timeline)
 
     return parser
 

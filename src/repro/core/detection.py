@@ -59,6 +59,12 @@ class DriftDetector:
         Returns True when the model should be retrained: on the first
         window ever, when the fit degenerates, or on alpha drift.
         """
+        # Runs once per window; the disabled span context is a shared
+        # no-op, so this costs nothing on the hot path.
+        with self.obs.spans.span("lhr.drift_check", cat="lhr"):
+            return self._observe_window(counts)
+
+    def _observe_window(self, counts) -> bool:
         values = np.asarray(list(counts.values()) if hasattr(counts, "values") else counts)
         previous = self._previous_alpha
         try:

@@ -308,6 +308,20 @@ class LhrCache(CachePolicy):
     # ------------------------------------------------------------------
 
     def _window_closed(self, window: HroWindow) -> None:
+        # Span-wrapped dispatch: the window-close pipeline (drift check,
+        # threshold estimation, GBM refit) is the retraining-cadence cost
+        # the paper trades against hit ratio, so it gets a timeline span
+        # whenever one is being recorded.
+        spans = self.obs.spans
+        if spans.enabled:
+            with spans.span(
+                "lhr.window_close", cat="lhr", window=self.windows_processed
+            ):
+                self._close_window(window)
+        else:
+            self._close_window(window)
+
+    def _close_window(self, window: HroWindow) -> None:
         self.windows_processed += 1
         should_train = (
             self.detector.observe_window(window.counts)
@@ -334,8 +348,11 @@ class LhrCache(CachePolicy):
         labels = window_labels_for_ids(window, self._window_ids)
         rows = np.vstack(self._window_rows)
         start = time.perf_counter()
-        model = GradientBoostingRegressor(**self._gbm_params)
-        self._model = model.fit(rows, labels)
+        with self.obs.spans.span(
+            "lhr.gbm_refit", cat="lhr", rows=int(rows.shape[0])
+        ):
+            model = GradientBoostingRegressor(**self._gbm_params)
+            self._model = model.fit(rows, labels)
         elapsed = time.perf_counter() - start
         self.training_seconds += elapsed
         self.trainings += 1

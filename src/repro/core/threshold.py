@@ -129,6 +129,14 @@ class ThresholdEstimator:
 
         Returns the (possibly unchanged) threshold to use next window.
         """
+        # Once per retraining window; the disabled span context is a
+        # shared no-op.
+        with self.obs.spans.span(
+            "lhr.threshold_update", cat="lhr", samples=len(samples)
+        ):
+            return self._update(samples, capacity)
+
+    def _update(self, samples: list[WindowSample], capacity: int) -> float:
         if samples and self.sample_fraction < 1.0:
             keep = max(int(len(samples) * self.sample_fraction), 1)
             idx = np.sort(self._rng.choice(len(samples), size=keep, replace=False))

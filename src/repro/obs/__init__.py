@@ -1,11 +1,14 @@
 """Observability substrate: metrics registry, structured events, timers,
-plus the live ops surface (HTTP exporter, sampling profiler, benchmark
-regression sentinel) and the persistent run ledger (cross-run experiment
-tracking, SLO checks, history-aware regression trends).
+span-based timeline tracing (cross-process spans, Perfetto export,
+critical-path/straggler analysis), plus the live ops surface (HTTP
+exporter, sampling profiler, benchmark regression sentinel) and the
+persistent run ledger (cross-run experiment tracking, SLO checks,
+history-aware regression trends).
 
 See ``docs/OBSERVABILITY.md`` for the event catalog, metric naming and
 CLI usage (``--log-json``, ``--metrics-out``, ``--verbose``, ``--serve``,
-``repro profile``, ``repro bench-compare``, ``repro runs``).
+``--trace-out``, ``repro profile``, ``repro timeline``,
+``repro bench-compare``, ``repro runs``).
 """
 
 from repro.obs.baseline import (
@@ -57,6 +60,21 @@ from repro.obs.runs import (
 )
 from repro.obs.server import ObsServer, ProgressTracker, current_rss_bytes
 from repro.obs.slo import SloReport, SloRule, SloSpec, evaluate_slo
+from repro.obs.spans import (
+    NULL_SPANS,
+    Span,
+    SpanRecorder,
+    chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.timeline import (
+    CriticalHop,
+    PhaseStat,
+    StragglerStats,
+    TimelineReport,
+    WorkerLane,
+    analyze_spans,
+)
 from repro.obs.timers import NULL_TIMER, ScopedTimer
 from repro.obs.trace import (
     MISS_CLASSES,
@@ -70,6 +88,7 @@ __all__ = [
     "BaselineTolerance",
     "BaselineVerdict",
     "Counter",
+    "CriticalHop",
     "DEFAULT_TIME_BUCKETS",
     "DecisionRecord",
     "DecisionTracer",
@@ -83,11 +102,13 @@ __all__ = [
     "MetricsRegistry",
     "MissTaxonomy",
     "NULL_OBS",
+    "NULL_SPANS",
     "NULL_TIMER",
     "NullRecorder",
     "ObsServer",
     "Observation",
     "PhaseRow",
+    "PhaseStat",
     "ProfileReport",
     "ProgressTracker",
     "RunDiff",
@@ -98,8 +119,15 @@ __all__ = [
     "SloReport",
     "SloRule",
     "SloSpec",
+    "Span",
+    "SpanRecorder",
+    "StragglerStats",
     "TextRecorder",
+    "TimelineReport",
     "TraceConfig",
+    "WorkerLane",
+    "analyze_spans",
+    "chrome_trace",
     "compare_files",
     "compare_payloads",
     "compare_with_history",
@@ -119,4 +147,5 @@ __all__ = [
     "register_event_type",
     "upgrade_payload",
     "validate_telemetry",
+    "write_chrome_trace",
 ]

@@ -9,6 +9,15 @@ that is cheap to carry and cheap to ignore:
   duration aggregates into a registry histogram,
 * ``obs.registry.counter(...)`` etc. for direct metric access.
 
+A third sink, ``obs.spans``, carries the timeline recorder
+(:mod:`repro.obs.spans`); it defaults to the no-op :data:`NULL_SPANS`
+and is deliberately *not* covered by ``enabled`` — ``enabled`` keeps
+meaning "events and metrics flow", while span recording has its own
+``obs.spans.enabled`` flag.  That split is what lets
+:meth:`Observation.spans_only` record a timeline while the packed
+replay fast path and native policy kernels (both gated on
+``obs.enabled``) stay engaged.
+
 The module-level :data:`NULL_OBS` singleton is the disabled handle:
 ``enabled`` is False, ``emit`` does nothing and ``timer`` returns a
 shared no-op, so code holding it pays one attribute check per
@@ -20,6 +29,7 @@ from __future__ import annotations
 
 from repro.obs.events import NullRecorder
 from repro.obs.registry import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from repro.obs.spans import NULL_SPANS
 from repro.obs.timers import NULL_TIMER, ScopedTimer
 
 
@@ -32,9 +42,29 @@ class Observation:
 
     enabled = True
 
-    def __init__(self, recorder=None, registry: MetricsRegistry | None = None):
+    def __init__(
+        self,
+        recorder=None,
+        registry: MetricsRegistry | None = None,
+        spans=None,
+    ):
         self.recorder = recorder if recorder is not None else NullRecorder()
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else NULL_SPANS
+
+    @classmethod
+    def spans_only(cls, spans) -> "Observation":
+        """An observation that records *only* the span timeline.
+
+        ``enabled`` is forced False on the instance, so event emission,
+        metrics, the packed replay fast path and native policy kernels
+        all behave exactly as with :data:`NULL_OBS` — ``--trace-out``
+        without other observability flags must not change what executes,
+        only record when it ran.
+        """
+        obs = cls(spans=spans)
+        obs.enabled = False
+        return obs
 
     def emit(self, event: str, **fields) -> None:
         self.recorder.emit(event, **fields)

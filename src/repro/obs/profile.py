@@ -7,7 +7,11 @@ time":
   periodically snapshots the target thread's stack via
   ``sys._current_frames()`` and aggregates identical stacks.  Output is
   the collapsed-stack format flamegraph tooling consumes
-  (``frame;frame;frame count`` per line).  A sampler thread is used
+  (``thread;frame;frame;frame count`` per line — stacks are rooted at
+  the thread's name, so driver vs. heartbeat vs. server threads
+  separate in flamegraphs instead of merging indistinguishably; pass
+  ``all_threads=True`` to sample every live thread, not just the
+  target).  A sampler thread is used
   instead of ``signal.setitimer`` because signals only deliver to the
   main thread and would collide with libraries that install their own
   handlers; the GIL makes a cross-thread frame snapshot consistent
@@ -52,18 +56,24 @@ class SamplingProfiler:
 
     Use as a context manager around the code to profile; the profiled
     thread is the one that entered the context (override with
-    ``target_ident``).  ``samples`` maps root→leaf stack tuples to the
-    number of times they were observed.
+    ``target_ident``, or sample every live thread with
+    ``all_threads=True``).  ``samples`` maps stack tuples — thread name
+    first, then root→leaf frames — to the number of times they were
+    observed.  Thread names come from :func:`threading.enumerate`
+    (matched on ``ident``); a thread that cannot be matched falls back
+    to ``thread-<ident>``.
     """
 
     def __init__(
         self,
         interval_seconds: float = 0.005,
         target_ident: int | None = None,
+        all_threads: bool = False,
     ) -> None:
         if interval_seconds <= 0:
             raise ValueError("interval_seconds must be positive")
         self.interval_seconds = interval_seconds
+        self.all_threads = all_threads
         self.samples: Counter[tuple[str, ...]] = Counter()
         self._target_ident = target_ident
         self._stop = threading.Event()
@@ -104,15 +114,27 @@ class SamplingProfiler:
 
     def _sample_loop(self) -> None:
         target = self._target_ident
+        own = threading.get_ident()
         while not self._stop.wait(self.interval_seconds):
-            frame = sys._current_frames().get(target)
-            if frame is None:  # target thread exited
+            frames = sys._current_frames()
+            if frames.get(target) is None:  # target thread exited
                 return
-            stack: list[str] = []
-            while frame is not None:
-                stack.append(_format_frame(frame))
-                frame = frame.f_back
-            self.samples[tuple(reversed(stack))] += 1
+            names = {t.ident: t.name for t in threading.enumerate()}
+            if self.all_threads:
+                snapshot = [
+                    (ident, frame)
+                    for ident, frame in frames.items()
+                    if ident != own  # never sample the sampler itself
+                ]
+            else:
+                snapshot = [(target, frames[target])]
+            for ident, frame in snapshot:
+                stack: list[str] = []
+                while frame is not None:
+                    stack.append(_format_frame(frame))
+                    frame = frame.f_back
+                stack.append(names.get(ident) or f"thread-{ident}")
+                self.samples[tuple(reversed(stack))] += 1
 
     # ------------------------------------------------------------------
     # Output
@@ -123,8 +145,10 @@ class SamplingProfiler:
         return sum(self.samples.values())
 
     def collapsed(self) -> str:
-        """Collapsed-stack text (``a;b;c 42`` per line, flamegraph.pl
-        and speedscope compatible), heaviest stacks first."""
+        """Collapsed-stack text (``thread;a;b;c 42`` per line,
+        flamegraph.pl and speedscope compatible), heaviest stacks first.
+        The first element of every stack is the sampled thread's name.
+        """
         lines = [
             f"{';'.join(stack)} {count}"
             for stack, count in sorted(

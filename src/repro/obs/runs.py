@@ -14,6 +14,7 @@ Layout on disk (append-only; one directory per run)::
 
     <root>/<run_id>/manifest.json   # provenance + metrics + cells
     <root>/<run_id>/series.npz      # per-cell per-window columns
+    <root>/<run_id>/spans.json      # timeline spans (traced runs only)
 
 ``run_id`` is ``<UTC timestamp>-<config digest prefix>`` so a plain
 lexicographic sort is chronological.  Writes are atomic at the run
@@ -161,8 +162,12 @@ class RunRecord:
     ``series`` maps ``"c<i>.<field>"`` (cell position in ``cells``,
     field from :data:`SERIES_FIELDS`) to an int64 column of per-window
     values; it rides a sidecar npz, everything else the JSON manifest.
-    Empty provenance fields (``run_id``, ``created_utc``, ``git_rev``,
-    ``config_digest``) are stamped by :meth:`RunLedger.record`.
+    ``spans`` holds the run's timeline span dicts
+    (:meth:`~repro.obs.spans.SpanRecorder.as_dicts`) when the run was
+    traced; they ride a ``spans.json`` sidecar and feed ``repro
+    timeline``.  Empty provenance fields (``run_id``, ``created_utc``,
+    ``git_rev``, ``config_digest``) are stamped by
+    :meth:`RunLedger.record`.
     """
 
     command: str
@@ -178,6 +183,10 @@ class RunRecord:
     events: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
     series: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+    #: Manifest-recorded span count; lets summaries report "traced"
+    #: without loading the ``spans.json`` sidecar.
+    _manifest_span_count: int = field(default=0, repr=False, compare=False)
 
     def manifest(self) -> dict:
         """The JSON-able manifest (everything except the raw columns)."""
@@ -197,6 +206,7 @@ class RunRecord:
             "series_cells": sorted(
                 {key.split(".", 1)[0] for key in self.series}
             ),
+            "span_count": len(self.spans),
         }
 
     def summary(self) -> dict:
@@ -210,6 +220,7 @@ class RunRecord:
             "config_digest": self.config_digest,
             "cells": len(self.cells),
             "windows": self.window_count(),
+            "spans": self.span_count(),
         }
 
     def window_count(self) -> int:
@@ -223,6 +234,14 @@ class RunRecord:
         return max(
             (int(cell.get("windows", 0)) for cell in self.cells), default=0
         )
+
+    def span_count(self) -> int:
+        """Timeline spans recorded for this run (0 when untraced).
+
+        Falls back to the manifest's ``span_count`` so summaries stay
+        correct when the ``spans.json`` sidecar was not loaded.
+        """
+        return len(self.spans) if self.spans else self._manifest_span_count
 
     def cell_key(self, cell: dict) -> str:
         """The stable identity of one cell for cross-run matching."""
@@ -240,7 +259,12 @@ class RunRecord:
         }
 
     @classmethod
-    def from_manifest(cls, manifest: dict, series: dict | None = None) -> "RunRecord":
+    def from_manifest(
+        cls,
+        manifest: dict,
+        series: dict | None = None,
+        spans: list | None = None,
+    ) -> "RunRecord":
         if manifest.get("schema") != RUN_SCHEMA:
             raise ValueError(
                 f"unknown run schema {manifest.get('schema')!r}; "
@@ -260,6 +284,8 @@ class RunRecord:
             events=manifest.get("events", {}),
             extra=manifest.get("extra", {}),
             series=dict(series or {}),
+            spans=list(spans or []),
+            _manifest_span_count=int(manifest.get("span_count", 0)),
         )
 
 
@@ -291,13 +317,17 @@ def record_from_results(
     events=None,
     cell_tags=None,
     extra: dict | None = None,
+    spans=None,
 ) -> RunRecord:
     """Build a :class:`RunRecord` from a grid of ``SimulationResult``.
 
     ``cell_tags`` optionally supplies one extra mapping per result (the
     workload lab tags cells with their scenario).  The event digest
     comes from ``events`` when the run was observed; an unobserved run
-    carries a zero digest with ``events_observed: false``.
+    carries a zero digest with ``events_observed: false``.  ``spans``
+    optionally attaches the run's timeline span dicts
+    (:meth:`~repro.obs.spans.SpanRecorder.as_dicts`) for ``repro
+    timeline``.
     """
     results = list(results)
     cells = []
@@ -337,6 +367,7 @@ def record_from_results(
         events=event_digest,
         extra=dict(extra or {}),
         series=series_from_results(results),
+        spans=list(spans or []),
     )
 
 
@@ -356,6 +387,7 @@ class RunLedger:
 
     MANIFEST = "manifest.json"
     SERIES = "series.npz"
+    SPANS = "spans.json"
 
     def __init__(self, root: str | Path | None = None, clock=None) -> None:
         self.root = Path(root) if root is not None else default_ledger_root()
@@ -385,6 +417,12 @@ class RunLedger:
             # overhead budget (bench_obs_overhead) rules out deflate.
             with open(run_dir / self.SERIES, "wb") as handle:
                 np.savez(handle, **record.series)
+        if record.spans:
+            # Sidecars land before the manifest rename commits the run,
+            # so a committed run never points at a missing spans file.
+            (run_dir / self.SPANS).write_text(
+                json.dumps(record.spans, separators=(",", ":")) + "\n"
+            )
         tmp = run_dir / (self.MANIFEST + ".tmp")
         tmp.write_text(
             json.dumps(record.manifest(), indent=2, sort_keys=True) + "\n"
@@ -438,8 +476,10 @@ class RunLedger:
             )
         return matches[0]
 
-    def load(self, ref: str, series: bool = True) -> RunRecord:
-        """Load one run (manifest always; columns unless ``series=False``)."""
+    def load(
+        self, ref: str, series: bool = True, spans: bool = True
+    ) -> RunRecord:
+        """Load one run (manifest always; sidecars unless disabled)."""
         run_id = self.resolve(ref)
         run_dir = self.root / run_id
         manifest = json.loads((run_dir / self.MANIFEST).read_text())
@@ -448,13 +488,17 @@ class RunLedger:
         if series and series_path.is_file():
             with np.load(series_path) as npz:
                 columns = {key: npz[key] for key in npz.files}
-        return RunRecord.from_manifest(manifest, columns)
+        span_dicts: list = []
+        spans_path = run_dir / self.SPANS
+        if spans and spans_path.is_file():
+            span_dicts = json.loads(spans_path.read_text())
+        return RunRecord.from_manifest(manifest, columns, span_dicts)
 
     def records(self, command: str | None = None, name: str | None = None):
-        """All runs oldest→newest, optionally filtered, without series."""
+        """All runs oldest→newest, optionally filtered, without sidecars."""
         out = []
         for run_id in self.run_ids():
-            record = self.load(run_id, series=False)
+            record = self.load(run_id, series=False, spans=False)
             if command is not None and record.command != command:
                 continue
             if name is not None and record.name != name:

@@ -1,0 +1,361 @@
+"""Timeline analysis over recorded spans.
+
+:func:`analyze_spans` turns the span dicts a run recorded (the same
+payload the ledger persists as ``spans.json`` and ``--trace-out``
+exports as Chrome trace JSON) into a :class:`TimelineReport`:
+
+* **phase breakdown** — per ``(category, name)`` phase: span count,
+  total time, and *self* time (total minus direct children), so "90% of
+  the run is ``sim.chunk`` but its self time is 4%" reads correctly when
+  window closes and refits nest inside chunks;
+* **critical path** — from the outermost root span, repeatedly descend
+  into the longest direct child (crossing process boundaries via the
+  reparenting :meth:`~repro.obs.spans.SpanRecorder.absorb` applied on
+  the sweep result path), yielding the chain that bounded wall time;
+* **per-worker utilization** — busy time (cell spans) over the
+  timeline's wall range, one lane per pid;
+* **stragglers** — max vs. median cell duration and the worst cells,
+  the number the parallel sweep's tail latency hides.
+
+The analysis is pure (span dicts in, dataclasses out); ``repro
+timeline`` renders :meth:`TimelineReport.render_text`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CriticalHop",
+    "PhaseStat",
+    "StragglerStats",
+    "TimelineReport",
+    "WorkerLane",
+    "analyze_spans",
+]
+
+#: Critical-path walks stop after this many hops (cycles cannot occur —
+#: parents always start no later than children — but depth stays bounded
+#: for pathological inputs).
+MAX_CRITICAL_DEPTH = 24
+
+#: How many straggler cells to surface.
+TOP_STRAGGLERS = 5
+
+
+@dataclass
+class PhaseStat:
+    """Aggregate for one ``(cat, name)`` phase."""
+
+    cat: str
+    name: str
+    count: int
+    total_seconds: float
+    self_seconds: float
+    #: ``self_seconds`` as a share of the summed self time (not wall —
+    #: parallel lanes make summed self time exceed wall, and shares of
+    #: the sum still rank phases honestly).
+    self_share: float
+
+    def as_dict(self) -> dict:
+        return {
+            "cat": self.cat,
+            "name": self.name,
+            "count": self.count,
+            "total_seconds": round(self.total_seconds, 6),
+            "self_seconds": round(self.self_seconds, 6),
+            "self_share": round(self.self_share, 4),
+        }
+
+
+@dataclass
+class CriticalHop:
+    """One hop on the critical path, root first."""
+
+    name: str
+    cat: str
+    pid: int
+    duration_seconds: float
+    #: Share of the *parent hop* this span covers (1.0 for the root).
+    parent_share: float
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "cat": self.cat,
+            "pid": self.pid,
+            "duration_seconds": round(self.duration_seconds, 6),
+            "parent_share": round(self.parent_share, 4),
+        }
+
+
+@dataclass
+class WorkerLane:
+    """Busy/wall accounting for one process lane."""
+
+    pid: int
+    role: str
+    cells: int
+    busy_seconds: float
+    utilization: float
+
+    def as_dict(self) -> dict:
+        return {
+            "pid": self.pid,
+            "role": self.role,
+            "cells": self.cells,
+            "busy_seconds": round(self.busy_seconds, 6),
+            "utilization": round(self.utilization, 4),
+        }
+
+
+@dataclass
+class StragglerStats:
+    """Cell-duration spread: how unbalanced was the sweep."""
+
+    cells: int
+    max_seconds: float
+    median_seconds: float
+    #: max/median; 1.0 means perfectly balanced cells.
+    straggler_ratio: float
+    #: ``(name, pid, seconds)`` of the slowest cells, slowest first.
+    worst: list[tuple[str, int, float]] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "cells": self.cells,
+            "max_seconds": round(self.max_seconds, 6),
+            "median_seconds": round(self.median_seconds, 6),
+            "straggler_ratio": round(self.straggler_ratio, 3),
+            "worst": [
+                {"name": name, "pid": pid, "seconds": round(seconds, 6)}
+                for name, pid, seconds in self.worst
+            ],
+        }
+
+
+@dataclass
+class TimelineReport:
+    """Everything ``repro timeline`` renders."""
+
+    wall_seconds: float
+    span_count: int
+    phases: list[PhaseStat]
+    critical_path: list[CriticalHop]
+    workers: list[WorkerLane]
+    stragglers: StragglerStats | None
+
+    def as_dict(self) -> dict:
+        return {
+            "wall_seconds": round(self.wall_seconds, 6),
+            "span_count": self.span_count,
+            "phases": [p.as_dict() for p in self.phases],
+            "critical_path": [h.as_dict() for h in self.critical_path],
+            "workers": [w.as_dict() for w in self.workers],
+            "stragglers": self.stragglers.as_dict() if self.stragglers else None,
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"timeline: {self.span_count} spans over "
+            f"{_fmt_seconds(self.wall_seconds)} wall"
+        ]
+        lines.append("")
+        lines.append("phase self-time breakdown")
+        header = f"  {'phase':<28} {'count':>6} {'total':>10} {'self':>10} {'share':>7}"
+        lines.append(header)
+        for p in self.phases:
+            lines.append(
+                f"  {p.cat + '/' + p.name:<28.28} {p.count:>6} "
+                f"{_fmt_seconds(p.total_seconds):>10} "
+                f"{_fmt_seconds(p.self_seconds):>10} "
+                f"{100 * p.self_share:>6.1f}%"
+            )
+        lines.append("")
+        lines.append("critical path")
+        for depth, hop in enumerate(self.critical_path):
+            indent = "  " + "  " * depth
+            share = "" if depth == 0 else f"  ({100 * hop.parent_share:.0f}% of parent)"
+            lines.append(
+                f"{indent}{hop.name} [{hop.cat}, pid {hop.pid}] "
+                f"{_fmt_seconds(hop.duration_seconds)}{share}"
+            )
+        if self.workers:
+            lines.append("")
+            lines.append("worker utilization")
+            for w in self.workers:
+                lines.append(
+                    f"  {w.role:<14} pid {w.pid:<8} cells {w.cells:>4}  "
+                    f"busy {_fmt_seconds(w.busy_seconds):>9}  "
+                    f"util {100 * w.utilization:>5.1f}%"
+                )
+        if self.stragglers:
+            s = self.stragglers
+            lines.append("")
+            lines.append(
+                f"stragglers: {s.cells} cells, max "
+                f"{_fmt_seconds(s.max_seconds)} vs median "
+                f"{_fmt_seconds(s.median_seconds)} "
+                f"(ratio {s.straggler_ratio:.2f}x)"
+            )
+            for name, pid, seconds in s.worst:
+                lines.append(f"  {name:<28.28} pid {pid:<8} {_fmt_seconds(seconds)}")
+        return "\n".join(lines)
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def analyze_spans(span_dicts) -> TimelineReport:
+    """Build a :class:`TimelineReport` from span dicts.
+
+    Only completed spans (``end`` set) participate.  Span identity is
+    ``(pid, id)``; a cross-process parent reference carries
+    ``parent_pid`` (see :meth:`repro.obs.spans.SpanRecorder.absorb`).
+    """
+    spans = [d for d in span_dicts or () if d.get("end")]
+    if not spans:
+        return TimelineReport(
+            wall_seconds=0.0,
+            span_count=0,
+            phases=[],
+            critical_path=[],
+            workers=[],
+            stragglers=None,
+        )
+
+    t_min = min(d["start"] for d in spans)
+    t_max = max(d["end"] for d in spans)
+    wall = max(t_max - t_min, 0.0)
+
+    def key(d):
+        return (d.get("pid", 0), d["id"])
+
+    def parent_key(d):
+        if d.get("parent") is None:
+            return None
+        return (d.get("parent_pid") or d.get("pid", 0), d["parent"])
+
+    def duration(d):
+        return max(d["end"] - d["start"], 0.0)
+
+    by_key = {key(d): d for d in spans}
+    children: dict[tuple, list[dict]] = {}
+    for d in spans:
+        pk = parent_key(d)
+        if pk is not None and pk in by_key:
+            children.setdefault(pk, []).append(d)
+
+    # --- phase breakdown -------------------------------------------------
+    phase_totals: dict[tuple[str, str], list[float]] = {}
+    for d in spans:
+        child_time = sum(duration(c) for c in children.get(key(d), ()))
+        self_time = max(duration(d) - child_time, 0.0)
+        bucket = phase_totals.setdefault(
+            (d.get("cat", "default"), d["name"]), [0, 0.0, 0.0]
+        )
+        bucket[0] += 1
+        bucket[1] += duration(d)
+        bucket[2] += self_time
+    total_self = sum(v[2] for v in phase_totals.values()) or 1.0
+    phases = [
+        PhaseStat(
+            cat=cat,
+            name=name,
+            count=count,
+            total_seconds=total,
+            self_seconds=self_time,
+            self_share=self_time / total_self,
+        )
+        for (cat, name), (count, total, self_time) in phase_totals.items()
+    ]
+    phases.sort(key=lambda p: p.self_seconds, reverse=True)
+
+    # --- critical path ---------------------------------------------------
+    roots = [d for d in spans if parent_key(d) not in by_key]
+    critical: list[CriticalHop] = []
+    if roots:
+        node = max(roots, key=lambda d: (duration(d), -d["start"]))
+        parent_duration = duration(node) or 1.0
+        critical.append(
+            CriticalHop(
+                name=node["name"],
+                cat=node.get("cat", "default"),
+                pid=node.get("pid", 0),
+                duration_seconds=duration(node),
+                parent_share=1.0,
+            )
+        )
+        for _ in range(MAX_CRITICAL_DEPTH):
+            kids = children.get(key(node))
+            if not kids:
+                break
+            node = max(kids, key=lambda d: (duration(d), -d["start"]))
+            critical.append(
+                CriticalHop(
+                    name=node["name"],
+                    cat=node.get("cat", "default"),
+                    pid=node.get("pid", 0),
+                    duration_seconds=duration(node),
+                    parent_share=duration(node) / (parent_duration or 1.0),
+                )
+            )
+            parent_duration = duration(node)
+
+    # --- worker lanes + stragglers (cell spans) --------------------------
+    cell_spans = [d for d in spans if d.get("cat") == "cell"]
+    workers: list[WorkerLane] = []
+    stragglers: StragglerStats | None = None
+    if cell_spans:
+        driver_pid = None
+        if roots:
+            driver_pid = max(roots, key=duration).get("pid", 0)
+        lanes: dict[int, list[dict]] = {}
+        for d in cell_spans:
+            lanes.setdefault(d.get("pid", 0), []).append(d)
+        for pid in sorted(lanes, key=lambda p: (p != driver_pid, p)):
+            cells = lanes[pid]
+            busy = sum(duration(c) for c in cells)
+            workers.append(
+                WorkerLane(
+                    pid=pid,
+                    role="driver" if pid == driver_pid else "worker",
+                    cells=len(cells),
+                    busy_seconds=busy,
+                    utilization=busy / wall if wall else 0.0,
+                )
+            )
+        durations = [duration(d) for d in cell_spans]
+        med = _median(durations)
+        worst = sorted(cell_spans, key=duration, reverse=True)[:TOP_STRAGGLERS]
+        stragglers = StragglerStats(
+            cells=len(cell_spans),
+            max_seconds=max(durations),
+            median_seconds=med,
+            straggler_ratio=(max(durations) / med) if med else 0.0,
+            worst=[
+                (d["name"], d.get("pid", 0), duration(d)) for d in worst
+            ],
+        )
+
+    return TimelineReport(
+        wall_seconds=wall,
+        span_count=len(spans),
+        phases=phases,
+        critical_path=critical,
+        workers=workers,
+        stragglers=stragglers,
+    )

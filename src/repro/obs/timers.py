@@ -10,6 +10,7 @@ at all when it is not (:data:`NULL_TIMER` is a shared no-op).
 
 from __future__ import annotations
 
+import threading
 import time
 
 from repro.obs.registry import Histogram
@@ -18,27 +19,39 @@ from repro.obs.registry import Histogram
 class ScopedTimer:
     """Context manager timing one block into a histogram.
 
-    Re-entrant: nested ``with`` on the same instance keeps a stack of
-    start times, so a recursive phase records one observation per entry
-    instead of the inner entry clobbering the outer one's start.
+    Re-entrant *and* thread-safe: the start stack is thread-local, so
+    nested ``with`` on the same instance records one observation per
+    entry, and concurrent blocks on different threads (the driver loop
+    vs. the heartbeat drainer sharing one ``obs.timer(...)``) each time
+    their own block instead of interleaving start stacks and swapping
+    durations.  ``last_seconds`` remains shared — it reports the most
+    recently completed block on *any* thread, which is what the single-
+    threaded callers that read it expect.
     """
 
-    __slots__ = ("_histogram", "_starts", "last_seconds")
+    __slots__ = ("_histogram", "_local", "last_seconds")
 
     def __init__(self, histogram: Histogram):
         self._histogram = histogram
-        self._starts: list[float] = []
-        #: Duration of the most recent completed block.
+        self._local = threading.local()
+        #: Duration of the most recent completed block (any thread).
         self.last_seconds = 0.0
 
+    def _starts(self) -> list[float]:
+        starts = getattr(self._local, "starts", None)
+        if starts is None:
+            starts = self._local.starts = []
+        return starts
+
     def __enter__(self) -> "ScopedTimer":
-        self._starts.append(time.perf_counter())
+        self._starts().append(time.perf_counter())
         return self
 
     def __exit__(self, *exc) -> None:
-        if not self._starts:
+        starts = self._starts()
+        if not starts:
             raise RuntimeError("ScopedTimer exited more times than entered")
-        self.last_seconds = time.perf_counter() - self._starts.pop()
+        self.last_seconds = time.perf_counter() - starts.pop()
         self._histogram.observe(self.last_seconds)
 
 

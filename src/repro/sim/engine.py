@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 
 from repro.obs import NULL_OBS, Observation
+from repro.obs.spans import NULL_SPANS
 from repro.obs.trace import DecisionTracer
 from repro.policies.base import CachePolicy
 from repro.sim.metrics import SimulationResult, WindowMetrics
@@ -150,7 +151,12 @@ def replay_into(
     reference object path, so the packed trace is unpacked first.
     """
     observing = obs.enabled
-    if observing:
+    spans = obs.spans
+    spans_on = spans.enabled
+    if observing or spans_on:
+        # A spans-only handle still attaches: LHR's window-close spans
+        # flow through ``policy.obs.spans``.  Its ``enabled`` stays
+        # False, so native kernels and the packed path are unaffected.
         policy.attach_observation(obs)
     if tracer is not None:
         policy.attach_tracer(tracer)
@@ -165,8 +171,26 @@ def replay_into(
                 metadata_probe_interval=metadata_probe_interval,
                 heartbeat=heartbeat,
                 heartbeat_interval=heartbeat_interval,
+                spans=spans,
             )
         trace = trace.unpack()
+    replay_span = warmup_span = window_span = None
+    # Falsy-int warmup-edge guard, same cost class as the heartbeat
+    # check: zero unless spans are on AND a warmup is configured.
+    pending_warmup = 0
+    if spans_on:
+        replay_span = spans.begin(
+            "sim.replay",
+            cat="sim",
+            policy=policy.name,
+            trace=trace.name,
+            requests=len(trace),
+        )
+        if warmup_requests:
+            warmup_span = spans.begin(
+                "sim.warmup", cat="sim", requests=warmup_requests
+            )
+            pending_warmup = warmup_requests
     window: WindowMetrics | None = None
     evict_mark = 0
     start = time.perf_counter()
@@ -180,6 +204,12 @@ def replay_into(
                 if observing:
                     _emit_window(obs, window)
             evict_mark = policy.evictions
+            if spans_on:
+                if window_span is not None:
+                    spans.end(window_span)
+                window_span = spans.begin(
+                    "sim.window", cat="sim", index=len(result.windows)
+                )
             window = WindowMetrics(index=len(result.windows))
             result.windows.append(window)
         hit = policy.request(req)
@@ -199,12 +229,23 @@ def replay_into(
             peak_metadata = max(peak_metadata, policy.metadata_bytes())
         if heartbeat_interval and (i + 1) % heartbeat_interval == 0:
             heartbeat(i + 1)
+        if pending_warmup and (i + 1) == pending_warmup:
+            spans.end(warmup_span)
+            pending_warmup = 0
     result.runtime_seconds = time.perf_counter() - start
     result.peak_metadata_bytes = max(peak_metadata, policy.metadata_bytes())
     result.evictions = policy.evictions
     result.admissions = policy.admissions
     if window is not None:
         window.evictions = policy.evictions - evict_mark
+    if spans_on:
+        if window_span is not None:
+            spans.end(window_span)
+        if pending_warmup:  # trace ended inside warmup (callers validate)
+            spans.end(warmup_span)
+        spans.end(
+            replay_span, requests=result.requests, hits=result.hits
+        )
     if tracer is not None:
         result.decision_trace = tracer
     if observing:
@@ -241,9 +282,18 @@ def _replay_packed(
     metadata_probe_interval: int = 1000,
     heartbeat=None,
     heartbeat_interval: int = 0,
+    spans=None,
 ) -> SimulationResult:
     """Columnar replay: drive ``request_scalar`` straight from the packed
     scalar columns, no per-request ``Request`` allocation.
+
+    ``spans`` (a :class:`~repro.obs.spans.SpanRecorder` or the default
+    no-op) records the timeline at chunk granularity — one ``sim.chunk``
+    span per ``replay_span`` call, plus the replay/warmup envelopes.
+    Chunk boundaries already land on the warmup edge and window
+    rollovers, so the chunked timeline aligns with the object loop's
+    phases; when disabled the loop pays one boolean check per *chunk*,
+    not per request.
 
     Equivalence with the object loop is by construction and pinned by
     ``tests/sim/test_fastpath.py``: the trace is processed in chunks
@@ -263,6 +313,23 @@ def _replay_packed(
     replay_span = policy.replay_span
     interval = metadata_probe_interval
     warmup = min(warmup_requests, total)
+    if spans is None:
+        spans = NULL_SPANS
+    spans_on = spans.enabled
+    replay_span_handle = warmup_span_handle = None
+    if spans_on:
+        replay_span_handle = spans.begin(
+            "sim.replay",
+            cat="sim",
+            policy=policy.name,
+            trace=packed.name,
+            requests=total,
+            packed=True,
+        )
+        if warmup:
+            warmup_span_handle = spans.begin(
+                "sim.warmup", cat="sim", requests=warmup
+            )
     # Measured-aggregate base: counters at the warmup edge (policies may
     # enter with non-zero totals; resumable replays accumulate).
     base_hits = policy.hits
@@ -298,7 +365,12 @@ def _replay_packed(
                 stop = boundary
         if i < warmup < stop:
             stop = warmup
-        replay_span(obj_ids, sizes, times, i, stop)
+        if spans_on:
+            chunk = spans.begin("sim.chunk", cat="sim", start=i, stop=stop)
+            replay_span(obj_ids, sizes, times, i, stop)
+            spans.end(chunk)
+        else:
+            replay_span(obj_ids, sizes, times, i, stop)
         if window is not None:
             window.requests = stop - window_begin
             window.hits = policy.hits - win_hits
@@ -309,6 +381,9 @@ def _replay_packed(
             base_hits = policy.hits
             base_hit_bytes = policy.hit_bytes
             base_bytes = policy.hit_bytes + policy.miss_bytes
+            if warmup_span_handle is not None:
+                spans.end(warmup_span_handle)
+                warmup_span_handle = None
         if interval and (stop - 1) % interval == 0:
             metadata = policy.metadata_bytes()
             if metadata > peak_metadata:
@@ -324,4 +399,10 @@ def _replay_packed(
     result.hits += policy.hits - base_hits
     result.hit_bytes += policy.hit_bytes - base_hit_bytes
     result.total_bytes += policy.hit_bytes + policy.miss_bytes - base_bytes
+    if spans_on:
+        if warmup_span_handle is not None:
+            spans.end(warmup_span_handle)
+        spans.end(
+            replay_span_handle, requests=result.requests, hits=result.hits
+        )
     return result

@@ -30,6 +30,13 @@ worker processes.  Design constraints, in order:
   ``/metrics``) and emits a ``sweep.cell_stalled`` event when a running
   cell goes silent past the stall timeout.  With no tracker the sweep
   runs exactly the seed code path: no queue, no threads, no events.
+* **One timeline (opt-in)** — when the driver's observation carries an
+  enabled span recorder (``--trace-out``), every cell additionally runs
+  under a worker-local :class:`~repro.obs.spans.SpanRecorder`; the span
+  dicts ride the existing outcome tuple back (stamped with the worker's
+  pid) and are absorbed grid-ordered under the driver's ``sweep.run``
+  span, so a parallel run merges into one coherent multi-process
+  timeline with one Perfetto lane per worker.
 """
 
 from __future__ import annotations
@@ -45,6 +52,7 @@ from dataclasses import dataclass, replace
 
 from repro.obs import NULL_OBS, MemoryRecorder, MetricsRegistry, Observation
 from repro.obs.server import ProgressTracker, current_rss_bytes
+from repro.obs.spans import SpanRecorder
 from repro.obs.trace import TraceConfig
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult, grid_order
@@ -199,14 +207,18 @@ def _cell_trace(needs_objects: bool) -> Trace | PackedTrace:
     return _WORKER_UNPACKED
 
 
-#: One worker cell's outcome: ``(index, result, failure, events, registry)``.
-#: ``events``/``registry`` are None unless the sweep runs observed.
+#: One worker cell's outcome:
+#: ``(index, result, failure, events, registry, spans)``.
+#: ``events``/``registry`` are None unless the sweep runs observed;
+#: ``spans`` (a list of span dicts recorded in the worker, stamped with
+#: the worker's pid) is None unless the sweep records a timeline.
 CellOutcome = tuple[
     int,
     SimulationResult | None,
     "CellFailure | None",
     "list[dict] | None",
     "MetricsRegistry | None",
+    "list[dict] | None",
 ]
 
 
@@ -254,6 +266,7 @@ def _run_cell(
     trace_config: TraceConfig | None = None,
     heartbeat_interval: int = 0,
     heartbeat_sink=None,
+    record_spans: bool = False,
 ) -> CellOutcome:
     """Simulate one cell against the worker's shared trace.
 
@@ -268,11 +281,37 @@ def _run_cell(
     so the per-cell traces merge back exactly like recorders do.  A
     positive ``heartbeat_interval`` posts progress every that many
     requests (to ``heartbeat_sink``, or the worker's queue).
+
+    When ``record_spans`` is set, the cell runs with a local
+    :class:`~repro.obs.spans.SpanRecorder` — created here, *after* any
+    fork, so its spans carry the worker's real pid — wrapping the replay
+    in one ``cat="cell"`` span (plus the engine/LHR spans beneath it);
+    the recorded dicts ride the outcome tuple back for the driver to
+    absorb into one multi-process timeline.  Span recording alone does
+    not force the object path: a spans-only observation keeps
+    ``enabled`` False, so packed cells stay on the scalar fast path.
     """
-    cell_obs = (
-        Observation(recorder=MemoryRecorder(), registry=MetricsRegistry())
-        if observe
-        else NULL_OBS
+    span_recorder = SpanRecorder(role="worker") if record_spans else None
+    if observe:
+        cell_obs = Observation(
+            recorder=MemoryRecorder(),
+            registry=MetricsRegistry(),
+            spans=span_recorder,
+        )
+    elif record_spans:
+        cell_obs = Observation.spans_only(span_recorder)
+    else:
+        cell_obs = NULL_OBS
+    cell_span = (
+        span_recorder.begin(
+            f"{spec.policy}@{spec.capacity}",
+            cat="cell",
+            cell=spec.index,
+            policy=spec.policy,
+            capacity=spec.capacity,
+        )
+        if span_recorder is not None
+        else None
     )
     try:
         policy = spec.build()
@@ -290,7 +329,12 @@ def _run_cell(
         result.cell_index = spec.index
         events = cell_obs.recorder.events if observe else None
         registry = cell_obs.registry if observe else None
-        return spec.index, result, None, events, registry
+        if cell_span is not None:
+            span_recorder.end(
+                cell_span, hit_ratio=round(result.object_hit_ratio, 6)
+            )
+        spans = span_recorder.as_dicts() if span_recorder is not None else None
+        return spec.index, result, None, events, registry, spans
     except BaseException as exc:  # noqa: BLE001 — must cross the pipe as data
         failure = CellFailure(
             index=spec.index,
@@ -301,7 +345,10 @@ def _run_cell(
         )
         events = cell_obs.recorder.events if observe else None
         registry = cell_obs.registry if observe else None
-        return spec.index, None, failure, events, registry
+        if cell_span is not None:
+            span_recorder.end(cell_span, failed=True)
+        spans = span_recorder.as_dicts() if span_recorder is not None else None
+        return spec.index, None, failure, events, registry, spans
 
 
 # ----------------------------------------------------------------------
@@ -375,6 +422,7 @@ def run_sweep(
         )
 
     observing = obs.enabled
+    record_spans = obs.spans.enabled
     tag = dict(event_fields or {})
     if observing:
         for spec in sorted(specs, key=lambda s: s.index):
@@ -389,22 +437,42 @@ def run_sweep(
     heartbeat_interval = (
         heartbeat_interval_requests if progress is not None else 0
     )
-    if jobs and jobs > 1:
-        outcomes = _run_pooled(
-            trace, specs, window_requests, warmup_requests, jobs, mp_context,
-            observing, trace_config, progress, heartbeat_interval,
-            stall_timeout_seconds, obs,
+    sweep_span = (
+        obs.spans.begin(
+            "sweep.run", cat="sweep", cells=len(specs), jobs=jobs or 1
         )
-    else:
-        outcomes = _run_inline(
-            trace, specs, window_requests, warmup_requests, observing,
-            trace_config, progress, heartbeat_interval,
-        )
+        if record_spans
+        else None
+    )
+    try:
+        if jobs and jobs > 1:
+            outcomes = _run_pooled(
+                trace, specs, window_requests, warmup_requests, jobs, mp_context,
+                observing, trace_config, progress, heartbeat_interval,
+                stall_timeout_seconds, obs, record_spans,
+            )
+        else:
+            outcomes = _run_inline(
+                trace, specs, window_requests, warmup_requests, observing,
+                trace_config, progress, heartbeat_interval,
+                record_spans=record_spans,
+            )
 
-    by_index = {outcome[0]: outcome for outcome in outcomes}
-    ordered = [by_index[spec.index] for spec in specs]
-    if observing:
-        _merge_observations(obs, specs, by_index, tag)
+        by_index = {outcome[0]: outcome for outcome in outcomes}
+        ordered = [by_index[spec.index] for spec in specs]
+        if record_spans:
+            # Grid-ordered absorption of cell span batches under the
+            # sweep span.  Pooled outcomes arrive pre-absorbed (under
+            # ``sweep.gather``, see ``_run_pooled``) with their span slot
+            # cleared, so this covers the inline path — and keeps the
+            # merged timeline structurally identical either way.
+            for spec in sorted(specs, key=lambda s: s.index):
+                obs.spans.absorb(by_index[spec.index][5], parent=sweep_span)
+        if observing:
+            _merge_observations(obs, specs, by_index, tag)
+    finally:
+        if sweep_span is not None:
+            obs.spans.end(sweep_span)
     failures = [outcome[2] for outcome in ordered if outcome[2] is not None]
     results = [outcome[1] for outcome in ordered]
     if failures:
@@ -426,7 +494,7 @@ def _merge_observations(
     """
     tag = tag or {}
     for spec in sorted(specs, key=lambda s: s.index):
-        index, result, failure, events, registry = by_index[spec.index]
+        index, result, failure, events, registry = by_index[spec.index][:5]
         for event in events or ():
             fields = {
                 k: v for k, v in event.items() if k not in ("event", "seq")
@@ -466,6 +534,7 @@ def _run_inline(
     trace_config: TraceConfig | None = None,
     progress: ProgressTracker | None = None,
     heartbeat_interval: int = 0,
+    record_spans: bool = False,
 ) -> list[CellOutcome]:
     """Serial execution sharing the worker code path (and its capture).
 
@@ -486,6 +555,7 @@ def _run_inline(
             outcome = _run_cell(
                 spec, window_requests, warmup_requests, observe, trace_config,
                 heartbeat_interval=heartbeat_interval, heartbeat_sink=sink,
+                record_spans=record_spans,
             )
             if progress is not None:
                 _track_outcome(progress, outcome)
@@ -571,10 +641,15 @@ def _run_pooled(
     heartbeat_interval: int = 0,
     stall_timeout_seconds: float = DEFAULT_STALL_TIMEOUT,
     obs: Observation = NULL_OBS,
+    record_spans: bool = False,
 ) -> list[CellOutcome]:
     """Fan cells out over worker processes; the trace crosses the process
     boundary zero times via shared memory (or once per worker as pickled
     arrays where shared memory is unavailable).
+
+    With ``record_spans``, the driver brackets the submit loop in a
+    ``sweep.scatter`` span and the result drain in ``sweep.gather`` —
+    the driver-lane complements to the workers' per-cell spans.
 
     With a tracker, a ``Manager`` queue proxy ships to every worker via
     the pool initializer (a plain ``multiprocessing.Queue`` cannot ride
@@ -623,18 +698,45 @@ def _run_pooled(
             initializer=initializer,
             initargs=initargs,
         ) as pool:
+            scatter = (
+                obs.spans.begin(
+                    "sweep.scatter",
+                    cat="sweep",
+                    cells=len(specs),
+                    workers=workers,
+                )
+                if record_spans
+                else None
+            )
             futures = {
                 pool.submit(
                     _run_cell, spec, window_requests, warmup_requests,
                     observe, trace_config, heartbeat_interval,
+                    record_spans=record_spans,
                 ): spec
                 for spec in specs
             }
+            if scatter is not None:
+                obs.spans.end(scatter)
+            gather = (
+                obs.spans.begin("sweep.gather", cat="sweep")
+                if record_spans
+                else None
+            )
             for future in as_completed(futures):
                 outcome = future.result()
+                if gather is not None and outcome[5]:
+                    # Absorb worker spans here, parented under the gather
+                    # span: the driver spends gather *waiting* on cells,
+                    # so the critical path descends through it into the
+                    # straggler cell instead of dead-ending at the wait.
+                    obs.spans.absorb(outcome[5], parent=gather)
+                    outcome = outcome[:5] + (None,)
                 if progress is not None:
                     _track_outcome(progress, outcome)
                 outcomes.append(outcome)
+            if gather is not None:
+                obs.spans.end(gather, cells=len(outcomes))
     except BrokenProcessPool as exc:
         done = {outcome[0] for outcome in outcomes}
         missing = [spec for spec in specs if spec.index not in done]

@@ -246,6 +246,7 @@ def run_workload_lab(
     analyze_policy: str = "lhr",
     analyze_window: int = 1000,
     recorder: MemoryRecorder | None = None,
+    spans=None,
 ) -> WorkloadLabReport:
     """Run ``policies`` over every scenario in ``configs``.
 
@@ -263,18 +264,33 @@ def run_workload_lab(
     lost hits where it did.
 
     Pass a ``recorder`` to keep the raw event stream (e.g. to write it
-    out as JSONL afterwards); one is created internally otherwise.
+    out as JSONL afterwards); one is created internally otherwise.  Pass
+    a ``spans`` recorder (:class:`~repro.obs.spans.SpanRecorder`) to
+    record the lab's timeline: one ``cat="lab"`` span per scenario
+    (generation + sweep), with each sweep's driver/worker spans nested
+    beneath it — the CLI's ``--trace-out`` rides this.
     """
     if not configs:
         raise ValueError("no scenario configs to run")
     if not 0.0 < capacity_fraction <= 1.0:
         raise ValueError("capacity_fraction must be in (0, 1]")
     recorder = recorder if recorder is not None else MemoryRecorder()
-    obs = Observation(recorder=recorder, registry=MetricsRegistry())
+    obs = Observation(recorder=recorder, registry=MetricsRegistry(), spans=spans)
     policies = list(policies)
     reports: list[ScenarioReport] = []
     for lab_run, config in enumerate(configs):
-        packed = generate_packed(config)
+        scenario_span = (
+            obs.spans.begin(
+                f"scenario {config.scenario}",
+                cat="lab",
+                scenario=config.scenario,
+                lab_run=lab_run,
+            )
+            if obs.spans.enabled
+            else None
+        )
+        with obs.spans.span("lab.generate", cat="lab"):
+            packed = generate_packed(config)
         unique_bytes = packed_unique_bytes(packed)
         capacity = max(int(capacity_fraction * unique_bytes), 1)
         results: list[SimulationResult] = run_comparison(
@@ -317,9 +333,12 @@ def run_workload_lab(
             cells=cells,
         )
         if analyze and analyze_policy in policies:
-            report.divergence = _divergence_summary(
-                packed.unpack(), capacity, analyze_policy, analyze_window
-            )
+            with obs.spans.span("lab.analyze", cat="lab"):
+                report.divergence = _divergence_summary(
+                    packed.unpack(), capacity, analyze_policy, analyze_window
+                )
+        if scenario_span is not None:
+            obs.spans.end(scenario_span)
         reports.append(report)
     return WorkloadLabReport(
         reports=reports,

@@ -329,6 +329,97 @@ class TestScopedTimerReentrancy:
         assert timer.last_seconds >= 0.0
 
 
+class TestScopedTimerThreadSafety:
+    """Satellite: per-thread start stacks — interleaved threads must not
+    pop each other's start times."""
+
+    def test_interleaved_threads_measure_their_own_spans(self):
+        import threading
+        import time as time_module
+
+        from repro.obs import MetricsRegistry, ScopedTimer
+
+        registry = MetricsRegistry()
+        timer = ScopedTimer(registry.histogram("phase_seconds"))
+        a_entered = threading.Event()
+        b_done = threading.Event()
+
+        def long_span():
+            with timer:
+                time_module.sleep(0.05)
+                a_entered.set()
+                assert b_done.wait(5.0)
+
+        def short_span():
+            assert a_entered.wait(5.0)
+            with timer:  # enters and exits while the other span is open
+                pass
+            b_done.set()
+
+        threads = [
+            threading.Thread(target=long_span),
+            threading.Thread(target=short_span),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        hist = registry.histogram("phase_seconds")
+        assert hist.count == 2
+        # With a shared stack the short span would pop the long span's
+        # start and measure >= 50ms; per-thread stacks keep it tiny.
+        assert hist.stats.minimum < 0.05
+        assert hist.stats.maximum >= 0.05
+
+    def test_concurrent_nested_use_keeps_exact_counts(self):
+        import threading
+
+        from repro.obs import MetricsRegistry, ScopedTimer
+
+        registry = MetricsRegistry()
+        timer = ScopedTimer(registry.histogram("phase_seconds"))
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(200):
+                    with timer:
+                        with timer:
+                            pass
+            except Exception as exc:  # noqa: BLE001 — any raise is a failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert registry.histogram("phase_seconds").count == 8 * 200 * 2
+
+    def test_exit_on_fresh_thread_raises(self):
+        import threading
+
+        from repro.obs import MetricsRegistry, ScopedTimer
+
+        timer = ScopedTimer(MetricsRegistry().histogram("phase_seconds"))
+        caught = []
+
+        def exit_without_enter():
+            try:
+                timer.__exit__(None, None, None)
+            except RuntimeError as exc:
+                caught.append(exc)
+
+        with timer:
+            # The other thread never entered: its per-thread stack is
+            # empty even though this thread's span is open.
+            thread = threading.Thread(target=exit_without_enter)
+            thread.start()
+            thread.join()
+        assert len(caught) == 1
+
+
 class TestJsonlDurability:
     """Satellite: flush/close durability and torn-write recovery."""
 

@@ -73,6 +73,71 @@ class TestSamplingProfiler:
         SamplingProfiler().stop()  # must not raise
 
 
+class TestThreadAwareStacks:
+    """Satellite: collapsed stacks carry the thread name as the root
+    frame, and ``all_threads=True`` samples named helper threads."""
+
+    def test_target_thread_stacks_prefixed_with_thread_name(self):
+        profiler = SamplingProfiler(interval_seconds=0.001)
+        with profiler:
+            _spin(0.1)
+        text = profiler.collapsed()
+        assert text
+        for line in text.splitlines():
+            stack, _ = line.rsplit(" ", 1)
+            assert stack.startswith("MainThread")
+
+    def test_all_threads_samples_named_busy_thread(self):
+        import threading
+
+        stop = threading.Event()
+
+        def busy():
+            while not stop.is_set():
+                pass
+
+        worker = threading.Thread(target=busy, name="busy-worker")
+        worker.start()
+        try:
+            profiler = SamplingProfiler(
+                interval_seconds=0.001, all_threads=True
+            )
+            with profiler:
+                _spin(0.15)
+        finally:
+            stop.set()
+            worker.join()
+        text = profiler.collapsed()
+        roots = {line.split(";", 1)[0].split(" ")[0] for line in text.splitlines()}
+        assert "MainThread" in roots
+        assert "busy-worker" in roots
+        busy_lines = [
+            line for line in text.splitlines()
+            if line.startswith("busy-worker")
+        ]
+        assert any("busy" in line for line in busy_lines)
+
+    def test_default_mode_ignores_other_threads(self):
+        import threading
+
+        stop = threading.Event()
+
+        def busy():
+            while not stop.is_set():
+                pass
+
+        worker = threading.Thread(target=busy, name="background-spinner")
+        worker.start()
+        try:
+            profiler = SamplingProfiler(interval_seconds=0.001)
+            with profiler:
+                _spin(0.1)
+        finally:
+            stop.set()
+            worker.join()
+        assert "background-spinner" not in profiler.collapsed()
+
+
 class TestPhaseBreakdown:
     def test_rows_from_seconds_histograms(self):
         registry = MetricsRegistry()

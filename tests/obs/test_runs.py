@@ -305,3 +305,66 @@ class TestDiff:
         assert not diff.identical
         assert diff.only_a and diff.only_b
         assert json.loads(json.dumps(diff.as_dict()))["identical"] is False
+
+
+def sample_spans():
+    return [
+        {"id": 1, "name": "cli.compare", "cat": "cli", "start": 0.0,
+         "end": 2.0, "pid": 100, "tid": 1, "parent": None},
+        {"id": 2, "name": "sweep.run", "cat": "sweep", "start": 0.1,
+         "end": 1.9, "pid": 100, "tid": 1, "parent": 1},
+        {"id": 3, "name": "lru@1024", "cat": "cell", "start": 0.2,
+         "end": 1.5, "pid": 200, "tid": 1, "parent": 2,
+         "parent_pid": 100, "args": {"hit_ratio": 0.5}},
+    ]
+
+
+class TestSpansPersistence:
+    def test_spans_sidecar_roundtrip(self, tmp_path):
+        ledger = make_ledger(tmp_path)
+        record = record_from_results(
+            "compare", {"n": 1}, windowed_results(), spans=sample_spans()
+        )
+        run_id = ledger.record(record)
+        assert (ledger.root / run_id / RunLedger.SPANS).exists()
+        loaded = ledger.load(run_id)
+        assert loaded.spans == sample_spans()
+        assert loaded.span_count() == 3
+        assert loaded.summary()["spans"] == 3
+
+    def test_sidecar_lands_before_manifest(self, tmp_path):
+        # A committed run (manifest present) must never point at a
+        # missing spans file: spans.json is written first.
+        ledger = make_ledger(tmp_path)
+        run_id = ledger.record(
+            record_from_results(
+                "compare", {}, windowed_results(), spans=sample_spans()
+            )
+        )
+        run_dir = ledger.root / run_id
+        assert (run_dir / RunLedger.MANIFEST).exists()
+        assert (run_dir / RunLedger.SPANS).exists()
+        payload = json.loads((run_dir / RunLedger.SPANS).read_text())
+        assert payload == sample_spans()
+
+    def test_span_count_survives_manifest_only_load(self, tmp_path):
+        ledger = make_ledger(tmp_path)
+        run_id = ledger.record(
+            record_from_results(
+                "compare", {}, windowed_results(), spans=sample_spans()
+            )
+        )
+        skinny = ledger.load(run_id, series=False, spans=False)
+        assert skinny.spans == []
+        assert skinny.span_count() == 3  # falls back to the manifest count
+        assert skinny.summary()["spans"] == 3
+
+    def test_untraced_run_has_no_sidecar(self, tmp_path):
+        ledger = make_ledger(tmp_path)
+        run_id = ledger.record(
+            record_from_results("compare", {}, windowed_results())
+        )
+        assert not (ledger.root / run_id / RunLedger.SPANS).exists()
+        loaded = ledger.load(run_id)
+        assert loaded.spans == []
+        assert loaded.span_count() == 0

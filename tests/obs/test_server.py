@@ -361,6 +361,53 @@ class TestProgressFailurePaths:
         assert final["requests_replayed"] == 8000
 
 
+class TestProgressEtaEdgeCases:
+    """Satellite: the /progress ETA math at its boundaries."""
+
+    def test_zero_completed_cells_yields_null_eta(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(clock=clock)
+        tracker.register_cells([(0, "lru", 100), (1, "lhr", 100)])
+        tracker.heartbeat(0, requests=500)  # running but not finished
+        clock.advance(60.0)
+        snap = tracker.snapshot()
+        assert snap["cells_done"] == 0
+        assert snap["eta_seconds"] is None  # no rate to extrapolate yet
+
+    def test_zero_elapsed_never_divides_by_zero(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(clock=clock)
+        tracker.register_cells([(0, "lru", 100), (1, "lhr", 100)])
+        tracker.cell_done(0, requests=100)  # done with zero clock advance
+        snap = tracker.snapshot()  # must not raise ZeroDivisionError
+        assert snap["eta_seconds"] == 0.0  # instant rate -> instant finish
+        assert snap["elapsed_seconds"] >= 0.0
+        assert snap["requests_per_second"] >= 0.0
+
+    def test_all_cells_failed_eta_is_zero(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(clock=clock)
+        tracker.register_cells([(0, "lru", 100), (1, "lhr", 100)])
+        clock.advance(5.0)
+        tracker.cell_failed(0, error="boom")
+        tracker.cell_failed(1, error="bust")
+        snap = tracker.snapshot()
+        assert snap["cells_failed"] == 2
+        assert snap["cells_done"] == 0
+        # Failed cells count as finished work: nothing remains to run.
+        assert snap["eta_seconds"] == 0.0
+
+    def test_failed_cells_inform_the_rate(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(clock=clock)
+        tracker.register_cells([(i, "lru", 100) for i in range(4)])
+        clock.advance(10.0)
+        tracker.cell_failed(0, error="boom")
+        snap = tracker.snapshot()
+        # 1 finished (failed) in 10s -> 3 remaining at 10s each.
+        assert snap["eta_seconds"] == pytest.approx(30.0)
+
+
 class TestRunsEndpoint:
     """Satellite: the read-only /runs view over the ledger."""
 

@@ -1,0 +1,164 @@
+"""Tests for span timeline analysis: phases, critical path, stragglers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import analyze_spans
+from repro.obs.timeline import _fmt_seconds, _median
+
+
+def _span(
+    span_id,
+    name,
+    start,
+    end,
+    cat="default",
+    pid=100,
+    parent=None,
+    parent_pid=None,
+):
+    payload = {
+        "id": span_id,
+        "name": name,
+        "cat": cat,
+        "start": start,
+        "end": end,
+        "pid": pid,
+        "tid": 0,
+        "parent": parent,
+    }
+    if parent_pid is not None:
+        payload["parent_pid"] = parent_pid
+    return payload
+
+
+def _sweep_spans():
+    """A synthetic 2-worker sweep: driver root, gather, 3 cells, replay.
+
+    Timeline (seconds):
+      driver pid 100:  run [0, 10], gather [1, 10]
+      worker pid 200:  cell a [1, 9] -> replay [1.5, 8.5]; cell c [9, 9.5]
+      worker pid 300:  cell b [1, 4]
+    """
+    return [
+        _span(0, "sweep.run", 0.0, 10.0, cat="sweep", pid=100),
+        _span(1, "sweep.gather", 1.0, 10.0, cat="sweep", pid=100, parent=0),
+        _span(
+            2, "lhr@64", 1.0, 9.0, cat="cell", pid=200,
+            parent=1, parent_pid=100,
+        ),
+        _span(3, "sim.replay", 1.5, 8.5, cat="sim", pid=200, parent=2),
+        _span(
+            4, "lru@64", 1.0, 4.0, cat="cell", pid=300,
+            parent=1, parent_pid=100,
+        ),
+        _span(
+            5, "lru@128", 9.0, 9.5, cat="cell", pid=200,
+            parent=1, parent_pid=100,
+        ),
+    ]
+
+
+class TestAnalyzeSpans:
+    def test_empty_input(self):
+        report = analyze_spans([])
+        assert report.span_count == 0
+        assert report.wall_seconds == 0.0
+        assert report.phases == []
+        assert report.critical_path == []
+        assert report.stragglers is None
+        assert "0 spans" in report.render_text()
+
+    def test_unfinished_spans_ignored(self):
+        report = analyze_spans([_span(0, "open", 1.0, 0.0)])
+        assert report.span_count == 0
+
+    def test_wall_and_span_count(self):
+        report = analyze_spans(_sweep_spans())
+        assert report.span_count == 6
+        assert report.wall_seconds == pytest.approx(10.0)
+
+    def test_phase_self_time_subtracts_children(self):
+        report = analyze_spans(_sweep_spans())
+        by_phase = {(p.cat, p.name): p for p in report.phases}
+        # gather [1,10] has 9s total but its children (the cells) cover
+        # 8 + 3 + 0.5 = 11.5s -> self time clamps to 0.
+        gather = by_phase[("sweep", "sweep.gather")]
+        assert gather.total_seconds == pytest.approx(9.0)
+        assert gather.self_seconds == pytest.approx(0.0)
+        # cell a is 8s total, replay child 7s -> 1s self.
+        cell_a = by_phase[("cell", "lhr@64")]
+        assert cell_a.self_seconds == pytest.approx(1.0)
+        # Phases rank by self time, descending.
+        selfs = [p.self_seconds for p in report.phases]
+        assert selfs == sorted(selfs, reverse=True)
+        assert sum(p.self_share for p in report.phases) == pytest.approx(1.0)
+
+    def test_critical_path_descends_into_straggler(self):
+        report = analyze_spans(_sweep_spans())
+        names = [hop.name for hop in report.critical_path]
+        assert names == ["sweep.run", "sweep.gather", "lhr@64", "sim.replay"]
+        pids = [hop.pid for hop in report.critical_path]
+        assert pids == [100, 100, 200, 200]  # crosses into the worker
+        assert report.critical_path[0].parent_share == 1.0
+        # cell a (8s) covers 8/9 of gather.
+        assert report.critical_path[2].parent_share == pytest.approx(8 / 9)
+
+    def test_worker_lanes_and_utilization(self):
+        report = analyze_spans(_sweep_spans())
+        lanes = {lane.pid: lane for lane in report.workers}
+        assert set(lanes) == {200, 300}
+        assert lanes[200].cells == 2
+        assert lanes[200].busy_seconds == pytest.approx(8.5)
+        assert lanes[200].utilization == pytest.approx(0.85)
+        assert lanes[300].cells == 1
+        assert all(lane.role == "worker" for lane in lanes.values())
+
+    def test_straggler_stats(self):
+        report = analyze_spans(_sweep_spans())
+        s = report.stragglers
+        assert s.cells == 3
+        assert s.max_seconds == pytest.approx(8.0)
+        assert s.median_seconds == pytest.approx(3.0)
+        assert s.straggler_ratio == pytest.approx(8 / 3)
+        assert s.worst[0][0] == "lhr@64"
+
+    def test_no_cell_spans_means_no_lanes(self):
+        report = analyze_spans([_span(0, "sim.replay", 0.0, 2.0, cat="sim")])
+        assert report.workers == []
+        assert report.stragglers is None
+
+    def test_orphan_parent_treated_as_root(self):
+        # A span whose parent id is unknown must not crash the analysis.
+        report = analyze_spans([_span(7, "lost", 0.0, 1.0, parent=99)])
+        assert report.critical_path[0].name == "lost"
+
+    def test_as_dict_round_trips_to_json(self):
+        import json
+
+        payload = analyze_spans(_sweep_spans()).as_dict()
+        encoded = json.loads(json.dumps(payload))
+        assert encoded["span_count"] == 6
+        assert encoded["stragglers"]["cells"] == 3
+        assert len(encoded["critical_path"]) == 4
+
+    def test_render_text_sections(self):
+        text = analyze_spans(_sweep_spans()).render_text()
+        assert "phase self-time breakdown" in text
+        assert "critical path" in text
+        assert "worker utilization" in text
+        assert "stragglers: 3 cells" in text
+        assert "(89% of parent)" in text
+
+
+class TestHelpers:
+    def test_fmt_seconds_units(self):
+        assert _fmt_seconds(2.5) == "2.50s"
+        assert _fmt_seconds(0.0123) == "12.3ms"
+        assert _fmt_seconds(0.000004) == "4us"
+
+    def test_median(self):
+        assert _median([3.0]) == 3.0
+        assert _median([1.0, 2.0, 10.0]) == 2.0
+        assert _median([1.0, 3.0]) == 2.0

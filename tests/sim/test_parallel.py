@@ -590,3 +590,93 @@ class TestSharedMemorySweep:
         pooled = run_comparison(packed, ["lru", "lhd"], [sweep_capacity], parallel=2)
         assert [result_key(r) for r in pooled] == [result_key(r) for r in serial]
         assert live_segment_names() == ()
+
+
+class TestSweepSpans:
+    """Span timelines over the sweep: one cell span per cell, worker
+    pids preserved, and zero effect on results."""
+
+    def _obs(self):
+        from repro.obs import Observation, SpanRecorder
+
+        return Observation.spans_only(SpanRecorder())
+
+    def test_inline_sweep_records_cell_spans(self, sweep_trace, sweep_capacity):
+        obs = self._obs()
+        run_comparison(
+            sweep_trace, ["lru", "lhd"], [sweep_capacity], obs=obs
+        )
+        spans = obs.spans.spans
+        by_name = {span.name: span for span in spans}
+        cells = [span for span in spans if span.cat == "cell"]
+        assert len(cells) == 2
+        assert {span.name for span in cells} == {
+            f"lru@{sweep_capacity}", f"lhd@{sweep_capacity}"
+        }
+        sweep_span = by_name["sweep.run"]
+        assert all(span.parent_id == sweep_span.span_id for span in cells)
+        # Inline cells run in the driver process.
+        assert {span.pid for span in cells} == {obs.spans.pid}
+        # Each cell nests its replay.
+        replays = [span for span in spans if span.name == "sim.replay"]
+        assert len(replays) == 2
+
+    @requires_fork
+    def test_pooled_sweep_merges_worker_timelines(
+        self, sweep_trace, sweep_capacity
+    ):
+        obs = self._obs()
+        run_comparison(
+            sweep_trace,
+            ["lru", "lhd", "lfu", "gdsf"],
+            [sweep_capacity],
+            parallel=2,
+            obs=obs,
+        )
+        spans = obs.spans.spans
+        names = {span.name for span in spans}
+        assert {"sweep.run", "sweep.scatter", "sweep.gather"} <= names
+        cells = [span for span in spans if span.cat == "cell"]
+        assert len(cells) == 4  # exactly the sweep's cell count
+        worker_pids = {span.pid for span in cells}
+        assert len(worker_pids) == 2  # one lane per worker
+        assert obs.spans.pid not in worker_pids  # real forked pids
+        # Worker cells hang off the driver's gather span, cross-process.
+        gather = next(span for span in spans if span.name == "sweep.gather")
+        for span in cells:
+            assert span.parent_id == gather.span_id
+            assert span.parent_pid == obs.spans.pid
+        # Cell spans carry the hit ratio for straggler forensics.
+        assert all("hit_ratio" in span.args for span in cells)
+
+    @requires_fork
+    def test_spans_do_not_change_results(self, sweep_trace, sweep_capacity):
+        plain = run_comparison(
+            sweep_trace, ["lru", "lhd"], [sweep_capacity], parallel=2
+        )
+        traced = run_comparison(
+            sweep_trace,
+            ["lru", "lhd"],
+            [sweep_capacity],
+            parallel=2,
+            obs=self._obs(),
+        )
+        assert [result_key(r) for r in traced] == [result_key(r) for r in plain]
+
+    @requires_fork
+    def test_failed_cell_span_is_closed_and_flagged(
+        self, sweep_trace, sweep_capacity, exploding_policy
+    ):
+        obs = self._obs()
+        specs = [
+            CellSpec(exploding_policy, sweep_capacity, index=0),
+            CellSpec("lru", sweep_capacity, index=1),
+        ]
+        with pytest.raises(SweepCellError):
+            run_sweep(
+                PackedTrace.from_trace(sweep_trace), specs, jobs=2, obs=obs
+            )
+        cells = [span for span in obs.spans.spans if span.cat == "cell"]
+        assert len(cells) == 2  # the failed cell still closed its span
+        failed = next(s for s in cells if s.name.startswith(exploding_policy))
+        assert failed.args.get("failed") is True

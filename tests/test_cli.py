@@ -649,3 +649,106 @@ class TestBenchCompareLedger:
         with pytest.raises(SystemExit, match="no prior"):
             main(["bench-compare", str(a), "--ledger",
                   str(tmp_path / "empty-ledger")])
+
+
+class TestTimelineTracingCli:
+    """--trace-out span capture, Chrome export, and `repro timeline`."""
+
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(irm_trace(400, 40, mean_size=1 << 12, seed=1), path)
+        return str(path)
+
+    def test_simulate_trace_out_writes_chrome_json(
+        self, trace_file, tmp_path, capsys
+    ):
+        out = tmp_path / "trace.json"
+        assert main(
+            ["simulate", "--trace", trace_file, "--policy", "lru",
+             "--capacity", "64KB", "--trace-out", str(out)]
+        ) == 0
+        assert "wrote timeline trace" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert events
+        for event in events:
+            assert {"ph", "ts", "pid", "name"} <= set(event)
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "cli.simulate" in names
+        assert "sim.replay" in names
+
+    def test_compare_parallel_trace_out_has_worker_lanes(
+        self, trace_file, tmp_path
+    ):
+        out = tmp_path / "trace.json"
+        assert main(
+            ["compare", "--trace", trace_file, "--policies", "lru,gdsf",
+             "--capacities", "32KB", "64KB", "--jobs", "2",
+             "--trace-out", str(out)]
+        ) == 0
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        lanes = {
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "driver" in lanes
+        assert any(name.startswith("worker") for name in lanes)
+        # One X event per sweep cell: 2 policies x 2 capacities.
+        cells = [e for e in events if e["ph"] == "X" and e.get("cat") == "cell"]
+        assert len(cells) == 4
+
+    def test_timeline_renders_recorded_run(self, trace_file, tmp_path, capsys):
+        assert main(
+            ["compare", "--trace", trace_file, "--policies", "lru,s4lru",
+             "--capacities", "32KB", "--jobs", "2",
+             "--trace-out", str(tmp_path / "t.json")]
+        ) == 0
+        capsys.readouterr()
+        assert main(["runs", "show", "latest"]) == 0
+        assert "spans" in capsys.readouterr().out
+        assert main(["timeline", "latest"]) == 0
+        report = capsys.readouterr().out
+        assert "phase self-time breakdown" in report
+        assert "critical path" in report
+        assert "worker utilization" in report
+        assert "stragglers" in report
+
+    def test_timeline_json_format(self, trace_file, tmp_path, capsys):
+        assert main(
+            ["simulate", "--trace", trace_file, "--policy", "lru",
+             "--capacity", "64KB", "--trace-out", str(tmp_path / "t.json")]
+        ) == 0
+        capsys.readouterr()
+        assert main(["timeline", "latest", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["span_count"] > 0
+        assert payload["phases"]
+        assert payload["critical_path"]
+
+    def test_timeline_errors_on_untraced_run(self, trace_file, capsys):
+        assert main(
+            ["compare", "--trace", trace_file, "--policies", "lru",
+             "--capacities", "32KB"]
+        ) == 0
+        with pytest.raises(SystemExit, match="trace-out"):
+            main(["timeline", "latest"])
+
+    def test_trace_out_does_not_change_results(self, trace_file, tmp_path, capsys):
+        args = ["compare", "--trace", trace_file, "--policies", "lru,gdsf",
+                "--capacities", "64KB"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main([*args, "--trace-out", str(tmp_path / "t.json")]) == 0
+        traced = capsys.readouterr().out
+
+        def strip(text):
+            return [
+                [c for i, c in enumerate(line.split()) if i != 8]
+                for line in text.splitlines()
+                if line and not line.startswith("wrote timeline")
+            ]
+
+        assert strip(plain) == strip(traced)
