@@ -27,6 +27,10 @@ Subcommands cover the everyday workflows:
 * ``timeline`` — phase self-time breakdown, critical path, per-worker
   utilization and straggler cells of a run recorded with
   ``--trace-out`` (see ``docs/OBSERVABILITY.md``).
+* ``learner`` — per-window learner-health report (calibration against
+  realized reuse, Zipf alpha +/- stderr, shadow drift statistics,
+  retrain-cause attribution) of a run recorded with ``--learner``
+  (see ``docs/OBSERVABILITY.md``).
 
 ``simulate`` and ``compare`` additionally take ``--serve PORT`` to
 expose ``/metrics``, ``/healthz`` and ``/progress`` over HTTP while the
@@ -53,6 +57,7 @@ from repro.obs import (
     BaselineTolerance,
     FanoutRecorder,
     JsonlRecorder,
+    LearnerTelemetry,
     MemoryRecorder,
     NullRecorder,
     Observation,
@@ -62,6 +67,7 @@ from repro.obs import (
     SloSpec,
     SpanRecorder,
     TextRecorder,
+    analyze_learner,
     analyze_spans,
     compare_files,
     compare_with_history,
@@ -72,6 +78,7 @@ from repro.obs import (
     profile_simulation,
     record_from_results,
 )
+from repro.obs.learner import columns_to_series
 from repro.proto import (
     AtsServer,
     make_ats_baseline,
@@ -162,18 +169,21 @@ def _build_observation(
     args: argparse.Namespace,
     require: bool = False,
     spans: SpanRecorder | None = None,
+    learner: LearnerTelemetry | None = None,
 ) -> Observation:
     """Assemble the observation handle the flags ask for.
 
     Returns :data:`NULL_OBS` (the zero-overhead disabled handle) when no
     observability flag is set, unless ``require`` forces an enabled
     handle (``--serve`` needs a live registry to scrape even without any
-    logging flag).  A ``spans`` recorder (``--trace-out``) rides the
-    handle as a third sink; when it is the *only* thing asked for, the
-    handle stays disabled (``Observation.spans_only``) so the replay
-    keeps the packed fast path and spans land at chunk granularity.  If
-    a later recorder constructor fails, the ones already built are
-    closed — no leaked file handles on bad flags.
+    logging flag).  A ``spans`` recorder (``--trace-out``) and a
+    ``learner`` telemetry hub (``--learner``) ride the handle as extra
+    sinks; when they are the *only* things asked for, the handle stays
+    disabled (``Observation.sidecars_only``) so the replay keeps the
+    packed fast path — spans land at chunk granularity and learner rows
+    at window granularity either way.  If a later recorder constructor
+    fails, the ones already built are closed — no leaked file handles
+    on bad flags.
     """
     recorders = []
     try:
@@ -186,15 +196,15 @@ def _build_observation(
             recorder.close()
         raise
     if not recorders and not getattr(args, "metrics_out", None) and not require:
-        if spans is not None:
-            return Observation.spans_only(spans)
+        if spans is not None or learner is not None:
+            return Observation.sidecars_only(spans=spans, learner=learner)
         return NULL_OBS
     recorder = None
     if len(recorders) == 1:
         recorder = recorders[0]
     elif recorders:
         recorder = FanoutRecorder(*recorders)
-    return Observation(recorder=recorder, spans=spans)
+    return Observation(recorder=recorder, spans=spans, learner=learner)
 
 
 def _finish_observation(obs: Observation, args: argparse.Namespace) -> None:
@@ -250,6 +260,22 @@ def _write_trace(spans: SpanRecorder | None, args: argparse.Namespace) -> None:
     print(f"wrote timeline trace ({len(spans)} spans) to {args.trace_out}")
 
 
+def _add_learner_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--learner", action="store_true",
+        help="record per-window learner-health telemetry (calibration, "
+        "Zipf alpha +/- stderr, shadow drift statistics, retrain causes); "
+        "the series lands in the run ledger for `repro learner`",
+    )
+
+
+def _learner_for(args: argparse.Namespace) -> LearnerTelemetry | None:
+    """A driver-side learner telemetry hub when ``--learner`` asked."""
+    if getattr(args, "learner", False):
+        return LearnerTelemetry()
+    return None
+
+
 def _add_serve_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--serve", metavar="PORT", type=int, default=None,
@@ -264,16 +290,24 @@ def _start_server(
     obs: Observation,
     tracker: ProgressTracker | None,
     ledger: RunLedger | None = None,
+    learner: LearnerTelemetry | None = None,
 ) -> ObsServer | None:
     """Start the HTTP exporter when ``--serve`` was given."""
     port = getattr(args, "serve", None)
     if port is None:
         return None
     server = ObsServer(
-        registry=obs.registry, tracker=tracker, port=port, ledger=ledger
+        registry=obs.registry,
+        tracker=tracker,
+        port=port,
+        ledger=ledger,
+        learner=learner,
     )
     server.start()
-    print(f"serving /metrics /healthz /progress at {server.url}", flush=True)
+    endpoints = "/metrics /healthz /progress" + (
+        " /learner" if learner is not None else ""
+    )
+    print(f"serving {endpoints} at {server.url}", flush=True)
     return server
 
 
@@ -392,7 +426,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     policy = build_policy(args.policy, args.capacity)
     serving = args.serve is not None
     spans = _span_recorder_for(args)
-    obs = _build_observation(args, require=serving, spans=spans)
+    learner = _learner_for(args)
+    obs = _build_observation(args, require=serving, spans=spans, learner=learner)
     ledger = _ledger_for(args)
     capture = _capture_events(obs) if ledger is not None else None
     tracker = None
@@ -413,7 +448,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             )
 
         heartbeat_interval = 1000
-    server = _start_server(args, obs, tracker, ledger)
+    server = _start_server(args, obs, tracker, ledger, learner=learner)
     # Unobserved replays take the columnar fast path; observed ones keep
     # the reference object stream (the engine would unpack anyway).
     replay_trace = trace if obs.enabled else PackedTrace.from_trace(trace)
@@ -470,11 +505,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
     names = [name.strip() for name in args.policies.split(",") if name.strip()]
     serving = args.serve is not None
     spans = _span_recorder_for(args)
-    obs = _build_observation(args, require=serving, spans=spans)
+    learner = _learner_for(args)
+    obs = _build_observation(args, require=serving, spans=spans, learner=learner)
     ledger = _ledger_for(args)
     capture = _capture_events(obs) if ledger is not None else None
     tracker = ProgressTracker(registry=obs.registry) if serving else None
-    server = _start_server(args, obs, tracker, ledger)
+    server = _start_server(args, obs, tracker, ledger, learner=learner)
     try:
         with obs:
             with obs.spans.span("cli.compare", cat="cli", trace=args.trace):
@@ -741,6 +777,17 @@ def cmd_runs_show(args: argparse.Namespace) -> int:
             f"  spans    {record.span_count()} recorded  "
             f"(view: repro timeline {record.run_id})"
         )
+    else:
+        print("  spans    none recorded (capture with --trace-out)")
+    if record.learner_window_count():
+        print(
+            f"  learner  {record.learner_window_count()} windows recorded  "
+            f"(view: repro learner {record.run_id})"
+        )
+    else:
+        print("  learner  none recorded (capture with --learner)")
+    if not record.series:
+        print("  series   none recorded (per-window series need --window N)")
     if record.cells:
         header = (
             f"  {'policy':<14}{'capacity':>12}{'hit':>8}{'byte-hit':>10}"
@@ -783,6 +830,11 @@ def cmd_runs_export(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
     print(f"wrote {rows} window rows to {args.csv}")
+    if rows == 0:
+        print(
+            "note: this run has no per-window series (run with --window N "
+            "to record one)"
+        )
     return 0
 
 
@@ -817,10 +869,17 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
     if not record.spans:
-        raise SystemExit(
-            f"error: run {record.run_id} recorded no spans; re-run with "
-            "--trace-out to capture a timeline"
-        )
+        # A run without a spans sidecar is a normal state (recorded
+        # without --trace-out), not a broken invocation: say so clearly
+        # and exit cleanly.
+        if args.format == "json":
+            print(json.dumps({"run": record.run_id, "spans": 0}, indent=2))
+        else:
+            print(
+                f"run {record.run_id} recorded no spans; re-run with "
+                "--trace-out to capture a timeline"
+            )
+        return 0
     report = analyze_spans(record.spans)
     if args.format == "json":
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
@@ -828,6 +887,40 @@ def cmd_timeline(args: argparse.Namespace) -> int:
         print(f"timeline of run {record.run_id}  ({record.command}: "
               f"{record.name})")
         print(report.render_text())
+    return 0
+
+
+def cmd_learner(args: argparse.Namespace) -> int:
+    """Per-window learner-health report (calibration, drift evidence,
+    retrain causes) of one run recorded with ``--learner``."""
+    ledger = _open_ledger(args)
+    try:
+        record = ledger.load(args.run, series=False, spans=False, learner=True)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if not record.learner:
+        # Like `repro timeline` on an untraced run: absence of the
+        # sidecar is a normal state, reported clearly with exit 0.
+        if args.format == "json":
+            print(
+                json.dumps(
+                    {"run": record.run_id, "cells": [], "thrash": []},
+                    indent=2,
+                )
+            )
+        else:
+            print(
+                f"run {record.run_id} recorded no learner telemetry; "
+                "re-run with --learner to capture it"
+            )
+        return 0
+    cells = columns_to_series(record.learner, record.cells)
+    report = analyze_learner(record.run_id, cells)
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"({record.command}: {record.name})")
+        print(report.render_text(timeline=not args.no_timeline))
     return 0
 
 
@@ -943,6 +1036,7 @@ def cmd_workload_run(args: argparse.Namespace) -> int:
             analyze=args.analyze,
             recorder=recorder,
             spans=spans,
+            learner=args.learner,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
@@ -1037,6 +1131,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(sim)
     _add_trace_flag(sim)
+    _add_learner_flag(sim)
     _add_serve_flag(sim)
     _add_ledger_flags(sim)
     sim.set_defaults(func=cmd_simulate)
@@ -1061,6 +1156,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(comp)
     _add_trace_flag(comp)
+    _add_learner_flag(comp)
     _add_serve_flag(comp)
     _add_ledger_flags(comp)
     comp.set_defaults(func=cmd_compare)
@@ -1244,6 +1340,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full report as JSON here",
     )
     _add_trace_flag(wl_run)
+    _add_learner_flag(wl_run)
     _add_ledger_flags(wl_run)
     wl_run.set_defaults(func=cmd_workload_run)
 
@@ -1351,6 +1448,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json"), default="text"
     )
     timeline.set_defaults(func=cmd_timeline)
+
+    learner = sub.add_parser(
+        "learner",
+        help="per-window learner-health report of a run recorded with "
+        "--learner (calibration, drift evidence, retrain causes)",
+    )
+    learner.add_argument(
+        "run", nargs="?", default="latest",
+        help="run ref (id, unique prefix, 'latest', 'latest~N'); "
+        "default latest",
+    )
+    learner.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="ledger directory (default $REPRO_LEDGER_DIR or .repro/runs)",
+    )
+    learner.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    learner.add_argument(
+        "--no-timeline", action="store_true",
+        help="omit the per-window drift-evidence timeline table",
+    )
+    learner.set_defaults(func=cmd_learner)
 
     return parser
 

@@ -15,6 +15,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.obs import NULL_OBS
+from repro.obs.learner import (
+    kendall_tau,
+    noise_threshold,
+    rank_overlap,
+    top_ranked_ids,
+)
 from repro.util.fitting import ZipfFit, fit_zipf
 
 
@@ -48,6 +54,12 @@ class DriftDetector:
         self.records: list[DetectionRecord] = []
         #: Observation handle (:mod:`repro.obs`); LHR attaches its own.
         self.obs = NULL_OBS
+        # Shadow-detector state (learner telemetry only): the previous
+        # window's alpha stderr and top-k popularity ranking.  Never
+        # consulted by the real verdict — shadow statistics are strictly
+        # counterfactual.
+        self._shadow_stderr: float | None = None
+        self._shadow_ranks: list[int] = []
 
     @property
     def current_alpha(self) -> float | None:
@@ -81,6 +93,7 @@ class DriftDetector:
             )
             self.records.append(record)
             self._emit(record, degenerate=True)
+            self._record_shadow(record, counts, degenerate=True)
             return True
         drifted = previous is None or abs(fit.alpha - previous) >= self.epsilon
         record = DetectionRecord(
@@ -92,8 +105,62 @@ class DriftDetector:
         )
         self.records.append(record)
         self._emit(record, degenerate=False)
+        self._record_shadow(record, counts, degenerate=False)
         self._previous_alpha = fit.alpha
         return drifted
+
+    def _record_shadow(self, record: DetectionRecord, counts, degenerate: bool) -> None:
+        """Learner-telemetry fragment: alpha±stderr plus the shadow drift
+        statistics a sharpened detector would consume (noise-scaled
+        epsilon verdict, top-k overlap, Kendall-tau of popularity ranks).
+
+        Counterfactual by construction — nothing here feeds back into
+        ``observe_window``'s verdict, and the whole block is skipped when
+        the learner sink is disabled.
+        """
+        learner = self.obs.learner
+        if not learner.enabled:
+            return
+        nan = float("nan")
+        if degenerate:
+            learner.record_drift(
+                alpha=nan,
+                alpha_stderr=nan,
+                r_squared=nan,
+                fit_contents=0.0,
+                drifted=1.0,
+                degenerate=1.0,
+                shadow_drift=0.0,
+                noise_threshold=nan,
+                topk_overlap=nan,
+                kendall_tau=nan,
+            )
+            # A degenerate window has no usable ranking; the next window
+            # compares against the last healthy one.
+            return
+        fit = record.fit
+        ranks = top_ranked_ids(counts) if hasattr(counts, "items") else []
+        threshold = noise_threshold(
+            self.epsilon, fit.alpha_stderr, self._shadow_stderr
+        )
+        shadow_drift = (
+            record.previous_alpha is not None
+            and abs(fit.alpha - record.previous_alpha) >= threshold
+        )
+        learner.record_drift(
+            alpha=fit.alpha,
+            alpha_stderr=fit.alpha_stderr,
+            r_squared=fit.r_squared,
+            fit_contents=float(fit.num_contents),
+            drifted=float(record.drifted),
+            degenerate=0.0,
+            shadow_drift=float(shadow_drift),
+            noise_threshold=threshold,
+            topk_overlap=rank_overlap(self._shadow_ranks, ranks),
+            kendall_tau=kendall_tau(self._shadow_ranks, ranks),
+        )
+        self._shadow_stderr = fit.alpha_stderr
+        self._shadow_ranks = ranks
 
     def _emit(self, record: DetectionRecord, degenerate: bool) -> None:
         if not self.obs.enabled:
@@ -152,9 +219,27 @@ class DriftDetector:
         return None
 
     def summary(self) -> dict:
-        """Counters the workload lab reports per policy cell."""
+        """Counters the workload lab reports per policy cell.
+
+        A detector that has seen zero windows returns the explicit empty
+        summary (zero counters, ``None`` aggregates) — callers render it
+        directly instead of special-casing a fresh detector.
+        """
+        if not self.records:
+            return {
+                "windows": 0,
+                "detections": 0,
+                "last_detection_window": None,
+                "detection_rate": 0.0,
+                "mean_alpha": None,
+            }
+        alphas = [
+            record.alpha for record in self.records if record.fit.num_contents
+        ]
         return {
             "windows": len(self.records),
             "detections": self.num_detections,
             "last_detection_window": self.last_detection_window,
+            "detection_rate": self.num_detections / len(self.records),
+            "mean_alpha": sum(alphas) / len(alphas) if alphas else None,
         }

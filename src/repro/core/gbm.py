@@ -65,6 +65,21 @@ class _Tree:
     def num_nodes(self) -> int:
         return self.feature.size
 
+    def depth(self) -> int:
+        """Maximum root-to-leaf edge count (0 for a stump)."""
+        if self.feature.size == 0:
+            return 0
+        best = 0
+        stack = [(0, 0)]
+        while stack:
+            node, d = stack.pop()
+            if self.feature[node] < 0:
+                best = max(best, d)
+                continue
+            stack.append((int(self.left[node]), d + 1))
+            stack.append((int(self.right[node]), d + 1))
+        return best
+
 
 class GradientBoostingRegressor:
     """Squared-loss gradient boosting with histogram split search.
@@ -423,6 +438,25 @@ class GradientBoostingRegressor:
     @property
     def num_trees(self) -> int:
         return len(self._trees)
+
+    def fingerprint(self, num_features: int | None = None) -> dict:
+        """Structural fingerprint of the fitted ensemble.
+
+        Tree count, realized maximum depth, total node count and the
+        split-count feature importances — the per-refit model identity
+        the learner observatory records so consecutive refits can be
+        compared without holding the models themselves.
+        """
+        if not self._fitted:
+            raise RuntimeError("model has not been fitted")
+        return {
+            "trees": self.num_trees,
+            "max_tree_depth": max(
+                (tree.depth() for tree in self._trees), default=0
+            ),
+            "tree_nodes": sum(tree.num_nodes for tree in self._trees),
+            "importances": self.feature_importances(num_features),
+        }
 
     def metadata_bytes(self) -> int:
         """Model size in bytes (for the memory-overhead experiments).

@@ -34,6 +34,7 @@ from repro.core.gbm import GradientBoostingRegressor
 from repro.core.hro import HroBound, HroWindow, window_labels_for_ids
 from repro.core.threshold import ThresholdEstimator, WindowSample
 from repro.obs import Observation
+from repro.obs.learner import CAL_BINS, CalibrationStats, realized_reuse
 from repro.policies.base import CachePolicy
 from repro.traces.request import Request
 from repro.util.indexed_set import IndexedSet
@@ -323,6 +324,8 @@ class LhrCache(CachePolicy):
 
     def _close_window(self, window: HroWindow) -> None:
         self.windows_processed += 1
+        had_model = self._model is not None
+        trainings_before = self.trainings
         should_train = (
             self.detector.observe_window(window.counts)
             if self.use_detection
@@ -334,6 +337,12 @@ class LhrCache(CachePolicy):
             if self.auto_threshold and self._model is not None:
                 self.estimator.update(self._window_samples, self.capacity)
             self._train(window)
+        if self.obs.learner.enabled:
+            # Finalize the learner-telemetry row for this window while the
+            # per-window sample buffer is still alive.  Runs once per
+            # window close, after the drift/threshold/refit fragments have
+            # been recorded, so it never touches the per-request path.
+            self._record_learner_window(had_model, trainings_before)
         # Keep feature history bounded to a few windows of idle time.
         if self._window_ids:
             now = self._last_access_time
@@ -341,6 +350,49 @@ class LhrCache(CachePolicy):
         self._window_rows.clear()
         self._window_ids.clear()
         self._window_samples.clear()
+
+    def _record_learner_window(self, had_model: bool, trainings_before: int) -> None:
+        samples = self._window_samples
+        probabilities = np.array(
+            [sample.probability for sample in samples], dtype=np.float64
+        )
+        calibration = CalibrationStats.from_arrays(
+            probabilities,
+            realized_reuse([sample.obj_id for sample in samples]),
+        )
+        score_hist, _ = np.histogram(
+            probabilities, bins=CAL_BINS, range=(0.0, 1.0)
+        )
+        retrained = self.trainings > trainings_before
+        if not retrained:
+            cause = "none"
+        elif not had_model:
+            cause = "first_window"
+        elif not self.use_detection:
+            cause = "every_window"
+        elif (
+            self.detector.records
+            and self.detector.records[-1].fit.num_contents == 0
+        ):
+            cause = "degenerate"
+        else:
+            cause = "drift"
+        delta = self.delta
+        self.obs.learner.record_window(
+            window=self.windows_processed - 1,
+            delta=delta,
+            samples=len(samples),
+            admit_rate=(
+                float((probabilities >= delta).mean())
+                if samples
+                else float("nan")
+            ),
+            mean_p=float(probabilities.mean()) if samples else float("nan"),
+            retrained=retrained,
+            cause=cause,
+            calibration=calibration,
+            score_hist=score_hist.astype(np.float64),
+        )
 
     def _train(self, window: HroWindow) -> None:
         if not self._window_rows:
@@ -356,6 +408,28 @@ class LhrCache(CachePolicy):
         elapsed = time.perf_counter() - start
         self.training_seconds += elapsed
         self.trainings += 1
+        if self.obs.learner.enabled:
+            # Model fingerprint for this refit (learner-telemetry
+            # fragment, folded into the row at window close).
+            fingerprint = self._model.fingerprint(feature_dim(self.num_irts))
+            importances = fingerprint["importances"]
+            positive = importances[importances > 0]
+            self.obs.learner.record_refit(
+                train_rows=float(rows.shape[0]),
+                trees=float(fingerprint["trees"]),
+                max_tree_depth=float(fingerprint["max_tree_depth"]),
+                tree_nodes=float(fingerprint["tree_nodes"]),
+                train_seconds=elapsed,
+                importance_top_feature=float(int(np.argmax(importances)))
+                if importances.size
+                else float("nan"),
+                importance_top_share=float(importances.max())
+                if importances.size
+                else float("nan"),
+                importance_entropy=float(-np.sum(positive * np.log(positive)))
+                if positive.size
+                else 0.0,
+            )
         if self.obs.enabled:
             self.obs.registry.histogram(
                 "lhr_train_seconds", help="wall-clock seconds per GBM fit"

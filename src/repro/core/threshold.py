@@ -163,6 +163,14 @@ class ThresholdEstimator:
         if best_delta != self.delta and best_ratio - incumbent_ratio > self.beta:
             self.delta = best_delta
         self.history.append(self.delta)
+        if self.obs.learner.enabled:
+            # Learner-telemetry fragment: the delta trajectory for this
+            # window (folded into the row at window close).
+            self.obs.learner.record_threshold(
+                threshold_adopted=float(self.delta != previous),
+                incumbent_ratio=incumbent_ratio,
+                best_ratio=best_ratio,
+            )
         if self.obs.enabled:
             adopted = self.delta != previous
             self.obs.registry.counter(

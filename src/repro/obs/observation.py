@@ -18,6 +18,13 @@ meaning "events and metrics flow", while span recording has its own
 replay fast path and native policy kernels (both gated on
 ``obs.enabled``) stay engaged.
 
+A fourth sink, ``obs.learner``, carries the per-window learner-health
+telemetry (:mod:`repro.obs.learner`).  It follows the same contract as
+spans: defaults to the no-op :data:`NULL_LEARNER`, has its own
+``obs.learner.enabled`` flag outside ``enabled``, and — because it only
+collects at window close from buffers LHR already keeps — leaves the
+packed fast path and the per-request accounting bit-identical.
+
 The module-level :data:`NULL_OBS` singleton is the disabled handle:
 ``enabled`` is False, ``emit`` does nothing and ``timer`` returns a
 shared no-op, so code holding it pays one attribute check per
@@ -28,6 +35,7 @@ observation is strictly opt-in.
 from __future__ import annotations
 
 from repro.obs.events import NullRecorder
+from repro.obs.learner import NULL_LEARNER
 from repro.obs.registry import DEFAULT_TIME_BUCKETS, MetricsRegistry
 from repro.obs.spans import NULL_SPANS
 from repro.obs.timers import NULL_TIMER, ScopedTimer
@@ -47,10 +55,12 @@ class Observation:
         recorder=None,
         registry: MetricsRegistry | None = None,
         spans=None,
+        learner=None,
     ):
         self.recorder = recorder if recorder is not None else NullRecorder()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.spans = spans if spans is not None else NULL_SPANS
+        self.learner = learner if learner is not None else NULL_LEARNER
 
     @classmethod
     def spans_only(cls, spans) -> "Observation":
@@ -63,6 +73,16 @@ class Observation:
         only record when it ran.
         """
         obs = cls(spans=spans)
+        obs.enabled = False
+        return obs
+
+    @classmethod
+    def sidecars_only(cls, spans=None, learner=None) -> "Observation":
+        """An observation carrying only sidecar sinks (spans and/or the
+        learner telemetry), with ``enabled`` forced False — the packed
+        fast path, event emission and metrics behave exactly as with
+        :data:`NULL_OBS` while the sidecars still record."""
+        obs = cls(spans=spans, learner=learner)
         obs.enabled = False
         return obs
 

@@ -15,6 +15,7 @@ Layout on disk (append-only; one directory per run)::
     <root>/<run_id>/manifest.json   # provenance + metrics + cells
     <root>/<run_id>/series.npz      # per-cell per-window columns
     <root>/<run_id>/spans.json      # timeline spans (traced runs only)
+    <root>/<run_id>/learner.npz     # learner-health columns (telemetry runs)
 
 ``run_id`` is ``<UTC timestamp>-<config digest prefix>`` so a plain
 lexicographic sort is chronological.  Writes are atomic at the run
@@ -43,6 +44,8 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
+
+from repro.obs.learner import series_to_columns as learner_series_to_columns
 
 RUN_SCHEMA = "repro-run/1"
 
@@ -184,9 +187,16 @@ class RunRecord:
     extra: dict = field(default_factory=dict)
     series: dict = field(default_factory=dict)
     spans: list = field(default_factory=list)
+    #: Per-cell learner-health columns (``"c<i>.<column>"`` →
+    #: float64 array, see :mod:`repro.obs.learner`); rides a
+    #: ``learner.npz`` sidecar and feeds ``repro learner``.
+    learner: dict = field(default_factory=dict)
     #: Manifest-recorded span count; lets summaries report "traced"
     #: without loading the ``spans.json`` sidecar.
     _manifest_span_count: int = field(default=0, repr=False, compare=False)
+    #: Manifest-recorded learner window total; lets summaries report
+    #: "learner telemetry present" without loading ``learner.npz``.
+    _manifest_learner_windows: int = field(default=0, repr=False, compare=False)
 
     def manifest(self) -> dict:
         """The JSON-able manifest (everything except the raw columns)."""
@@ -207,6 +217,7 @@ class RunRecord:
                 {key.split(".", 1)[0] for key in self.series}
             ),
             "span_count": len(self.spans),
+            "learner_windows": self.learner_window_count(),
         }
 
     def summary(self) -> dict:
@@ -221,6 +232,7 @@ class RunRecord:
             "cells": len(self.cells),
             "windows": self.window_count(),
             "spans": self.span_count(),
+            "learner_windows": self.learner_window_count(),
         }
 
     def window_count(self) -> int:
@@ -243,6 +255,29 @@ class RunRecord:
         """
         return len(self.spans) if self.spans else self._manifest_span_count
 
+    def learner_window_count(self) -> int:
+        """Learner-telemetry windows across all cells (0 when off).
+
+        Falls back to the manifest's ``learner_windows`` so summaries
+        stay correct when the ``learner.npz`` sidecar was not loaded.
+        """
+        if self.learner:
+            return sum(
+                int(np.asarray(column).size)
+                for key, column in self.learner.items()
+                if key.endswith(".window")
+            )
+        return self._manifest_learner_windows
+
+    def cell_learner(self, index: int) -> dict:
+        """The ``{column: array}`` learner series of cell ``index``."""
+        prefix = f"c{index}."
+        return {
+            key[len(prefix):]: column
+            for key, column in self.learner.items()
+            if key.startswith(prefix)
+        }
+
     def cell_key(self, cell: dict) -> str:
         """The stable identity of one cell for cross-run matching."""
         key = f"{cell.get('policy')}@{cell.get('capacity')}"
@@ -264,6 +299,7 @@ class RunRecord:
         manifest: dict,
         series: dict | None = None,
         spans: list | None = None,
+        learner: dict | None = None,
     ) -> "RunRecord":
         if manifest.get("schema") != RUN_SCHEMA:
             raise ValueError(
@@ -285,7 +321,9 @@ class RunRecord:
             extra=manifest.get("extra", {}),
             series=dict(series or {}),
             spans=list(spans or []),
+            learner=dict(learner or {}),
             _manifest_span_count=int(manifest.get("span_count", 0)),
+            _manifest_learner_windows=int(manifest.get("learner_windows", 0)),
         )
 
 
@@ -368,6 +406,7 @@ def record_from_results(
         extra=dict(extra or {}),
         series=series_from_results(results),
         spans=list(spans or []),
+        learner=learner_series_to_columns(results),
     )
 
 
@@ -388,6 +427,7 @@ class RunLedger:
     MANIFEST = "manifest.json"
     SERIES = "series.npz"
     SPANS = "spans.json"
+    LEARNER = "learner.npz"
 
     def __init__(self, root: str | Path | None = None, clock=None) -> None:
         self.root = Path(root) if root is not None else default_ledger_root()
@@ -423,6 +463,10 @@ class RunLedger:
             (run_dir / self.SPANS).write_text(
                 json.dumps(record.spans, separators=(",", ":")) + "\n"
             )
+        if record.learner:
+            # Learner-health sidecar: same commit discipline as spans.
+            with open(run_dir / self.LEARNER, "wb") as handle:
+                np.savez(handle, **record.learner)
         tmp = run_dir / (self.MANIFEST + ".tmp")
         tmp.write_text(
             json.dumps(record.manifest(), indent=2, sort_keys=True) + "\n"
@@ -477,9 +521,17 @@ class RunLedger:
         return matches[0]
 
     def load(
-        self, ref: str, series: bool = True, spans: bool = True
+        self,
+        ref: str,
+        series: bool = True,
+        spans: bool = True,
+        learner: bool = False,
     ) -> RunRecord:
-        """Load one run (manifest always; sidecars unless disabled)."""
+        """Load one run (manifest always; sidecars unless disabled).
+
+        ``learner`` defaults off — only ``repro learner`` pays for the
+        per-window learner columns.
+        """
         run_id = self.resolve(ref)
         run_dir = self.root / run_id
         manifest = json.loads((run_dir / self.MANIFEST).read_text())
@@ -492,7 +544,14 @@ class RunLedger:
         spans_path = run_dir / self.SPANS
         if spans and spans_path.is_file():
             span_dicts = json.loads(spans_path.read_text())
-        return RunRecord.from_manifest(manifest, columns, span_dicts)
+        learner_columns: dict = {}
+        learner_path = run_dir / self.LEARNER
+        if learner and learner_path.is_file():
+            with np.load(learner_path) as npz:
+                learner_columns = {key: npz[key] for key in npz.files}
+        return RunRecord.from_manifest(
+            manifest, columns, span_dicts, learner_columns
+        )
 
     def records(self, command: str | None = None, name: str | None = None):
         """All runs oldest→newest, optionally filtered, without sidecars."""

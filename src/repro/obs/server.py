@@ -15,7 +15,10 @@ final table.  This module makes long runs scrapable while they run:
   - ``/progress`` — sweep progress JSON (cells done/running/failed,
     requests/sec, ETA),
   - ``/runs``     — run-ledger lineage (newest run summaries), when the
-    server was given a :class:`~repro.obs.runs.RunLedger`.
+    server was given a :class:`~repro.obs.runs.RunLedger`,
+  - ``/learner``  — live per-window learner-health snapshot (calibration,
+    drift verdicts, retrain causes), when the run carries a
+    :class:`~repro.obs.learner.LearnerTelemetry` hub (``--learner``).
 
   Enabled from the CLI via ``--serve PORT`` on ``simulate``/``compare``.
 
@@ -306,6 +309,8 @@ class _Handler(BaseHTTPRequestHandler):
             endpoints = ["/metrics", "/healthz", "/progress"]
             if self.server.obs_ledger is not None:
                 endpoints.append("/runs")
+            if self.server.obs_learner is not None:
+                endpoints.append("/learner")
             self._send_json(
                 {
                     "status": "ok",
@@ -351,6 +356,24 @@ class _Handler(BaseHTTPRequestHandler):
                     )
                     return
                 self._send_json({"ledger": str(ledger.root), "runs": runs})
+        elif path == "/learner":
+            # Live learner-health snapshot.  The hub is duck-typed
+            # (``snapshot()``) so this module stays decoupled from
+            # repro.obs.learner.
+            learner = self.server.obs_learner
+            if learner is None:
+                self._send_json(
+                    {
+                        "learner": None,
+                        "hint": "run with --learner to record "
+                        "learner-health telemetry",
+                    }
+                )
+            else:
+                try:
+                    self._send_json(learner.snapshot())
+                except Exception as exc:  # noqa: BLE001 — scrape must not 500
+                    self._send_json({"error": str(exc)}, status=500)
         else:
             self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
 
@@ -382,12 +405,16 @@ class ObsServer:
         host: str = "127.0.0.1",
         port: int = 0,
         ledger=None,
+        learner=None,
     ) -> None:
         self.registry = registry
         self.tracker = tracker
         #: Optional :class:`~repro.obs.runs.RunLedger` behind ``/runs``
         #: (duck-typed: anything with ``root`` and ``summaries(limit=)``).
         self.ledger = ledger
+        #: Optional :class:`~repro.obs.learner.LearnerTelemetry` behind
+        #: ``/learner`` (duck-typed: anything with ``snapshot()``).
+        self.learner = learner
         self.host = host
         self.port = port
         self._server: ThreadingHTTPServer | None = None
@@ -401,6 +428,7 @@ class ObsServer:
         server.obs_registry = self.registry
         server.obs_tracker = self.tracker
         server.obs_ledger = self.ledger
+        server.obs_learner = self.learner
         server.obs_started = time.monotonic()
         self._server = server
         self.port = server.server_address[1]

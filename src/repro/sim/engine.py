@@ -153,16 +153,19 @@ def replay_into(
     observing = obs.enabled
     spans = obs.spans
     spans_on = spans.enabled
-    if observing or spans_on:
-        # A spans-only handle still attaches: LHR's window-close spans
-        # flow through ``policy.obs.spans``.  Its ``enabled`` stays
+    learner_on = obs.learner.enabled
+    if observing or spans_on or learner_on:
+        # A sidecars-only handle (spans and/or learner telemetry) still
+        # attaches: LHR's window-close spans flow through
+        # ``policy.obs.spans`` and the learner sink collects at window
+        # close via ``policy.obs.learner``.  Its ``enabled`` stays
         # False, so native kernels and the packed path are unaffected.
         policy.attach_observation(obs)
     if tracer is not None:
         policy.attach_tracer(tracer)
     if isinstance(trace, PackedTrace):
         if policy.tracer is None and not policy.obs.enabled and not observing:
-            return _replay_packed(
+            _replay_packed(
                 policy,
                 trace,
                 result,
@@ -173,6 +176,11 @@ def replay_into(
                 heartbeat_interval=heartbeat_interval,
                 spans=spans,
             )
+            if learner_on:
+                result.learner = obs.learner.series(
+                    policy.name, policy.capacity
+                )
+            return result
         trace = trace.unpack()
     replay_span = warmup_span = window_span = None
     # Falsy-int warmup-edge guard, same cost class as the heartbeat
@@ -270,6 +278,10 @@ def replay_into(
         registry.gauge(
             "sim_peak_metadata_bytes", help="peak sampled policy metadata"
         ).max(result.peak_metadata_bytes)
+    if learner_on:
+        # Stamp the per-window learner series onto the result so sweeps
+        # carry it across the worker->driver pipe like decision traces.
+        result.learner = obs.learner.series(policy.name, policy.capacity)
     return result
 
 

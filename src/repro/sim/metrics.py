@@ -59,6 +59,12 @@ class SimulationResult:
     #: across process boundaries so parallel sweeps return per-cell
     #: decision traces in grid order, exactly like recorders.
     decision_trace: object | None = None
+    #: The run's per-window learner-health series
+    #: (:class:`~repro.obs.learner.LearnerSeries`), when the simulation
+    #: ran with the learner telemetry sink enabled; ``None`` otherwise.
+    #: Plain numpy columns, so it pickles across the worker->driver pipe
+    #: and sweeps return per-cell series in grid order.
+    learner: object | None = None
     #: Position of this result in its sweep grid (-1 outside a sweep).
     #: Parallel execution completes cells out of order; this is the key
     #: that restores the caller's (capacity, policy) grid order.

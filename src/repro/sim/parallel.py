@@ -52,6 +52,7 @@ from dataclasses import dataclass, replace
 
 from repro.obs import NULL_OBS, MemoryRecorder, MetricsRegistry, Observation
 from repro.obs.server import ProgressTracker, current_rss_bytes
+from repro.obs.learner import LearnerTelemetry
 from repro.obs.spans import SpanRecorder
 from repro.obs.trace import TraceConfig
 from repro.sim.engine import simulate
@@ -267,6 +268,7 @@ def _run_cell(
     heartbeat_interval: int = 0,
     heartbeat_sink=None,
     record_spans: bool = False,
+    record_learner: bool = False,
 ) -> CellOutcome:
     """Simulate one cell against the worker's shared trace.
 
@@ -290,16 +292,27 @@ def _run_cell(
     absorb into one multi-process timeline.  Span recording alone does
     not force the object path: a spans-only observation keeps
     ``enabled`` False, so packed cells stay on the scalar fast path.
+
+    When ``record_learner`` is set, the cell runs with its own
+    :class:`~repro.obs.learner.LearnerTelemetry` sink; the engine stamps
+    the per-window series onto ``result.learner``, which rides the
+    outcome's result slot back for the driver to absorb grid-ordered.
+    Like spans, learner telemetry alone keeps ``enabled`` False — the
+    scalar fast path and accounting stay bit-identical.
     """
     span_recorder = SpanRecorder(role="worker") if record_spans else None
+    learner = LearnerTelemetry() if record_learner else None
     if observe:
         cell_obs = Observation(
             recorder=MemoryRecorder(),
             registry=MetricsRegistry(),
             spans=span_recorder,
+            learner=learner,
         )
-    elif record_spans:
-        cell_obs = Observation.spans_only(span_recorder)
+    elif record_spans or record_learner:
+        cell_obs = Observation.sidecars_only(
+            spans=span_recorder, learner=learner
+        )
     else:
         cell_obs = NULL_OBS
     cell_span = (
@@ -423,6 +436,7 @@ def run_sweep(
 
     observing = obs.enabled
     record_spans = obs.spans.enabled
+    record_learner = obs.learner.enabled
     tag = dict(event_fields or {})
     if observing:
         for spec in sorted(specs, key=lambda s: s.index):
@@ -450,16 +464,29 @@ def run_sweep(
                 trace, specs, window_requests, warmup_requests, jobs, mp_context,
                 observing, trace_config, progress, heartbeat_interval,
                 stall_timeout_seconds, obs, record_spans,
+                record_learner=record_learner,
             )
         else:
             outcomes = _run_inline(
                 trace, specs, window_requests, warmup_requests, observing,
                 trace_config, progress, heartbeat_interval,
-                record_spans=record_spans,
+                record_spans=record_spans, record_learner=record_learner,
+                learner_hub=obs.learner if record_learner else None,
             )
 
         by_index = {outcome[0]: outcome for outcome in outcomes}
         ordered = [by_index[spec.index] for spec in specs]
+        if record_learner:
+            # Worker->driver learner merge, grid-ordered: per-cell series
+            # are independent and keyed by index, so absorption order
+            # cannot change content — serial and parallel sweeps yield
+            # identical series.  (Arrival-time absorption in the runners
+            # already filed most cells for the live ``/learner`` view;
+            # this pass is the deterministic final word.)
+            for spec in sorted(specs, key=lambda s: s.index):
+                result = by_index[spec.index][1]
+                if result is not None:
+                    obs.learner.absorb(spec.index, result.learner)
         if record_spans:
             # Grid-ordered absorption of cell span batches under the
             # sweep span.  Pooled outcomes arrive pre-absorbed (under
@@ -535,10 +562,15 @@ def _run_inline(
     progress: ProgressTracker | None = None,
     heartbeat_interval: int = 0,
     record_spans: bool = False,
+    record_learner: bool = False,
+    learner_hub=None,
 ) -> list[CellOutcome]:
     """Serial execution sharing the worker code path (and its capture).
 
-    With a tracker, heartbeats skip the queue and feed it directly."""
+    With a tracker, heartbeats skip the queue and feed it directly.
+    ``learner_hub`` (the driver's learner sink) receives each cell's
+    series as the cell completes, so a live ``/learner`` scrape during a
+    serial sweep sees the finished cells."""
     global _WORKER_TRACE, _WORKER_UNPACKED
     previous = _WORKER_TRACE
     previous_unpacked = _WORKER_UNPACKED
@@ -555,10 +587,12 @@ def _run_inline(
             outcome = _run_cell(
                 spec, window_requests, warmup_requests, observe, trace_config,
                 heartbeat_interval=heartbeat_interval, heartbeat_sink=sink,
-                record_spans=record_spans,
+                record_spans=record_spans, record_learner=record_learner,
             )
             if progress is not None:
                 _track_outcome(progress, outcome)
+            if learner_hub is not None and outcome[1] is not None:
+                learner_hub.absorb(outcome[0], outcome[1].learner)
             outcomes.append(outcome)
         return outcomes
     finally:
@@ -642,6 +676,7 @@ def _run_pooled(
     stall_timeout_seconds: float = DEFAULT_STALL_TIMEOUT,
     obs: Observation = NULL_OBS,
     record_spans: bool = False,
+    record_learner: bool = False,
 ) -> list[CellOutcome]:
     """Fan cells out over worker processes; the trace crosses the process
     boundary zero times via shared memory (or once per worker as pickled
@@ -712,7 +747,7 @@ def _run_pooled(
                 pool.submit(
                     _run_cell, spec, window_requests, warmup_requests,
                     observe, trace_config, heartbeat_interval,
-                    record_spans=record_spans,
+                    record_spans=record_spans, record_learner=record_learner,
                 ): spec
                 for spec in specs
             }
@@ -734,6 +769,11 @@ def _run_pooled(
                     outcome = outcome[:5] + (None,)
                 if progress is not None:
                     _track_outcome(progress, outcome)
+                if record_learner and outcome[1] is not None:
+                    # Arrival-time absorb for the live /learner view; the
+                    # grid-ordered pass in run_sweep re-files the same
+                    # per-cell series, so order here is immaterial.
+                    obs.learner.absorb(outcome[0], outcome[1].learner)
                 outcomes.append(outcome)
             if gather is not None:
                 obs.spans.end(gather, cells=len(outcomes))

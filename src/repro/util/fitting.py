@@ -29,12 +29,18 @@ class ZipfFit:
         Coefficient of determination of the regression.
     num_contents:
         Number of unique contents the fit was computed over.
+    alpha_stderr:
+        Standard error of the slope estimate — the sampling-noise scale
+        of ``alpha``.  Infinite when the fit has no residual degrees of
+        freedom (exactly two points), so noise-scaled consumers stay
+        conservative instead of trusting a zero-residual fit.
     """
 
     alpha: float
     log_amplitude: float
     r_squared: float
     num_contents: int
+    alpha_stderr: float = float("inf")
 
 
 def fit_zipf(frequencies: np.ndarray) -> ZipfFit:
@@ -62,13 +68,19 @@ def fit_zipf(frequencies: np.ndarray) -> ZipfFit:
     slope = float(np.dot(x_centered, y - y_mean)) / denom
     intercept = y_mean - slope * x_mean
     residuals = y - (intercept + slope * x)
+    ssr = float(np.dot(residuals, residuals))
     total = float(np.dot(y - y_mean, y - y_mean))
-    r_squared = 1.0 - float(np.dot(residuals, residuals)) / total if total > 0 else 1.0
+    r_squared = 1.0 - ssr / total if total > 0 else 1.0
+    dof = counts.size - 2
+    alpha_stderr = (
+        float(np.sqrt((ssr / dof) / denom)) if dof > 0 else float("inf")
+    )
     return ZipfFit(
         alpha=-slope,
         log_amplitude=intercept,
         r_squared=r_squared,
         num_contents=int(counts.size),
+        alpha_stderr=alpha_stderr,
     )
 
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import MemoryRecorder, MetricsRegistry, Observation
+from repro.obs.learner import LearnerSeries, LearnerTelemetry
 from repro.sim.metrics import SimulationResult
 from repro.sim.runner import run_comparison
 from repro.traces.packed import PackedTrace
@@ -68,9 +69,15 @@ class ScenarioCell:
     result: SimulationResult | None = field(
         default=None, repr=False, compare=False
     )
+    #: Learner-health digest (windows, Brier score, shadow-detector
+    #: drifts, noise-dominated detections) when the lab ran with
+    #: ``learner=True`` and the policy has a learner; ``None`` otherwise
+    #: — absent from ``as_dict`` so the golden corpus JSON is unchanged
+    #: for non-learner runs.
+    learner_health: dict | None = None
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "policy": self.policy,
             "capacity": self.capacity,
             "requests": self.requests,
@@ -83,6 +90,9 @@ class ScenarioCell:
             "drift_detections": self.drift_detections,
             "retrains": self.retrains,
         }
+        if self.learner_health is not None:
+            payload["learner"] = self.learner_health
+        return payload
 
 
 @dataclass
@@ -163,19 +173,39 @@ class WorkloadLabReport:
                 f"({self.capacity_fraction:.0%} of {report.unique_bytes} "
                 f"unique bytes)"
             )
+            has_learner = any(
+                cell.learner_health is not None for cell in report.cells
+            )
             header = (
                 f"  {'policy':<12}{'hit':>8}{'byte-hit':>10}{'evict':>8}"
                 f"{'windows':>9}{'drift':>7}{'retrain':>9}"
             )
+            if has_learner:
+                header += f"{'brier':>9}{'shadow':>8}{'noisy':>7}"
             lines.append(header)
             lines.append("  " + "-" * (len(header) - 2))
             for cell in report.cells:
-                lines.append(
+                row = (
                     f"  {cell.policy:<12}{cell.object_hit_ratio:>8.4f}"
                     f"{cell.byte_hit_ratio:>10.4f}{cell.evictions:>8}"
                     f"{cell.drift_windows:>9}{cell.drift_detections:>7}"
                     f"{cell.retrains:>9}"
                 )
+                if has_learner:
+                    health = cell.learner_health
+                    if health is None:
+                        row += f"{'-':>9}{'-':>8}{'-':>7}"
+                    else:
+                        brier = health["brier"]
+                        row += (
+                            f"{brier:>9.4f}" if brier is not None
+                            else f"{'-':>9}"
+                        )
+                        row += (
+                            f"{health['shadow_drifts']:>8}"
+                            f"{health['noise_dominated_detections']:>7}"
+                        )
+                lines.append(row)
             if report.divergence is not None:
                 div = report.divergence
                 lines.append(
@@ -214,6 +244,24 @@ def _event_counts(events: Sequence[dict], lab_run: int) -> dict[int, dict]:
     return counts
 
 
+def _learner_health(series: LearnerSeries | None) -> dict | None:
+    """Per-cell learner-health digest for the lab report.
+
+    ``None`` for policies without a learner (no window pipeline records
+    a series) — the row then renders dashes rather than fake zeros.
+    """
+    if series is None or not series.windows:
+        return None
+    brier = series.calibration().brier
+    cols = series.columns
+    return {
+        "windows": series.windows,
+        "brier": round(float(brier), 6) if np.isfinite(brier) else None,
+        "shadow_drifts": int(cols["shadow_drift"].sum()),
+        "noise_dominated_detections": series.noise_dominated_detections(),
+    }
+
+
 def _divergence_summary(
     trace, capacity: int, policy: str, window_requests: int
 ) -> dict:
@@ -247,6 +295,7 @@ def run_workload_lab(
     analyze_window: int = 1000,
     recorder: MemoryRecorder | None = None,
     spans=None,
+    learner: bool = False,
 ) -> WorkloadLabReport:
     """Run ``policies`` over every scenario in ``configs``.
 
@@ -269,13 +318,29 @@ def run_workload_lab(
     record the lab's timeline: one ``cat="lab"`` span per scenario
     (generation + sweep), with each sweep's driver/worker spans nested
     beneath it — the CLI's ``--trace-out`` rides this.
+
+    With ``learner=True`` every sweep also records per-window
+    learner-health telemetry (:mod:`repro.obs.learner`); each cell's
+    series rides its ``SimulationResult`` and the report grows
+    ``learner`` columns (Brier score, shadow-detector drifts,
+    noise-dominated detections) — the stationary-thrash evidence in one
+    table.
     """
     if not configs:
         raise ValueError("no scenario configs to run")
     if not 0.0 < capacity_fraction <= 1.0:
         raise ValueError("capacity_fraction must be in (0, 1]")
     recorder = recorder if recorder is not None else MemoryRecorder()
-    obs = Observation(recorder=recorder, registry=MetricsRegistry(), spans=spans)
+    obs = Observation(
+        recorder=recorder,
+        registry=MetricsRegistry(),
+        spans=spans,
+        # One hub gates learner recording for every sweep; the per-cell
+        # series the report consumes ride each SimulationResult (the hub
+        # itself reuses cell indices across scenarios, so it is only the
+        # on/off switch here, not the data path).
+        learner=LearnerTelemetry() if learner else None,
+    )
     policies = list(policies)
     reports: list[ScenarioReport] = []
     for lab_run, config in enumerate(configs):
@@ -321,6 +386,9 @@ def run_workload_lab(
                     drift_detections=tally.get("drift_detections", 0),
                     retrains=tally.get("retrains", 0),
                     result=result,
+                    learner_health=_learner_health(
+                        getattr(result, "learner", None)
+                    ),
                 )
             )
         report = ScenarioReport(

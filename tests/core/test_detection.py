@@ -105,11 +105,35 @@ class TestIntrospection:
         detector = DriftDetector(epsilon=0.05)
         detector.observe_window(window_counts(0.7, seed=0))
         detector.observe_window(window_counts(0.7, seed=1))
-        assert detector.summary() == {
-            "windows": 2,
-            "detections": 1,
-            "last_detection_window": 0,
+        summary = detector.summary()
+        assert summary["windows"] == 2
+        assert summary["detections"] == 1
+        assert summary["last_detection_window"] == 0
+        assert summary["detection_rate"] == pytest.approx(0.5)
+        assert summary["mean_alpha"] == pytest.approx(
+            sum(detector.alphas()) / 2
+        )
+
+    def test_summary_on_zero_windows_is_explicit_empty(self):
+        """An unfed detector summarizes cleanly instead of raising — the
+        learner report hits this for cells that never closed a window."""
+        summary = DriftDetector(epsilon=0.05).summary()
+        assert summary == {
+            "windows": 0,
+            "detections": 0,
+            "last_detection_window": None,
+            "detection_rate": 0.0,
+            "mean_alpha": None,
         }
+
+    def test_summary_mean_alpha_skips_degenerate_fits(self):
+        # A degenerate (single-content) window has no alpha fit; the
+        # summary's mean must skip it, not average a NaN in.
+        detector = DriftDetector(epsilon=0.05)
+        detector.observe_window({1: 100})
+        summary = detector.summary()
+        assert summary["windows"] == 1
+        assert summary["mean_alpha"] is None
 
 
 class TestSyntheticChurn:

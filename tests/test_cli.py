@@ -728,13 +728,21 @@ class TestTimelineTracingCli:
         assert payload["phases"]
         assert payload["critical_path"]
 
-    def test_timeline_errors_on_untraced_run(self, trace_file, capsys):
+    def test_timeline_on_untraced_run_reports_cleanly(self, trace_file, capsys):
+        # A run without a spans sidecar is a normal state, not an error:
+        # the command says so and exits 0 (both formats).
         assert main(
             ["compare", "--trace", trace_file, "--policies", "lru",
              "--capacities", "32KB"]
         ) == 0
-        with pytest.raises(SystemExit, match="trace-out"):
-            main(["timeline", "latest"])
+        capsys.readouterr()
+        assert main(["timeline", "latest"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded no spans" in out
+        assert "--trace-out" in out
+        assert main(["timeline", "latest", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"] == 0
 
     def test_trace_out_does_not_change_results(self, trace_file, tmp_path, capsys):
         args = ["compare", "--trace", trace_file, "--policies", "lru,gdsf",
