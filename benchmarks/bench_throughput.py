@@ -143,8 +143,12 @@ def test_policy_throughput_fastpath(
 #: not against a regenerated baseline.
 PRE_FASTPATH_RPS = {"lru": 917177.3, "lhr": 14489.7}
 
-#: Required fast-path speedup over the pre-fast-path baseline.
-FASTPATH_TARGETS = {"lru": 3.0, "lhr": 1.5}
+#: Required fast-path speedup over the pre-fast-path baseline.  The LHR
+#: target is the batched-inference acceptance bar; CI runs this module
+#: with REPRO_ASSERT_FASTPATH=0 (report-only) because shared runners
+#: cannot hold the ratio steady — see docs/PERFORMANCE.md for the
+#: measured numbers on an idle machine.
+FASTPATH_TARGETS = {"lru": 3.0, "lhr": 4.0}
 
 
 @pytest.mark.parametrize("name", ["lru", "lhr"])
@@ -196,6 +200,52 @@ def test_fast_path_speedup(benchmark, workload, packed_workload, name):
             f"pre-fast-path baseline (target {FASTPATH_TARGETS[name]}x); "
             "set REPRO_ASSERT_FASTPATH=0 to waive on loaded machines"
         )
+
+
+#: GBM inference variants measured by the micro-bench: the public batch
+#: ``predict`` (flat-tree, vectorized sigmoid), the scalar ``predict_one``
+#: loop, and ``predict_batch`` (flat-tree, scalar-exact sigmoid — the
+#: variant the batched LHR backend calls).
+GBM_VARIANTS = ["predict", "predict_one", "predict_batch"]
+
+
+@pytest.mark.parametrize("variant", GBM_VARIANTS)
+def test_gbm_inference_microbench(benchmark, variant):
+    """Per-row inference cost of the three GBM prediction entry points.
+
+    All three run over the same fitted model and probe matrix;
+    ``predict_one`` and ``predict_batch`` must agree to float equality
+    (``predict`` uses a vectorized sigmoid, so it is only checked to be
+    finite — the exactness pin lives in tests/core/test_gbm.py).
+    """
+    import numpy as np
+
+    from repro.core.gbm import GradientBoostingRegressor
+
+    rng = np.random.default_rng(0)
+    X = rng.random((2000, 23))
+    y = (rng.random(2000) > 0.5).astype(float)
+    model = GradientBoostingRegressor(
+        n_estimators=32, max_depth=6, loss="logistic"
+    ).fit(X, y)
+    probes = rng.random((4096, 23))
+
+    if variant == "predict":
+        run = lambda: model.predict(probes)  # noqa: E731
+    elif variant == "predict_one":
+        run = lambda: [model.predict_one(row) for row in probes]  # noqa: E731
+    else:
+        run = lambda: model.predict_batch(probes)  # noqa: E731
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(out) == len(probes)
+    assert np.isfinite(np.asarray(out)).all()
+    if variant == "predict_batch":
+        reference = [model.predict_one(row) for row in probes[:64]]
+        assert np.asarray(out)[:64].tolist() == reference
+    benchmark.extra_info["rows_per_second"] = round(
+        len(probes) / benchmark.stats.stats.min
+    )
 
 
 #: ≥4-cell grid of compute-heavy cells for the parallel-sweep speedup

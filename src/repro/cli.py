@@ -87,7 +87,14 @@ from repro.proto import (
     run_caffeine,
     run_prototype,
 )
-from repro.sim import build_policy, format_table, known_policies, run_comparison, simulate
+from repro.sim import (
+    build_policy,
+    format_table,
+    known_policies,
+    run_comparison,
+    run_sharded,
+    simulate,
+)
 from repro.traces import PackedTrace, generate_production_trace, summarize_trace
 from repro.traces.loader import (
     load_trace_csv,
@@ -420,9 +427,68 @@ def cmd_trace_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulate_sharded(args: argparse.Namespace, trace) -> int:
+    """`repro simulate --shards N`: hash-sharded single-trace replay.
+
+    The sharded path replays the packed columns through independent
+    per-shard policies (see :func:`repro.sim.parallel.run_sharded`); it
+    has no single policy object to instrument, so the observation /
+    span / serve surfaces are rejected up front rather than silently
+    ignored.
+    """
+    for flag, name in (
+        (getattr(args, "log_json", None), "--log-json"),
+        (getattr(args, "metrics_out", None), "--metrics-out"),
+        (getattr(args, "verbose", False), "--verbose"),
+        (getattr(args, "trace_out", None), "--trace-out"),
+        (getattr(args, "learner", False), "--learner"),
+        (getattr(args, "serve", None) is not None, "--serve"),
+    ):
+        if flag:
+            raise SystemExit(
+                f"error: {name} is not supported with --shards; sharded "
+                "replay runs uninstrumented per-shard fast paths"
+            )
+    ledger = _ledger_for(args)
+    try:
+        result = run_sharded(
+            PackedTrace.from_trace(trace),
+            args.policy,
+            args.capacity,
+            shards=args.shards,
+            window_requests=args.window,
+            warmup_requests=args.warmup,
+            jobs=args.jobs,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    _record_run(
+        ledger,
+        "simulate",
+        {
+            "trace": args.trace,
+            "policy": args.policy,
+            "capacity": args.capacity,
+            "window": args.window,
+            "warmup": args.warmup,
+            "shards": args.shards,
+            "jobs": args.jobs,
+        },
+        [result],
+        name=Path(args.trace).name,
+    )
+    print(format_table([result]))
+    if args.window and result.windows:
+        series = "  ".join(f"{w.hit_ratio:.3f}" for w in result.windows)
+        print(f"per-window hit ratio: {series}")
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run one policy over a trace and print the result row."""
     trace = load_any_trace(args.trace)
+    if getattr(args, "shards", 1) > 1:
+        return _simulate_sharded(args, trace)
     policy = build_policy(args.policy, args.capacity)
     serving = args.serve is not None
     spans = _span_recorder_for(args)
@@ -1128,6 +1194,16 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--warmup", type=int, default=0,
         help="requests replayed before metrics start counting",
+    )
+    sim.add_argument(
+        "--shards", type=int, default=1,
+        help="hash-shard the object-id space across this many independent "
+        "policy instances (capacity split evenly); 1 = unsharded replay",
+    )
+    sim.add_argument(
+        "--jobs", "-j", type=int, default=0,
+        help="worker processes for --shards (0/1 = serial; result is "
+        "bit-identical either way)",
     )
     _add_observability_flags(sim)
     _add_trace_flag(sim)

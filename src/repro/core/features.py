@@ -153,6 +153,119 @@ class FeatureStore:
         row[num_irts + 2] = now - record.first_time
         return row
 
+    def feature_matrix(
+        self,
+        obj_ids,
+        sizes,
+        times,
+        begin: int,
+        end: int,
+        num_irts: int = 20,
+    ) -> np.ndarray:
+        """Feature rows for a span of requests, in one gather.
+
+        Row ``k`` equals ``vector(obj_ids[begin + k], times[begin + k])``
+        evaluated *as if* every earlier request in the span had already
+        been observed — without mutating the store.  Repeats inside the
+        span are handled by a virtual overlay: per object we track the
+        pending last-access time, count delta and the gaps the span
+        would have pushed, and compose them with the real record at
+        emit time.  Every float op (gap subtraction, ``log1p``, age)
+        matches the interleaved ``vector``/``observe_scalar`` sequence
+        exactly, so the rows are bit-identical to the scalar path's.
+
+        The caller observes the requests afterwards as usual; the store
+        is left untouched here.
+        """
+        if num_irts < 1 or num_irts > self.max_irts:
+            raise ValueError(f"num_irts must lie in [1, {self.max_irts}]")
+        n = end - begin
+        dim = feature_dim(num_irts)
+        matrix = np.empty((n, dim), dtype=np.float64)
+        matrix[:, :num_irts] = self.missing_value
+        ids = list(obj_ids[begin:end])
+        szs = list(sizes[begin:end])
+        tms = times[begin:end]
+        tms_list = tms.tolist() if hasattr(tms, "tolist") else list(tms)
+        records = self._records
+        cap = num_irts - 1
+        lasts = [0.0] * n
+        counts = [0] * n
+        firsts = [0.0] * n
+        raw_sizes = [0] * n
+        unknown: list[int] = []
+        # obj_id -> [last_time, virtual_count, first_time, size, gaps]
+        # ``gaps`` accumulates oldest-to-newest (appended), read reversed.
+        pending: dict[int, list] = {}
+        for k in range(n):
+            oid = ids[k]
+            now = tms_list[k]
+            pend = pending.get(oid)
+            record = records.get(oid)
+            if pend is None and record is None:
+                unknown.append(k)
+            else:
+                if pend is not None:
+                    lasts[k] = pend[0]
+                    if record is not None:
+                        counts[k] = record.count + pend[1]
+                        firsts[k] = record.first_time
+                        raw_sizes[k] = record.size
+                    else:
+                        counts[k] = pend[1]
+                        firsts[k] = pend[2]
+                        raw_sizes[k] = pend[3]
+                    pgaps = pend[4]
+                    npend = len(pgaps)
+                    if npend > cap:
+                        npend = cap
+                    if npend:
+                        matrix[k, 1 : 1 + npend] = pgaps[: -npend - 1 : -1]
+                    start = 1 + npend
+                    room = cap - npend
+                else:
+                    lasts[k] = record.last_time
+                    counts[k] = record.count
+                    firsts[k] = record.first_time
+                    raw_sizes[k] = record.size
+                    start = 1
+                    room = cap
+                if record is not None and room > 0:
+                    length = record.length
+                    available = length if length < room else room
+                    if available:
+                        buf = record.gaps
+                        head = record.head
+                        first = buf.shape[0] - head
+                        if first >= available:
+                            matrix[k, start : start + available] = buf[
+                                head : head + available
+                            ]
+                        else:
+                            matrix[k, start : start + first] = buf[head:]
+                            matrix[k, start + first : start + available] = buf[
+                                : available - first
+                            ]
+            # Virtual observe of request k, mirroring ``observe_scalar``.
+            if pend is None:
+                if record is None:
+                    pending[oid] = [now, 1, now, szs[k], []]
+                else:
+                    pending[oid] = [now, 1, 0.0, 0, [now - record.last_time]]
+            else:
+                pend[4].append(now - pend[0])
+                pend[0] = now
+                pend[1] += 1
+        times_col = np.asarray(tms_list, dtype=np.float64)
+        matrix[:, 0] = times_col - np.asarray(lasts, dtype=np.float64)
+        matrix[:, num_irts] = np.log1p(np.asarray(raw_sizes, dtype=np.float64))
+        matrix[:, num_irts + 1] = counts
+        matrix[:, num_irts + 2] = times_col - np.asarray(firsts, dtype=np.float64)
+        if unknown:
+            matrix[unknown, :num_irts] = self.missing_value
+            matrix[unknown, num_irts:] = 0.0
+        return matrix
+
     def prune(self, now: float, horizon: float) -> int:
         """Forget contents idle for more than ``horizon`` seconds.
 

@@ -32,6 +32,7 @@ from repro.core.detection import DriftDetector
 from repro.core.features import FeatureStore, feature_dim
 from repro.core.gbm import GradientBoostingRegressor
 from repro.core.hro import HroBound, HroWindow, window_labels_for_ids
+from repro.core.model_backends import resolve_backend
 from repro.core.threshold import ThresholdEstimator, WindowSample
 from repro.obs import Observation
 from repro.obs.learner import CAL_BINS, CalibrationStats, realized_reuse
@@ -78,6 +79,10 @@ class LhrCache(CachePolicy):
         ``"byte"`` tunes it for byte hit ratio (WAN traffic) instead.
     gbm_params:
         Overrides for the :class:`GradientBoostingRegressor`.
+    model_backend:
+        Inference backend name (``"scalar"``, ``"batched"`` or
+        ``"auto"``); every backend is bit-exact, so this is a pure
+        performance knob.  See :mod:`repro.core.model_backends`.
     """
 
     name = "lhr"
@@ -98,11 +103,14 @@ class LhrCache(CachePolicy):
         sample_fraction: float = 0.5,
         threshold_objective: str = "object",
         gbm_params: dict | None = None,
+        model_backend: str = "auto",
         seed: int = 0,
     ):
         super().__init__(capacity)
         if eviction_rule not in EVICTION_RULES:
             raise ValueError(f"eviction_rule must be one of {EVICTION_RULES}")
+        self._backend = resolve_backend(model_backend)
+        self.model_backend = self._backend.name
         self.num_irts = num_irts
         self.auto_threshold = auto_threshold
         self.use_detection = use_detection
@@ -151,6 +159,10 @@ class LhrCache(CachePolicy):
         self.training_seconds = 0.0
         self.windows_processed = 0
         self._predict_histogram = None
+        # The native replay_span kernel below inlines this class's hooks
+        # and the base control flow; subclasses overriding either must
+        # fall back to the Request-wrapping shim.
+        self._restrict_scalar_kernel(LhrCache, DLhrCache, NLhrCache)
 
     # ------------------------------------------------------------------
     # Observability
@@ -217,10 +229,10 @@ class LhrCache(CachePolicy):
         if self._model is not None:
             if self._predict_histogram is not None:
                 start = time.perf_counter()
-                p = min(max(self._model.predict_one(row), 0.0), 1.0)
+                p = min(max(self._backend.score_one(self._model, row), 0.0), 1.0)
                 self._predict_histogram.observe(time.perf_counter() - start)
             else:
-                p = min(max(self._model.predict_one(row), 0.0), 1.0)
+                p = min(max(self._backend.score_one(self._model, row), 0.0), 1.0)
         else:
             # Bootstrap (first window): behave as admit-all with p = 1.
             p = 1.0
@@ -303,6 +315,131 @@ class LhrCache(CachePolicy):
                 best_value = value
                 best = oid
         return best
+
+    # ------------------------------------------------------------------
+    # Columnar fast path (batched inference kernel)
+    # ------------------------------------------------------------------
+
+    def replay_span(self, obj_ids, sizes, times, begin: int, end: int) -> None:
+        """Replay a span with block-scored admission probabilities.
+
+        The span's feature rows are assembled in one
+        ``FeatureStore.feature_matrix`` gather and scored in one model
+        backend call; a sequential loop then applies the exact
+        per-request control flow of ``request`` + ``_access_scalar``
+        (observe, window buffers, HRO, hit/miss bookkeeping, eviction),
+        reading ``delta`` after HRO processing just like the scalar
+        path.  When HRO closes a window mid-span the model, threshold
+        and feature store may all change, so the loop breaks and the
+        span tail is re-gathered and re-scored under the new state —
+        which is precisely what per-request scoring would have seen.
+        Equivalence tests pin this kernel bit-identical to the object
+        path; instrumented runs are routed back to the shim by
+        ``_sync_scalar_dispatch``.
+        """
+        features = self.features
+        num_irts = self.num_irts
+        score_block = self._backend.score_block
+        observe = features.observe_scalar
+        hro_process = self.hro.process_scalar
+        select_victim = self._select_victim_scalar
+        estimator = self.estimator
+        window_rows = self._window_rows
+        window_ids = self._window_ids
+        window_samples = self._window_samples
+        sizes_map = self._sizes
+        probabilities = self._probabilities
+        candidates = self._eviction_candidates
+        cached_ids = self._cached_ids
+        capacity = self.capacity
+
+        i = begin
+        while i < end:
+            block = features.feature_matrix(
+                obj_ids, sizes, times, i, end, num_irts
+            )
+            model = self._model
+            probs = (
+                score_block(model, block).tolist()
+                if model is not None
+                else None
+            )
+            ids = obj_ids[i:end]
+            ids = ids.tolist() if hasattr(ids, "tolist") else list(ids)
+            szs = sizes[i:end]
+            szs = szs.tolist() if hasattr(szs, "tolist") else list(szs)
+            tms = times[i:end]
+            tms = tms.tolist() if hasattr(tms, "tolist") else list(tms)
+            used = self._used
+            hits = self.hits
+            hit_bytes = self.hit_bytes
+            misses = self.misses
+            miss_bytes = self.miss_bytes
+            admissions = self.admissions
+            evictions = self.evictions
+            windows_before = self.windows_processed
+            n = end - i
+            k = 0
+            while k < n:
+                oid = ids[k]
+                size = szs[k]
+                now = tms[k]
+                self._last_access_time = now
+                row = block[k]
+                if probs is None:
+                    p = 1.0
+                else:
+                    p = min(max(probs[k], 0.0), 1.0)
+                self._current_p = p
+                observe(oid, size, now)
+                window_rows.append(row)
+                window_ids.append(oid)
+                window_samples.append(
+                    WindowSample(obj_id=oid, size=size, time=now, probability=p)
+                )
+                hro_process(oid, size, now)
+                delta = estimator.delta
+                if oid in sizes_map:
+                    hits += 1
+                    hit_bytes += size
+                    probabilities[oid] = p
+                    if p < delta:
+                        candidates.add(oid)
+                    else:
+                        candidates.discard(oid)
+                else:
+                    misses += 1
+                    miss_bytes += size
+                    if size <= capacity and p >= delta:
+                        while used + size > capacity:
+                            victim = select_victim(now)
+                            if victim not in sizes_map:
+                                raise RuntimeError(
+                                    f"{self.name}: victim {victim} is not cached"
+                                )
+                            used -= sizes_map.pop(victim)
+                            evictions += 1
+                            probabilities.pop(victim, None)
+                            candidates.discard(victim)
+                            cached_ids.discard(victim)
+                        sizes_map[oid] = size
+                        used += size
+                        admissions += 1
+                        probabilities[oid] = p
+                        cached_ids.add(oid)
+                k += 1
+                if self.windows_processed != windows_before:
+                    # Window closed: model/delta/features may have
+                    # changed — re-score the span tail under new state.
+                    break
+            self._used = used
+            self.hits = hits
+            self.hit_bytes = hit_bytes
+            self.misses = misses
+            self.miss_bytes = miss_bytes
+            self.admissions = admissions
+            self.evictions = evictions
+            i += k
 
     # ------------------------------------------------------------------
     # Window pipeline: detection -> estimation -> training

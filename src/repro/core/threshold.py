@@ -70,12 +70,27 @@ def shadow_hit_ratio(
         if sample.probability < delta or sample.size > capacity:
             continue
         if used + sample.size > capacity:
-            # Evict smallest-q objects until the sample fits.
-            scores = sorted(
-                cached,
-                key=lambda oid: cached[oid][1]
-                / (cached[oid][0] * max(sample.time - cached[oid][2], 1e-9)),
-            )
+            # Evict smallest-q objects until the sample fits.  Large
+            # shadow caches rank their victims vectorized: the q values
+            # use the same float ops as the scalar key and a stable
+            # argsort keeps sorted()'s tie order (dict insertion order),
+            # so the victim sequence is bit-identical either way.
+            if len(cached) >= 64:
+                entries = np.array(list(cached.values()), dtype=np.float64)
+                q = entries[:, 1] / (
+                    entries[:, 0]
+                    * np.maximum(sample.time - entries[:, 2], 1e-9)
+                )
+                ids = list(cached)
+                scores = [
+                    ids[i] for i in np.argsort(q, kind="stable").tolist()
+                ]
+            else:
+                scores = sorted(
+                    cached,
+                    key=lambda oid: cached[oid][1]
+                    / (cached[oid][0] * max(sample.time - cached[oid][2], 1e-9)),
+                )
             for victim in scores:
                 if used + sample.size <= capacity:
                     break

@@ -105,6 +105,59 @@ class BloomLruCache(CachePolicy):
                 order[obj_id] = None
         return False
 
+    def replay_span(self, obj_ids, sizes_col, times, begin: int, end: int) -> None:
+        # Native span kernel: the scalar kernel's loop with the hot names
+        # in locals and counters written back once at the span edge.  The
+        # rotation check re-reads the live filter each iteration, so the
+        # two-generation hand-off behaves exactly as on the object path.
+        rotation_items = self._rotation_items
+        fpr = self._fpr
+        sizes = self._sizes
+        order = self._order
+        move_to_end = order.move_to_end
+        popitem = order.popitem
+        pop_size = sizes.pop
+        capacity = self.capacity
+        used = self._used
+        current = self._current
+        hits = hit_bytes = misses = miss_bytes = evictions = admissions = 0
+        for i in range(begin, end):
+            obj_id = obj_ids[i]
+            size = sizes_col[i]
+            if len(current) >= rotation_items:
+                self._previous = current
+                current = BloomFilter(rotation_items, fpr)
+                self._current = current
+            if obj_id in sizes:
+                hits += 1
+                hit_bytes += size
+                move_to_end(obj_id)
+                current.add(obj_id)
+            else:
+                misses += 1
+                miss_bytes += size
+                if size <= capacity:
+                    seen = obj_id in current or (
+                        self._previous is not None and obj_id in self._previous
+                    )
+                    current.add(obj_id)
+                    if seen:
+                        used += size
+                        while used > capacity:
+                            victim, _ = popitem(last=False)
+                            used -= pop_size(victim)
+                            evictions += 1
+                        sizes[obj_id] = size
+                        admissions += 1
+                        order[obj_id] = None
+        self._used = used
+        self.hits += hits
+        self.hit_bytes += hit_bytes
+        self.misses += misses
+        self.miss_bytes += miss_bytes
+        self.evictions += evictions
+        self.admissions += admissions
+
     def metadata_bytes(self) -> int:
         total = self._current.metadata_bytes()
         if self._previous is not None:

@@ -245,6 +245,65 @@ class LruKCache(CachePolicy):
             heap.update(obj_id, times[0] if len(times) == k else -np.inf)
         return False
 
+    def replay_span(self, obj_ids, sizes_col, times, begin: int, end: int) -> None:
+        # Native span kernel: the scalar kernel's loop with the hot names
+        # in locals and counters written back once at the span edge.
+        k = self.k
+        history = self._history
+        history_get = history.get
+        sizes = self._sizes
+        heap = self._heap
+        heap_update = heap.update
+        heap_discard = heap.discard
+        peek_min = heap.peek_min
+        pop_size = sizes.pop
+        capacity = self.capacity
+        used = self._used
+        history_slots = self._history_slots
+        neg_inf = -np.inf
+        hits = hit_bytes = misses = miss_bytes = evictions = admissions = 0
+        for i in range(begin, end):
+            obj_id = obj_ids[i]
+            size = sizes_col[i]
+            times_q = history_get(obj_id)
+            if times_q is None:
+                times_q = deque(maxlen=k)
+                history[obj_id] = times_q
+            if len(times_q) < k:
+                history_slots += 1
+            times_q.append(times[i])
+            if obj_id in sizes:
+                heap_update(obj_id, times_q[0] if len(times_q) == k else neg_inf)
+                hits += 1
+                hit_bytes += size
+            else:
+                misses += 1
+                miss_bytes += size
+                if size <= capacity:
+                    used += size
+                    while used > capacity:
+                        victim = peek_min()
+                        if victim not in sizes:
+                            raise RuntimeError(
+                                f"{self.name}: victim {victim} is not cached"
+                            )
+                        used -= pop_size(victim)
+                        evictions += 1
+                        heap_discard(victim)
+                    sizes[obj_id] = size
+                    admissions += 1
+                    heap_update(
+                        obj_id, times_q[0] if len(times_q) == k else neg_inf
+                    )
+        self._used = used
+        self._history_slots = history_slots
+        self.hits += hits
+        self.hit_bytes += hit_bytes
+        self.misses += misses
+        self.miss_bytes += miss_bytes
+        self.evictions += evictions
+        self.admissions += admissions
+
     def metadata_bytes(self) -> int:
         return super().metadata_bytes() + 8 * self._history_slots
 
@@ -347,6 +406,59 @@ class LfuDaCache(CachePolicy):
             self.admissions += 1
             heap.update(obj_id, count + self._age)
         return False
+
+    def replay_span(self, obj_ids, sizes_col, times, begin: int, end: int) -> None:
+        # Native span kernel: the scalar kernel's loop with the hot names
+        # in locals; the aging factor rides in a local too and is written
+        # back with the counters at the span edge.
+        counts = self._counts
+        counts_get = counts.get
+        sizes = self._sizes
+        heap = self._heap
+        heap_update = heap.update
+        heap_discard = heap.discard
+        peek_min = heap.peek_min
+        heap_priority = heap.priority
+        pop_size = sizes.pop
+        capacity = self.capacity
+        used = self._used
+        age = self._age
+        hits = hit_bytes = misses = miss_bytes = evictions = admissions = 0
+        for i in range(begin, end):
+            obj_id = obj_ids[i]
+            size = sizes_col[i]
+            count = counts_get(obj_id, 0) + 1
+            counts[obj_id] = count
+            if obj_id in sizes:
+                heap_update(obj_id, count + age)
+                hits += 1
+                hit_bytes += size
+            else:
+                misses += 1
+                miss_bytes += size
+                if size <= capacity:
+                    used += size
+                    while used > capacity:
+                        victim = peek_min()
+                        age = heap_priority(victim)
+                        if victim not in sizes:
+                            raise RuntimeError(
+                                f"{self.name}: victim {victim} is not cached"
+                            )
+                        used -= pop_size(victim)
+                        evictions += 1
+                        heap_discard(victim)
+                    sizes[obj_id] = size
+                    admissions += 1
+                    heap_update(obj_id, count + age)
+        self._age = age
+        self._used = used
+        self.hits += hits
+        self.hit_bytes += hit_bytes
+        self.misses += misses
+        self.miss_bytes += miss_bytes
+        self.evictions += evictions
+        self.admissions += admissions
 
     def metadata_bytes(self) -> int:
         return super().metadata_bytes() + 16 * len(self._counts)

@@ -22,8 +22,14 @@ from repro.sim.parallel import (
     CellFailure,
     CellSpec,
     PackedTrace,
+    ShardSpec,
     SweepCellError,
+    merge_shard_results,
+    run_sharded,
     run_sweep,
+    shard_assignments,
+    shard_capacities,
+    shard_of,
 )
 from repro.sim.replication import ReplicatedResult, replicate_comparison
 from repro.sim.runner import (
@@ -47,6 +53,7 @@ __all__ = [
     "PackedTrace",
     "ReplicatedResult",
     "ReuseDistanceAnalyzer",
+    "ShardSpec",
     "SimulationResult",
     "SweepCellError",
     "TieredCache",
@@ -62,9 +69,14 @@ __all__ = [
     "format_table",
     "known_policies",
     "measure_latency",
+    "merge_shard_results",
     "replicate_comparison",
     "run_comparison",
+    "run_sharded",
     "run_sweep",
+    "shard_assignments",
+    "shard_capacities",
+    "shard_of",
     "simulate",
     "sweep_specs",
 ]

@@ -170,3 +170,61 @@ class TestPruning:
         assert store.metadata_bytes() == recompute(store)
         store.prune(now=1e6, horizon=1.0)  # drops everything
         assert store.metadata_bytes() == 0 == recompute(store)
+
+
+class TestFeatureMatrix:
+    """``feature_matrix`` (the batched gather behind the batched LHR
+    backend) must be bit-identical to the interleaved scalar reference:
+    ``vector()`` then ``observe_scalar()`` per request — including
+    intra-span repeats — while leaving the store untouched."""
+
+    def _random_span(self, rng, length, ids=8):
+        obj_ids = rng.integers(0, ids, size=length).tolist()
+        sizes = rng.integers(1, 5000, size=length).tolist()
+        times = np.cumsum(rng.random(length)).tolist()
+        return obj_ids, sizes, times
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("num_irts", [3, 10, 20])
+    def test_matches_interleaved_scalar_path(self, seed, num_irts):
+        rng = np.random.default_rng(seed)
+        batched = FeatureStore(max_irts=max(num_irts, 4))
+        reference = FeatureStore(max_irts=max(num_irts, 4))
+        # Pre-seed both stores identically so span rows compose virtual
+        # overlays with *existing* records, not just fresh ones.
+        for store in (batched, reference):
+            for t in range(12):
+                store.observe_scalar(t % 5, 100 + t, float(t))
+        obj_ids, sizes, times = self._random_span(rng, 60)
+        times = [t + 12.0 for t in times]
+        matrix = batched.feature_matrix(
+            obj_ids, sizes, times, 0, len(obj_ids), num_irts=num_irts
+        )
+        for k in range(len(obj_ids)):
+            row = reference.vector(obj_ids[k], now=times[k], num_irts=num_irts)
+            assert matrix[k].tolist() == row.tolist(), f"row {k} diverges"
+            reference.observe_scalar(obj_ids[k], sizes[k], times[k])
+
+    def test_store_is_not_mutated(self):
+        store = FeatureStore()
+        for t in range(6):
+            store.observe_scalar(t % 2, 100, float(t))
+        before = {oid: store.vector(oid, now=10.0).tolist() for oid in (0, 1)}
+        meta = store.metadata_bytes()
+        store.feature_matrix([0, 1, 0, 3], [10, 20, 30, 40], [10.0, 11.0, 12.0, 13.0], 0, 4)
+        assert store.metadata_bytes() == meta
+        assert 3 not in store
+        for oid in (0, 1):
+            assert store.vector(oid, now=10.0).tolist() == before[oid]
+
+    def test_sub_span_respects_begin_end(self):
+        store = FeatureStore()
+        obj_ids = [7, 7, 8, 7]
+        sizes = [10, 10, 10, 10]
+        times = [0.0, 1.0, 2.0, 3.0]
+        matrix = store.feature_matrix(obj_ids, sizes, times, 2, 4)
+        # Row 0 of the sub-span is request index 2 (object 8, unseen).
+        assert matrix.shape[0] == 2
+        assert matrix[0][0] == DEFAULT_MISSING
+        # Request 3 sees neither virtual observation from indices 0-1.
+        assert matrix[1][0] == DEFAULT_MISSING

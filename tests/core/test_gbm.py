@@ -176,6 +176,79 @@ class TestPredictApi:
         assert smaller.metadata_bytes() < model.metadata_bytes()
 
 
+class TestPredictBatch:
+    """``predict_batch`` is the scalar path run level-order over a block:
+    it must equal ``predict_one`` to the last bit (the batched LHR
+    backend's exactness claim rests on this)."""
+
+    def test_matches_predict_one_exactly(self, xor_data):
+        X, y = xor_data
+        model = GradientBoostingRegressor(n_estimators=12, max_depth=4).fit(X, y)
+        batch = model.predict_batch(X[:100])
+        scalar = [model.predict_one(X[i]) for i in range(100)]
+        assert batch.tolist() == scalar  # float equality, not allclose
+
+    def test_matches_predict_one_logistic(self, xor_data):
+        X, y = xor_data
+        model = GradientBoostingRegressor(
+            n_estimators=10, max_depth=3, loss="logistic"
+        ).fit(X, (y > 0.5).astype(float))
+        batch = model.predict_batch(X[:100])
+        scalar = [model.predict_one(X[i]) for i in range(100)]
+        assert batch.tolist() == scalar
+
+    def test_degenerate_single_node_trees(self):
+        # A constant target yields zero residuals: every tree is a bare
+        # root (a self-looping leaf in the flattened layout).
+        X = np.random.default_rng(0).random((50, 3))
+        y = np.full(50, 0.25)
+        model = GradientBoostingRegressor(n_estimators=4).fit(X, y)
+        batch = model.predict_batch(X)
+        scalar = [model.predict_one(X[i]) for i in range(50)]
+        assert batch.tolist() == scalar
+
+    def test_accepts_plain_lists(self, xor_data):
+        X, y = xor_data
+        model = GradientBoostingRegressor(n_estimators=4).fit(X, y)
+        rows = [list(X[i]) for i in range(10)]
+        assert model.predict_batch(rows).tolist() == [
+            model.predict_one(row) for row in rows
+        ]
+
+    def test_empty_block(self, xor_data):
+        X, y = xor_data
+        model = GradientBoostingRegressor(n_estimators=3).fit(X, y)
+        assert model.predict_batch(np.empty((0, X.shape[1]))).shape == (0,)
+
+    def test_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict_batch(np.zeros((2, 3)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=2**31 - 1),
+        st.sampled_from(["squared", "logistic"]),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_property_batch_equals_scalar(self, seed, loss, depth):
+        rng = np.random.default_rng(seed)
+        X = rng.random((120, 4))
+        y = rng.random(120)
+        if loss == "logistic":
+            y = (y > 0.5).astype(float)
+        model = GradientBoostingRegressor(
+            n_estimators=int(rng.integers(1, 8)),
+            max_depth=depth,
+            min_samples_leaf=int(rng.integers(1, 30)),
+            seed=seed,
+            loss=loss,
+        ).fit(X, y)
+        probe = rng.random((40, 4))
+        batch = model.predict_batch(probe)
+        scalar = [model.predict_one(probe[i]) for i in range(40)]
+        assert batch.tolist() == scalar
+
+
 @settings(max_examples=20, deadline=None)
 @given(st.integers(min_value=1, max_value=2**31 - 1))
 def test_property_predictions_bounded_by_target_range(seed):

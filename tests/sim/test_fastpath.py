@@ -151,9 +151,15 @@ def test_warmup_beyond_trace_measures_nothing(fixture_trace, fixture_capacity):
     assert result.total_bytes == 0
 
 
+#: Every policy shipping native ``request_scalar`` + ``replay_span``
+#: kernels; instrumentation must force all of them back onto the shims.
+NATIVE_KERNEL_POLICIES = ["lru", "lru-2", "lru-4", "lfu-da", "b-lru", "lhr"]
+
+
 class TestInstrumentationForcesReferencePath:
-    def test_tracer_pins_the_shim(self, fixture_capacity):
-        policy = LruCache(fixture_capacity)
+    @pytest.mark.parametrize("name", NATIVE_KERNEL_POLICIES)
+    def test_tracer_pins_the_shim(self, name, fixture_capacity):
+        policy = _build(name, fixture_capacity)
         assert "request_scalar" not in policy.__dict__  # native kernels active
         assert "replay_span" not in policy.__dict__
         policy.attach_tracer(TraceConfig().build())
@@ -163,12 +169,25 @@ class TestInstrumentationForcesReferencePath:
         assert "request_scalar" not in policy.__dict__  # kernels restored
         assert "replay_span" not in policy.__dict__
 
-    def test_observation_pins_the_shim(self, fixture_capacity):
-        policy = LruCache(fixture_capacity)
+    @pytest.mark.parametrize("name", NATIVE_KERNEL_POLICIES)
+    def test_observation_pins_the_shim(self, name, fixture_capacity):
+        policy = _build(name, fixture_capacity)
         obs = Observation(recorder=MemoryRecorder(), registry=MetricsRegistry())
         policy.attach_observation(obs)
         assert "request_scalar" in policy.__dict__
         assert "replay_span" in policy.__dict__
+
+    @pytest.mark.parametrize("name", NATIVE_KERNEL_POLICIES)
+    def test_observed_run_matches_kernel_run(
+        self, name, fixture_trace, fixture_capacity
+    ):
+        """The shim tier an instrumented run falls back to must agree
+        with the native kernels to the counter bit."""
+        packed = PackedTrace.from_trace(fixture_trace)
+        fast = simulate(_build(name, fixture_capacity), packed)
+        obs = Observation(recorder=MemoryRecorder(), registry=MetricsRegistry())
+        observed = simulate(_build(name, fixture_capacity), packed, obs=obs)
+        assert fast.counters() == observed.counters()
 
     def test_traced_packed_run_records_decisions(
         self, fixture_trace, fixture_capacity
@@ -203,6 +222,32 @@ class TestSubclassSafety:
         packed = PackedTrace.from_trace(fixture_trace)
         result = simulate(policy, packed)
         assert len(hits) == result.hits > 0
+
+    @pytest.mark.parametrize("name", ["lru-2", "lfu-da", "b-lru"])
+    def test_span_kernel_classes_block_foreign_subclasses(
+        self, name, fixture_trace, fixture_capacity
+    ):
+        """Same discipline for the newer span-kernel policies: a hook
+        override in a foreign subclass forces the shim tier, and the
+        shimmed replay still matches the native kernel's counters."""
+        base_cls = type(_build(name, fixture_capacity))
+        hits = []
+
+        def _on_hit(self, req):
+            hits.append(req.obj_id)
+            base_cls._on_hit(self, req)
+
+        spy_cls = type(f"Spy{base_cls.__name__}", (base_cls,), {"_on_hit": _on_hit})
+        policy = spy_cls(fixture_capacity)
+        assert policy._scalar_kernel_blocked
+        assert "request_scalar" in policy.__dict__  # base shims pinned
+        assert "replay_span" in policy.__dict__
+        packed = PackedTrace.from_trace(fixture_trace)
+        result = simulate(policy, packed)
+        assert len(hits) == result.hits > 0
+        # Same constructor defaults on both sides of the comparison.
+        native = simulate(base_cls(fixture_capacity), packed)
+        assert result.counters() == native.counters()
 
     def test_request_override_survives_the_fast_path(self, fixture_trace):
         calls = []
